@@ -1,0 +1,252 @@
+// Benchmark harness: one benchmark per table/figure of the paper's
+// evaluation, plus ablation and scaling benches for the design choices
+// called out in DESIGN.md. Benchmarks run at the Small experiment scale
+// so `go test -bench=.` finishes quickly; cmd/tomo regenerates the same
+// artifacts at medium/paper scale.
+//
+// Each figure benchmark reports, via b.ReportMetric, the headline
+// quantity of the corresponding panel so that bench output doubles as a
+// compact reproduction record.
+package tomography
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/linalg"
+	"repro/internal/netsim"
+	"repro/internal/observe"
+)
+
+func benchCfg() experiment.Config {
+	return experiment.DefaultConfig(experiment.Small())
+}
+
+// BenchmarkTable2 regenerates the assumption matrix (Table 2).
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiment.RenderTable2(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFigure3DetectionRate regenerates Figure 3(a): detection rate
+// of the three Boolean Inference algorithms over the five scenarios.
+func BenchmarkFigure3DetectionRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Figure3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: Bayesian-Correlation's detection on the Sparse
+		// topology (the paper's "as low as 68%" regime).
+		b.ReportMetric(rows[4].Detection["Bayesian-Correlation"], "sparse-detect")
+		b.ReportMetric(rows[0].Detection["Sparsity"], "brite-detect")
+	}
+}
+
+// BenchmarkFigure3FalsePositiveRate regenerates Figure 3(b).
+func BenchmarkFigure3FalsePositiveRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Figure3(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[4].FalsePositive["Bayesian-Independence"], "sparse-fpr")
+		b.ReportMetric(rows[0].FalsePositive["Sparsity"], "brite-fpr")
+	}
+}
+
+// BenchmarkFigure4aBrite regenerates Figure 4(a): mean absolute error
+// of the three Probability Computation algorithms on Brite topologies.
+func BenchmarkFigure4aBrite(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Figure4(benchCfg(), experiment.Brite)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].MeanErr("Correlation-complete"), "noindep-complete-err")
+		b.ReportMetric(rows[2].MeanErr("Independence"), "noindep-indep-err")
+	}
+}
+
+// BenchmarkFigure4bSparse regenerates Figure 4(b): the same comparison
+// on Sparse topologies.
+func BenchmarkFigure4bSparse(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.Figure4(benchCfg(), experiment.Sparse)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[2].MeanErr("Correlation-complete"), "noindep-complete-err")
+		b.ReportMetric(rows[2].MeanErr("Independence"), "noindep-indep-err")
+	}
+}
+
+// BenchmarkFigure4cCDF regenerates Figure 4(c): the CDF of the absolute
+// error in the No-Independence scenario on Sparse topologies.
+func BenchmarkFigure4cCDF(b *testing.B) {
+	points := []float64{0, 0.1, 0.2, 0.5, 1}
+	for i := 0; i < b.N; i++ {
+		curves, err := experiment.Figure4CDF(benchCfg(), points)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Headline: fraction of links with error < 0.1 per algorithm
+		// (the paper reports 80% / 65% / 50%).
+		b.ReportMetric(curves["Correlation-complete"][1], "complete-cdf@0.1")
+		b.ReportMetric(curves["Correlation-heuristic"][1], "heuristic-cdf@0.1")
+		b.ReportMetric(curves["Independence"][1], "indep-cdf@0.1")
+	}
+}
+
+// BenchmarkFigure4dSubsets regenerates Figure 4(d): link vs
+// correlation-subset error of Correlation-complete.
+func BenchmarkFigure4dSubsets(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cells, err := experiment.Figure4Subsets(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(cells[0].SubsetErr, "brite-subset-err")
+		b.ReportMetric(cells[1].SubsetErr, "sparse-subset-err")
+	}
+}
+
+// BenchmarkAlgorithm1Scaling measures how Correlation-complete scales
+// with topology size (§5.3's complexity discussion: O(n1³ + n1²·2^n2·n3)).
+func BenchmarkAlgorithm1Scaling(b *testing.B) {
+	for _, numAS := range []int{10, 20, 40} {
+		b.Run(sizeName(numAS), func(b *testing.B) {
+			scale := experiment.Small()
+			scale.BriteNumAS = numAS
+			scale.BritePaths = numAS * 6
+			top, err := experiment.BuildTopology(experiment.Brite, scale, 1)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(1))
+			mc := netsim.DefaultConfig(netsim.NoIndependence)
+			mc.PacketsPerPath = scale.PacketsPerPath
+			model, err := netsim.NewModel(top, mc, scale.Intervals, rng)
+			if err != nil {
+				b.Fatal(err)
+			}
+			rec := observe.NewRecorder(top.NumPaths())
+			for t := 0; t < scale.Intervals; t++ {
+				rec.Add(model.Interval(t, rng).CongestedPaths)
+			}
+			cfg := core.Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := core.Compute(top, rec, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationSubsetSize compares the resource knob's settings
+// (§4: "sets of one, two, or three links"): larger subsets cost more
+// and identify more.
+func BenchmarkAblationSubsetSize(b *testing.B) {
+	scale := experiment.Small()
+	top, err := experiment.BuildTopology(experiment.Brite, scale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	mc := netsim.DefaultConfig(netsim.NoIndependence)
+	mc.PacketsPerPath = scale.PacketsPerPath
+	model, err := netsim.NewModel(top, mc, scale.Intervals, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rec := observe.NewRecorder(top.NumPaths())
+	for t := 0; t < scale.Intervals; t++ {
+		rec.Add(model.Interval(t, rng).CongestedPaths)
+	}
+	for _, k := range []int{1, 2, 3} {
+		b.Run(sizeName(k), func(b *testing.B) {
+			cfg := core.Config{MaxSubsetSize: k, AlwaysGoodTol: 0.02}
+			var identified int
+			for i := 0; i < b.N; i++ {
+				res, err := core.Compute(top, rec, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				identified = 0
+				for _, s := range res.Subsets {
+					if s.Identifiable {
+						identified++
+					}
+				}
+			}
+			b.ReportMetric(float64(identified), "identified-subsets")
+		})
+	}
+}
+
+// BenchmarkNullSpaceUpdate measures Algorithm 2 (the incremental
+// null-space update) against full recomputation, the paper's stated
+// reason for introducing it.
+func BenchmarkNullSpaceUpdate(b *testing.B) {
+	const n = 300
+	rng := rand.New(rand.NewSource(1))
+	base := linalg.NewMatrix(40, n)
+	for i := range base.Data {
+		if rng.Intn(6) == 0 {
+			base.Data[i] = 1
+		}
+	}
+	ns := linalg.NullSpaceBasis(base)
+	row := make([]float64, n)
+	for j := range row {
+		if rng.Intn(6) == 0 {
+			row[j] = 1
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.NullSpaceUpdate(ns, row)
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		grown := base.AppendRow(row)
+		for i := 0; i < b.N; i++ {
+			linalg.NullSpaceBasis(grown)
+		}
+	})
+}
+
+// BenchmarkBinomialSampler measures both branches of the probe sampler.
+func BenchmarkBinomialSampler(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	b.Run("inversion", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			netsim.Binomial(50, 0.02, rng)
+		}
+	})
+	b.Run("normal-approx", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			netsim.Binomial(1000, 0.5, rng)
+		}
+	})
+}
+
+func sizeName(n int) string {
+	digits := "0123456789"
+	if n == 0 {
+		return "0"
+	}
+	var out []byte
+	for n > 0 {
+		out = append([]byte{digits[n%10]}, out...)
+		n /= 10
+	}
+	return string(out)
+}

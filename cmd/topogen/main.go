@@ -1,0 +1,69 @@
+// Command topogen generates one of the paper's topology families and
+// writes it as JSON (readable back with topology.ReadJSON), printing
+// summary statistics to stderr.
+//
+// Usage:
+//
+//	topogen -kind brite|sparse [-scale small|medium|paper] [-seed N] [-o file]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiment"
+)
+
+func main() {
+	kindName := flag.String("kind", "brite", "topology kind: brite or sparse")
+	scaleName := flag.String("scale", "medium", "scale: small, medium, or paper")
+	seed := flag.Int64("seed", 1, "random seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+
+	var kind experiment.TopologyKind
+	switch *kindName {
+	case "brite":
+		kind = experiment.Brite
+	case "sparse":
+		kind = experiment.Sparse
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown kind %q\n", *kindName)
+		os.Exit(2)
+	}
+	var scale experiment.Scale
+	switch *scaleName {
+	case "small":
+		scale = experiment.Small()
+	case "medium":
+		scale = experiment.Medium()
+	case "paper":
+		scale = experiment.Paper()
+	default:
+		fmt.Fprintf(os.Stderr, "topogen: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	top, err := experiment.BuildTopology(kind, scale, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := top.WriteJSON(w); err != nil {
+		fmt.Fprintf(os.Stderr, "topogen: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%s topology: %d links, %d paths, %d correlation sets, %.2f mean paths/link\n",
+		kind, top.NumLinks(), top.NumPaths(), len(top.CorrSets), top.MeanPathsPerLink())
+}

@@ -1,0 +1,116 @@
+package brite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestASLevelTopologyStructure(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumAS = 60
+	cfg.RoutersPerAS = 4
+	top, in, err := ASLevelTopology(cfg, 200, rand.New(rand.NewSource(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One link per AS-graph edge.
+	if top.NumLinks() != in.ASGraph.M() {
+		t.Fatalf("links = %d, AS edges = %d", top.NumLinks(), in.ASGraph.M())
+	}
+	// Every link is owned by one of its endpoints and carries 1-2
+	// router links (the synthetic inter-domain link plus possibly one
+	// trunk of the owner).
+	for e, l := range top.Links {
+		ep := in.ASGraph.Endpoints(e)
+		if l.AS != ep[0] && l.AS != ep[1] {
+			t.Fatalf("link %d owned by AS %d, endpoints %v", e, l.AS, ep)
+		}
+		if len(l.RouterLinks) < 1 || len(l.RouterLinks) > 2 {
+			t.Fatalf("link %d has %d router links", e, len(l.RouterLinks))
+		}
+		// A trunk, when present, must belong to the owner AS.
+		for _, rl := range l.RouterLinks {
+			if rl < in.Routers.M() { // real (intra) router link
+				rep := in.Routers.Endpoints(rl)
+				if in.RouterAS[rep[0]] != l.AS || in.RouterAS[rep[1]] != l.AS {
+					t.Fatalf("link %d trunk %d outside owner AS %d", e, rl, l.AS)
+				}
+			}
+		}
+	}
+	// Paths are valid AS-graph walks (consecutive links share an AS).
+	for _, p := range top.Paths {
+		if len(p.Links) == 0 {
+			t.Fatal("empty path")
+		}
+	}
+}
+
+func TestASLevelCorrelationWithinOwnerOnly(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumAS = 60
+	cfg.RoutersPerAS = 4
+	top, _, err := ASLevelTopology(cfg, 200, rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Links sharing a router link must belong to the same correlation
+	// set (the Correlation Sets assumption must hold exactly in the
+	// ground truth).
+	byRouter := map[int][]int{}
+	for _, l := range top.Links {
+		for _, rl := range l.RouterLinks {
+			byRouter[rl] = append(byRouter[rl], l.ID)
+		}
+	}
+	shared := 0
+	for _, lis := range byRouter {
+		if len(lis) < 2 {
+			continue
+		}
+		shared++
+		set := top.CorrSetOf(lis[0])
+		for _, li := range lis[1:] {
+			if top.CorrSetOf(li) != set {
+				t.Fatalf("links %v share a router link across correlation sets", lis)
+			}
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no correlated link groups generated (NoIndependence scenario would be impossible)")
+	}
+}
+
+func TestASLevelIdentifiabilityMostlyHolds(t *testing.T) {
+	// §3.2: "The Identifiability++ condition holds only for the Brite
+	// topologies". Violations must be rare relative to the subset count.
+	cfg := DefaultConfig()
+	cfg.NumAS = 150
+	cfg.RoutersPerAS = 4
+	top, _, err := ASLevelTopology(cfg, 700, rand.New(rand.NewSource(3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	viol := top.CheckIdentifiabilityPlusPlus(2, 0)
+	subsets := top.EnumerateSubsets(2)
+	if frac := float64(len(viol)) / float64(len(subsets)); frac > 0.05 {
+		t.Fatalf("Identifiability++ violation rate %.3f (%d/%d), want < 0.05", frac, len(viol), len(subsets))
+	}
+}
+
+func TestASLevelDeterministic(t *testing.T) {
+	gen := func() (int, int) {
+		cfg := DefaultConfig()
+		cfg.NumAS = 40
+		top, _, err := ASLevelTopology(cfg, 100, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return top.NumLinks(), top.NumPaths()
+	}
+	l1, p1 := gen()
+	l2, p2 := gen()
+	if l1 != l2 || p1 != p2 {
+		t.Fatal("AS-level generation not deterministic under a fixed seed")
+	}
+}

@@ -1,0 +1,326 @@
+// Package brite generates the synthetic two-tier Internet topologies
+// the paper's evaluation uses ("Brite topologies", §3.2): a top-down
+// model in the style of the BRITE topology generator [1], with an
+// AS-level graph grown by Barabási–Albert preferential attachment (or a
+// Waxman model) and a router-level graph inside each AS.
+//
+// The package also builds the AS-level measurement overlay on which the
+// tomography algorithms operate: given end-to-end router-level routes,
+// it derives the AS-level links (inter-domain links between border
+// routers, and intra-domain paths between border routers of one AS),
+// records which router-level links each AS-level link is built from —
+// the source of link correlations — and groups links into one
+// correlation set per AS.
+package brite
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/graph"
+	"repro/internal/topology"
+)
+
+// ASModel selects the AS-level generative model.
+type ASModel int
+
+const (
+	// BarabasiAlbert grows the AS graph by preferential attachment
+	// (heavy-tailed degrees, like the Internet's AS graph).
+	BarabasiAlbert ASModel = iota
+	// Waxman connects ASes placed uniformly in the plane with
+	// probability α·exp(−d/βL).
+	Waxman
+)
+
+// Config parameterizes the generator. The zero value is not usable; see
+// DefaultConfig.
+type Config struct {
+	NumAS        int     // number of autonomous systems
+	RoutersPerAS int     // routers inside each AS
+	ASDegree     int     // edges added per new AS (BA) / target mean degree (Waxman)
+	IntraExtra   int     // extra random intra-AS edges beyond the spanning tree
+	InterLinks   int     // parallel inter-domain router links per AS peering
+	Model        ASModel // AS-level model
+	WaxmanAlpha  float64 // Waxman α (only used when Model == Waxman)
+	WaxmanBeta   float64 // Waxman β
+}
+
+// DefaultConfig returns the parameters used throughout the evaluation:
+// they yield AS-level overlays of roughly the paper's scale (a Brite
+// topology of ≈1000 links once 1500 paths are routed).
+func DefaultConfig() Config {
+	return Config{
+		NumAS:        60,
+		RoutersPerAS: 6,
+		ASDegree:     2,
+		IntraExtra:   2,
+		InterLinks:   1,
+		Model:        BarabasiAlbert,
+		WaxmanAlpha:  0.4,
+		WaxmanBeta:   0.2,
+	}
+}
+
+// Internet is the generated two-tier ground-truth network. The router
+// graph is what "really exists"; the tomography algorithms never see
+// it directly.
+type Internet struct {
+	Routers  *graph.Graph // router-level graph; edge IDs are router-link IDs
+	RouterAS []int        // router -> AS number
+	NumAS    int
+	ASGraph  *graph.Graph // AS-level peering graph (one vertex per AS)
+}
+
+// Generate builds an Internet from cfg using rng. The router graph is
+// guaranteed connected.
+func Generate(cfg Config, rng *rand.Rand) (*Internet, error) {
+	if cfg.NumAS < 2 || cfg.RoutersPerAS < 1 || cfg.ASDegree < 1 || cfg.InterLinks < 1 {
+		return nil, fmt.Errorf("brite: invalid config %+v", cfg)
+	}
+	asGraph, err := generateASGraph(cfg, rng)
+	if err != nil {
+		return nil, err
+	}
+
+	nRouters := cfg.NumAS * cfg.RoutersPerAS
+	routers := graph.New(nRouters)
+	routerAS := make([]int, nRouters)
+	routerOf := func(as, k int) int { return as*cfg.RoutersPerAS + k }
+	for as := 0; as < cfg.NumAS; as++ {
+		for k := 0; k < cfg.RoutersPerAS; k++ {
+			routerAS[routerOf(as, k)] = as
+		}
+		// Intra-AS: random spanning tree plus extra edges.
+		for k := 1; k < cfg.RoutersPerAS; k++ {
+			routers.AddEdge(routerOf(as, rng.Intn(k)), routerOf(as, k))
+		}
+		for x := 0; x < cfg.IntraExtra && cfg.RoutersPerAS > 2; x++ {
+			u, v := rng.Intn(cfg.RoutersPerAS), rng.Intn(cfg.RoutersPerAS)
+			if u != v && !routers.HasEdge(routerOf(as, u), routerOf(as, v)) {
+				routers.AddEdge(routerOf(as, u), routerOf(as, v))
+			}
+		}
+	}
+	// Inter-AS peering links between random border routers.
+	for e := 0; e < asGraph.M(); e++ {
+		ep := asGraph.Endpoints(e)
+		for k := 0; k < cfg.InterLinks; k++ {
+			u := routerOf(ep[0], rng.Intn(cfg.RoutersPerAS))
+			v := routerOf(ep[1], rng.Intn(cfg.RoutersPerAS))
+			routers.AddEdge(u, v)
+		}
+	}
+	inet := &Internet{Routers: routers, RouterAS: routerAS, NumAS: cfg.NumAS, ASGraph: asGraph}
+	if !routers.Connected() {
+		return nil, fmt.Errorf("brite: generated router graph is disconnected (config %+v)", cfg)
+	}
+	return inet, nil
+}
+
+// generateASGraph builds the AS-level peering graph.
+func generateASGraph(cfg Config, rng *rand.Rand) (*graph.Graph, error) {
+	g := graph.New(cfg.NumAS)
+	switch cfg.Model {
+	case BarabasiAlbert:
+		// Preferential attachment: each new AS connects to ASDegree
+		// existing ASes chosen ∝ degree+1.
+		for v := 1; v < cfg.NumAS; v++ {
+			chosen := make(map[int]bool)
+			var targets []int // kept ordered for deterministic edge IDs
+			for len(targets) < cfg.ASDegree && len(targets) < v {
+				// Roulette-wheel over degree+1.
+				total := 0
+				for u := 0; u < v; u++ {
+					total += g.Degree(u) + 1
+				}
+				pick := rng.Intn(total)
+				for u := 0; u < v; u++ {
+					pick -= g.Degree(u) + 1
+					if pick < 0 {
+						if !chosen[u] {
+							chosen[u] = true
+							targets = append(targets, u)
+						}
+						break
+					}
+				}
+			}
+			for _, u := range targets {
+				g.AddEdge(u, v)
+			}
+		}
+	case Waxman:
+		xs := make([]float64, cfg.NumAS)
+		ys := make([]float64, cfg.NumAS)
+		for i := range xs {
+			xs[i], ys[i] = rng.Float64(), rng.Float64()
+		}
+		l := math.Sqrt2 // max distance in the unit square
+		for u := 0; u < cfg.NumAS; u++ {
+			for v := u + 1; v < cfg.NumAS; v++ {
+				d := math.Hypot(xs[u]-xs[v], ys[u]-ys[v])
+				if rng.Float64() < cfg.WaxmanAlpha*math.Exp(-d/(cfg.WaxmanBeta*l)) {
+					g.AddEdge(u, v)
+				}
+			}
+		}
+		// Stitch any disconnected components with a spanning chain.
+		for v := 1; v < cfg.NumAS; v++ {
+			if _, _, ok := g.ShortestPath(0, v); !ok {
+				g.AddEdge(rng.Intn(v), v)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("brite: unknown AS model %d", cfg.Model)
+	}
+	return g, nil
+}
+
+// Route is a router-level end-to-end route: the ordered router vertices
+// and router-link edge IDs of one measured path.
+type Route struct {
+	Vertices []int
+	Edges    []int
+}
+
+// RandomRoutes samples n distinct shortest routes between random router
+// pairs whose endpoints sit in different ASes. It gives up (returns
+// fewer) after a bounded number of attempts, which only happens on
+// degenerate configurations.
+func (in *Internet) RandomRoutes(n int, rng *rand.Rand) []Route {
+	var out []Route
+	seen := map[[2]int]bool{}
+	for attempts := 0; len(out) < n && attempts < 50*n; attempts++ {
+		src := rng.Intn(in.Routers.N())
+		dst := rng.Intn(in.Routers.N())
+		if src == dst || in.RouterAS[src] == in.RouterAS[dst] || seen[[2]int{src, dst}] {
+			continue
+		}
+		vs, es, ok := in.Routers.RandomizedShortestPath(src, dst, rng)
+		if !ok || len(es) == 0 {
+			continue
+		}
+		seen[[2]int{src, dst}] = true
+		out = append(out, Route{Vertices: vs, Edges: es})
+	}
+	return out
+}
+
+// Overlay converts router-level routes into the AS-level measurement
+// topology the tomography algorithms see. Consecutive route hops inside
+// one AS collapse into a single intra-domain AS-level link (identified
+// by its border-router pair), and each inter-domain router link becomes
+// an inter-domain AS-level link. Every AS-level link records its
+// underlying router-link IDs; correlation sets are one per AS.
+//
+// Routes whose AS-level rendering would traverse the same AS-level link
+// twice (possible when a route re-enters an AS) are dropped, matching
+// the paper's loop-free path model.
+func Overlay(in *Internet, routes []Route) (*topology.Topology, error) {
+	type linkKey struct {
+		a, b  int // normalized endpoint router IDs
+		intra bool
+	}
+	linkID := map[linkKey]int{}
+	var links []topology.Link
+	var paths []topology.Path
+
+	getLink := func(key linkKey, as int, routerLinks []int) int {
+		if id, ok := linkID[key]; ok {
+			return id
+		}
+		id := len(links)
+		linkID[key] = id
+		kind := "inter"
+		if key.intra {
+			kind = "intra"
+		}
+		links = append(links, topology.Link{
+			ID:          id,
+			Name:        fmt.Sprintf("%s:AS%d:%d-%d", kind, as, key.a, key.b),
+			AS:          as,
+			RouterLinks: append([]int(nil), routerLinks...),
+		})
+		return id
+	}
+	norm := func(a, b int) (int, int) {
+		if a > b {
+			return b, a
+		}
+		return a, b
+	}
+
+	for _, rt := range routes {
+		var pathLinks []int
+		i := 0
+		valid := true
+		for i < len(rt.Edges) {
+			u := rt.Vertices[i]
+			if in.RouterAS[u] == in.RouterAS[rt.Vertices[i+1]] {
+				// Collapse the maximal intra-AS run starting at i.
+				as := in.RouterAS[u]
+				j := i
+				var segEdges []int
+				for j < len(rt.Edges) && in.RouterAS[rt.Vertices[j+1]] == as {
+					segEdges = append(segEdges, rt.Edges[j])
+					j++
+				}
+				a, b := norm(u, rt.Vertices[j])
+				pathLinks = append(pathLinks, getLink(linkKey{a: a, b: b, intra: true}, as, segEdges))
+				i = j
+			} else {
+				// Inter-domain hop; attribute the link to the peer
+				// (destination-side) AS, which is the network being
+				// monitored from the source side.
+				v := rt.Vertices[i+1]
+				a, b := norm(u, v)
+				pathLinks = append(pathLinks, getLink(linkKey{a: a, b: b, intra: false}, in.RouterAS[v], []int{rt.Edges[i]}))
+				i++
+			}
+		}
+		// Enforce loop-freedom at the AS-link level.
+		dup := map[int]bool{}
+		for _, li := range pathLinks {
+			if dup[li] {
+				valid = false
+				break
+			}
+			dup[li] = true
+		}
+		if !valid || len(pathLinks) == 0 {
+			continue
+		}
+		paths = append(paths, topology.Path{
+			ID:    len(paths),
+			Name:  fmt.Sprintf("p%d:%d->%d", len(paths), rt.Vertices[0], rt.Vertices[len(rt.Vertices)-1]),
+			Links: pathLinks,
+		})
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("brite: no valid paths in overlay")
+	}
+	top := &topology.Topology{Links: links, Paths: paths, CorrSets: topology.CorrelationSetsByAS(links)}
+	if err := top.Build(); err != nil {
+		return nil, err
+	}
+	return top, nil
+}
+
+// DenseTopology generates the paper's "Brite topology": a dense
+// AS-level overlay obtained by routing numPaths random end-to-end
+// routes over a generated Internet. It returns both the overlay and the
+// ground-truth Internet (needed by the simulator for router-level
+// correlations).
+func DenseTopology(cfg Config, numPaths int, rng *rand.Rand) (*topology.Topology, *Internet, error) {
+	in, err := Generate(cfg, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	top, err := Overlay(in, in.RandomRoutes(numPaths, rng))
+	if err != nil {
+		return nil, nil, err
+	}
+	return top, in, nil
+}

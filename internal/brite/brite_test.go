@@ -1,0 +1,168 @@
+package brite
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestGenerateConnected(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, model := range []ASModel{BarabasiAlbert, Waxman} {
+		cfg := DefaultConfig()
+		cfg.Model = model
+		in, err := Generate(cfg, rng)
+		if err != nil {
+			t.Fatalf("model %d: %v", model, err)
+		}
+		if !in.Routers.Connected() {
+			t.Fatalf("model %d: router graph disconnected", model)
+		}
+		if in.Routers.N() != cfg.NumAS*cfg.RoutersPerAS {
+			t.Fatalf("router count = %d", in.Routers.N())
+		}
+		for r, as := range in.RouterAS {
+			if as != r/cfg.RoutersPerAS {
+				t.Fatalf("router %d mapped to AS %d", r, as)
+			}
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	bad := DefaultConfig()
+	bad.NumAS = 1
+	if _, err := Generate(bad, rng); err == nil {
+		t.Fatal("NumAS=1 should be rejected")
+	}
+	bad = DefaultConfig()
+	bad.Model = ASModel(99)
+	if _, err := Generate(bad, rng); err == nil {
+		t.Fatal("unknown model should be rejected")
+	}
+}
+
+func TestRandomRoutesCrossAS(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	in, err := Generate(DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := in.RandomRoutes(50, rng)
+	if len(routes) != 50 {
+		t.Fatalf("got %d routes", len(routes))
+	}
+	for _, rt := range routes {
+		if len(rt.Vertices) != len(rt.Edges)+1 {
+			t.Fatal("malformed route")
+		}
+		src, dst := rt.Vertices[0], rt.Vertices[len(rt.Vertices)-1]
+		if in.RouterAS[src] == in.RouterAS[dst] {
+			t.Fatal("route endpoints in the same AS")
+		}
+	}
+}
+
+func TestOverlayStructure(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	top, in, err := DenseTopology(DefaultConfig(), 200, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumPaths() == 0 || top.NumLinks() == 0 {
+		t.Fatal("empty overlay")
+	}
+	// Every link must carry at least one router-level link and a valid AS.
+	for _, l := range top.Links {
+		if len(l.RouterLinks) == 0 {
+			t.Fatalf("link %d has no router links", l.ID)
+		}
+		if l.AS < 0 || l.AS >= in.NumAS {
+			t.Fatalf("link %d has AS %d", l.ID, l.AS)
+		}
+		for _, re := range l.RouterLinks {
+			if re < 0 || re >= in.Routers.M() {
+				t.Fatalf("link %d references router link %d out of range", l.ID, re)
+			}
+		}
+	}
+	// Correlation sets must follow AS boundaries.
+	for _, set := range top.CorrSets {
+		as := top.Links[set[0]].AS
+		for _, li := range set {
+			if top.Links[li].AS != as {
+				t.Fatal("correlation set spans multiple ASes")
+			}
+		}
+	}
+	// Intra-domain links of one AS must only contain router links whose
+	// endpoints are in that AS.
+	for _, l := range top.Links {
+		if len(l.RouterLinks) > 1 { // definitely intra-domain
+			for _, re := range l.RouterLinks {
+				ep := in.Routers.Endpoints(re)
+				if in.RouterAS[ep[0]] != l.AS || in.RouterAS[ep[1]] != l.AS {
+					t.Fatalf("intra link %d (%s) crosses AS boundary", l.ID, l.Name)
+				}
+			}
+		}
+	}
+}
+
+func TestOverlayPathsAreLoopFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	top, _, err := DenseTopology(DefaultConfig(), 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range top.Paths {
+		seen := map[int]bool{}
+		for _, li := range p.Links {
+			if seen[li] {
+				t.Fatalf("path %d repeats link %d", p.ID, li)
+			}
+			seen[li] = true
+		}
+	}
+}
+
+func TestOverlayDeterministicWithSeed(t *testing.T) {
+	gen := func() *topology.Topology {
+		rng := rand.New(rand.NewSource(7))
+		top, _, err := DenseTopology(DefaultConfig(), 100, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return top
+	}
+	a, b := gen(), gen()
+	if a.NumLinks() != b.NumLinks() || a.NumPaths() != b.NumPaths() {
+		t.Fatal("generation is not deterministic under a fixed seed")
+	}
+}
+
+func TestDenseTopologyIsDense(t *testing.T) {
+	// The Brite overlay must be markedly denser (more paths per link)
+	// than one path per link — this is what makes inference easy on it.
+	rng := rand.New(rand.NewSource(5))
+	top, _, err := DenseTopology(DefaultConfig(), 500, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := top.MeanPathsPerLink(); d < 2 {
+		t.Fatalf("MeanPathsPerLink = %.2f, expected a dense overlay (≥2)", d)
+	}
+}
+
+func TestOverlayRejectsNoRoutes(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	in, err := Generate(DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Overlay(in, nil); err == nil {
+		t.Fatal("expected error for empty route set")
+	}
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/linalg"
+	"repro/internal/observe"
+	"repro/internal/topology"
+)
+
+// builder carries the state of one Correlation-complete run.
+type builder struct {
+	top *topology.Topology
+	rec *observe.Recorder
+	cfg Config
+
+	alwaysGoodPaths *bitset.Set
+	goodLinks       *bitset.Set // links on an always-good path
+	potLinks        *bitset.Set // potentially congested links
+
+	// The unknown universe Ê: potentially congested correlation
+	// subsets, each identified by its bitset key.
+	subsets []subsetEntry
+	index   map[string]int
+	frozen  bool // once frozen, rows referencing unseen subsets are invalid
+
+	// Selected path sets P̂ and their rows.
+	pathSets []*bitset.Set
+	usedKeys map[string]bool
+	rows     [][]int // per path set: sorted subset indices appearing in its equation
+
+	nullspace *linalg.Matrix
+}
+
+type subsetEntry struct {
+	links   *bitset.Set
+	corrSet int
+	cover   *bitset.Set // Paths(E)
+	seedSet *bitset.Set // Paths(E) \ Paths(Ē), the isolation path set
+}
+
+func newBuilder(top *topology.Topology, rec *observe.Recorder, cfg Config) *builder {
+	b := &builder{
+		top:      top,
+		rec:      rec,
+		cfg:      cfg,
+		index:    map[string]int{},
+		usedKeys: map[string]bool{},
+	}
+	b.alwaysGoodPaths = rec.AlwaysGoodPaths(cfg.AlwaysGoodTol)
+	b.goodLinks = top.LinksOf(b.alwaysGoodPaths)
+	b.potLinks = bitset.New(top.NumLinks())
+	for e := 0; e < top.NumLinks(); e++ {
+		if !b.goodLinks.Contains(e) {
+			b.potLinks.Add(e)
+		}
+	}
+	return b
+}
+
+// register adds a correlation subset to Ê if new, returning its index.
+// After freezing, unseen subsets are rejected.
+func (b *builder) register(links *bitset.Set, corrSet int) (int, bool) {
+	key := links.Key()
+	if i, ok := b.index[key]; ok {
+		return i, true
+	}
+	if b.frozen {
+		return -1, false
+	}
+	i := len(b.subsets)
+	b.index[key] = i
+	b.subsets = append(b.subsets, subsetEntry{
+		links:   links.Clone(),
+		corrSet: corrSet,
+		cover:   b.top.PathsOf(links),
+	})
+	return i, true
+}
+
+// rowFor decomposes the equation of path set P into the indices of the
+// correlation subsets appearing in it: for each correlation set C, the
+// potentially congested part of Links(P) ∩ C. ok is false when the
+// system is frozen and the equation references an unregistered subset.
+func (b *builder) rowFor(pathSet *bitset.Set) (cols []int, ok bool) {
+	links := b.top.LinksOf(pathSet)
+	bySet := map[int]*bitset.Set{}
+	links.ForEach(func(li int) bool {
+		if !b.potLinks.Contains(li) {
+			return true // always-good link: factor 1, drops out
+		}
+		c := b.top.CorrSetOf(li)
+		if bySet[c] == nil {
+			bySet[c] = bitset.New(b.top.NumLinks())
+		}
+		bySet[c].Add(li)
+		return true
+	})
+	for c, sub := range bySet {
+		i, regOK := b.register(sub, c)
+		if !regOK {
+			return nil, false
+		}
+		cols = append(cols, i)
+	}
+	sortIntsAsc(cols)
+	return cols, true
+}
+
+func sortIntsAsc(s []int) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}
+
+// enumerate builds the unknown universe Ê: all potentially congested
+// correlation subsets of size ≤ MaxSubsetSize over covered links
+// (Algorithm 1's input list), enriched with every subset appearing in a
+// seed or single-path equation so those rows stay expressible.
+func (b *builder) enumerate() {
+	covered := bitset.New(b.top.NumLinks())
+	for e := 0; e < b.top.NumLinks(); e++ {
+		if !b.top.LinkPaths(e).IsEmpty() {
+			covered.Add(e)
+		}
+	}
+	for ci, set := range b.top.CorrSets {
+		var eligible []int
+		for _, li := range set {
+			if b.potLinks.Contains(li) && covered.Contains(li) {
+				eligible = append(eligible, li)
+			}
+		}
+		if len(eligible) == 0 {
+			continue
+		}
+		limit := b.cfg.MaxSubsetSize
+		if limit <= 0 || limit > len(eligible) {
+			limit = len(eligible)
+		}
+		for size := 1; size <= limit; size++ {
+			enumCombos(len(eligible), size, func(idx []int) {
+				links := bitset.New(b.top.NumLinks())
+				for _, k := range idx {
+					links.Add(eligible[k])
+				}
+				b.register(links, ci)
+			})
+		}
+	}
+	// Register the subsets of the per-path equations so the
+	// augmentation loop can use single-path rows (cheap and low-noise).
+	if !b.cfg.DisableSinglePathRegistration {
+		one := bitset.New(b.top.NumPaths())
+		for p := 0; p < b.top.NumPaths(); p++ {
+			if b.alwaysGoodPaths.Contains(p) {
+				continue
+			}
+			one.Clear()
+			one.Add(p)
+			b.rowFor(one)
+		}
+	}
+	// Compute each subset's isolation path set Paths(E) \ Paths(Ē),
+	// where Ē is the potentially congested complement within E's
+	// correlation set. Seed equations may reference further subsets,
+	// which in turn need their own seed sets; iterate to a fixpoint
+	// (bounded: each round can only add subsets that appear in some
+	// equation).
+	for round, done := 0, 0; done < len(b.subsets) && round < 8; round++ {
+		start := done
+		done = len(b.subsets)
+		for i := start; i < done; i++ {
+			s := &b.subsets[i]
+			comp := bitset.New(b.top.NumLinks())
+			for _, li := range b.top.CorrSetLinks(s.corrSet) {
+				if b.potLinks.Contains(li) && !s.links.Contains(li) {
+					comp.Add(li)
+				}
+			}
+			s.seedSet = s.cover.Difference(b.top.PathsOf(comp))
+		}
+		for i := start; i < done; i++ {
+			if !b.subsets[i].seedSet.IsEmpty() {
+				b.rowFor(b.subsets[i].seedSet) // may register new subsets
+			}
+		}
+	}
+	// Any subsets registered in the final round still need a seed set.
+	for i := range b.subsets {
+		if b.subsets[i].seedSet == nil {
+			s := &b.subsets[i]
+			comp := bitset.New(b.top.NumLinks())
+			for _, li := range b.top.CorrSetLinks(s.corrSet) {
+				if b.potLinks.Contains(li) && !s.links.Contains(li) {
+					comp.Add(li)
+				}
+			}
+			s.seedSet = s.cover.Difference(b.top.PathsOf(comp))
+		}
+	}
+	b.frozen = true
+}
+
+// addPathSet appends a selected path set and its row.
+func (b *builder) addPathSet(p *bitset.Set, cols []int) {
+	b.pathSets = append(b.pathSets, p.Clone())
+	b.usedKeys[p.Key()] = true
+	b.rows = append(b.rows, cols)
+}
+
+// denseRow expands a column-index row into a dense vector over Ê.
+func (b *builder) denseRow(cols []int) []float64 {
+	r := make([]float64, len(b.subsets))
+	for _, c := range cols {
+		r[c] = 1
+	}
+	return r
+}
+
+// seed performs Algorithm 1 lines 1–7: one path set per subset, then
+// the initial null space.
+func (b *builder) seed() {
+	for i := range b.subsets {
+		s := &b.subsets[i]
+		if s.seedSet.IsEmpty() || b.usedKeys[s.seedSet.Key()] {
+			continue
+		}
+		cols, ok := b.rowFor(s.seedSet)
+		if !ok {
+			continue
+		}
+		b.addPathSet(s.seedSet, cols)
+	}
+	m := linalg.NewMatrix(len(b.rows), len(b.subsets))
+	for ri, cols := range b.rows {
+		for _, c := range cols {
+			m.Set(ri, c, 1)
+		}
+	}
+	b.nullspace = linalg.NullSpaceBasis(m)
+}
+
+// augment performs Algorithm 1 lines 8–22: repeatedly find a path set
+// whose row leaves the current row space, preferring subsets whose
+// null-space row has the largest Hamming weight, and update the null
+// space with Algorithm 2 after each addition.
+func (b *builder) augment() {
+	maxEnum := b.cfg.MaxEnumPathSets
+	if maxEnum <= 0 {
+		maxEnum = 128
+	}
+	for b.nullspace.Cols > 0 {
+		found := false
+		order := sortSubsetsByNullWeight(b.nullspace, len(b.subsets))
+		for _, si := range order {
+			s := &b.subsets[si]
+			if s.seedSet.IsEmpty() {
+				continue
+			}
+			paths := s.seedSet.Indices()
+			budget := maxEnum
+			enumerateSubsetsOfPaths(paths, func(chosen []int) bool {
+				budget--
+				if budget < 0 {
+					return false
+				}
+				p := bitset.FromIndices(b.top.NumPaths(), chosen...)
+				if b.usedKeys[p.Key()] {
+					return true
+				}
+				cols, ok := b.rowFor(p)
+				if !ok {
+					return true
+				}
+				r := b.denseRow(cols)
+				if linalg.InRowSpace(b.nullspace, r) {
+					return true
+				}
+				// ‖r×N‖ > 0: this equation increases the rank.
+				b.addPathSet(p, cols)
+				b.nullspace = linalg.NullSpaceUpdate(b.nullspace, r)
+				found = true
+				return false
+			})
+			if found {
+				break
+			}
+		}
+		if !found {
+			break // r = 0: no remaining path set increases the rank
+		}
+	}
+}
+
+// enumerateSubsetsOfPaths yields the non-empty subsets of the given
+// path IDs in increasing size (single paths first, then pairs, …).
+// fn returns false to stop.
+func enumerateSubsetsOfPaths(paths []int, fn func(chosen []int) bool) {
+	n := len(paths)
+	stop := false
+	for size := 1; size <= n && !stop; size++ {
+		enumCombos(n, size, func(idx []int) {
+			if stop {
+				return
+			}
+			chosen := make([]int, size)
+			for k, i := range idx {
+				chosen[k] = paths[i]
+			}
+			if !fn(chosen) {
+				stop = true
+			}
+		})
+	}
+}
+
+// enumCombos invokes fn with each k-combination of {0..n-1}.
+func enumCombos(n, k int, fn func(idx []int)) {
+	if k > n || k <= 0 {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// solve assembles the selected equations, resolves identifiability, and
+// least-squares-solves the log-domain system.
+func (b *builder) solve() (*Result, error) {
+	res := &Result{
+		index:                map[string]int{},
+		PathSets:             b.pathSets,
+		PotentiallyCongested: b.potLinks,
+		AlwaysGoodLinks:      b.goodLinks,
+		top:                  b.top,
+		rec:                  b.rec,
+	}
+	nCols := len(b.subsets)
+	res.Subsets = make([]SubsetResult, nCols)
+	for i, s := range b.subsets {
+		res.Subsets[i] = SubsetResult{Links: s.links, CorrSet: s.corrSet, GoodProb: math.NaN()}
+		res.index[s.links.Key()] = i
+	}
+	if len(b.rows) == 0 {
+		res.Nullity = nCols
+		return res, nil
+	}
+
+	// Unidentifiable columns: rows of the final null space that are not
+	// (numerically) zero. The null space is recomputed fresh here: the
+	// incrementally maintained basis (Algorithm 2) is exact enough to
+	// drive the selection loop, but hundreds of rank-one updates leave
+	// numerical dirt that would falsely mark identifiable columns.
+	finalM := linalg.NewMatrix(len(b.rows), nCols)
+	for ri, cols := range b.rows {
+		for _, c := range cols {
+			finalM.Set(ri, c, 1)
+		}
+	}
+	ns0 := linalg.NullSpaceBasis(finalM)
+	identifiable := make([]bool, nCols)
+	for i := 0; i < nCols; i++ {
+		identifiable[i] = true
+	}
+	if ns0.Cols > 0 {
+		for i := 0; i < nCols; i++ {
+			for j := 0; j < ns0.Cols; j++ {
+				if math.Abs(ns0.At(i, j)) > 1e-7 {
+					identifiable[i] = false
+					break
+				}
+			}
+		}
+	}
+
+	// Iteratively drop unidentifiable columns and the rows that mention
+	// them, re-deriving identifiability on the reduced system until it
+	// has full column rank.
+	activeRows := make([]bool, len(b.rows))
+	for i := range activeRows {
+		activeRows[i] = true
+	}
+	for {
+		changed := false
+		for ri, cols := range b.rows {
+			if !activeRows[ri] {
+				continue
+			}
+			for _, c := range cols {
+				if !identifiable[c] {
+					activeRows[ri] = false
+					changed = true
+					break
+				}
+			}
+		}
+		// Build the reduced system.
+		var colMap []int
+		colIdx := make([]int, nCols)
+		for c := 0; c < nCols; c++ {
+			colIdx[c] = -1
+			if identifiable[c] {
+				colIdx[c] = len(colMap)
+				colMap = append(colMap, c)
+			}
+		}
+		var mRows [][]float64
+		var rhs []float64
+		clamped := 0
+		for ri, cols := range b.rows {
+			if !activeRows[ri] {
+				continue
+			}
+			row := make([]float64, len(colMap))
+			for _, c := range cols {
+				row[colIdx[c]] = 1
+			}
+			lp, cl := b.rec.LogGoodFreq(b.pathSets[ri])
+			if cl {
+				clamped++
+			}
+			mRows = append(mRows, row)
+			rhs = append(rhs, lp)
+		}
+		res.ClampedRows = clamped
+		if len(colMap) == 0 {
+			res.Rank = 0
+			res.Nullity = nCols
+			return res, nil
+		}
+		a := linalg.FromRows(mRows)
+		if len(mRows) >= len(colMap) {
+			x, err := linalg.SolveLeastSquares(a, rhs)
+			if err == nil {
+				res.Rank = len(colMap)
+				res.Nullity = nCols - len(colMap)
+				for k, c := range colMap {
+					g := math.Exp(x[k])
+					res.Subsets[c].GoodProb = clamp01(g)
+					res.Subsets[c].Identifiable = true
+				}
+				return res, nil
+			}
+		}
+		// Rank fell after dropping rows: recompute identifiability on
+		// the reduced system and iterate.
+		ns := linalg.NullSpaceBasis(a)
+		for k, c := range colMap {
+			for j := 0; j < ns.Cols; j++ {
+				if math.Abs(ns.At(k, j)) > 1e-7 {
+					identifiable[c] = false
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			// Should not happen: a full-column-rank system must solve.
+			return nil, linalg.ErrRankDeficient
+		}
+	}
+}

@@ -1,0 +1,181 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestBuildTopologyKinds(t *testing.T) {
+	scale := Small()
+	brite, err := BuildTopology(Brite, scale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse, err := BuildTopology(Sparse, scale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if brite.NumPaths() == 0 || sparse.NumPaths() == 0 {
+		t.Fatal("empty topologies")
+	}
+	if _, err := BuildTopology(TopologyKind(9), scale, 1); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+}
+
+func TestFigure3SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs are slow")
+	}
+	cfg := DefaultConfig(Small())
+	rows, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("got %d scenario rows, want 5", len(rows))
+	}
+	for _, r := range rows {
+		for _, alg := range Fig3AlgorithmNames {
+			d, okD := r.Detection[alg]
+			f, okF := r.FalsePositive[alg]
+			if !okD || !okF {
+				t.Fatalf("%s: missing results for %s", r.Scenario, alg)
+			}
+			if d < 0 || d > 1 || f < 0 || f > 1 {
+				t.Fatalf("%s/%s: rates out of range: %v %v", r.Scenario, alg, d, f)
+			}
+		}
+		// Sanity: in every scenario, some detection happens.
+		if r.Detection["Sparsity"] == 0 && r.Detection["Bayesian-Independence"] == 0 {
+			t.Fatalf("%s: no algorithm detected anything", r.Scenario)
+		}
+	}
+	out := RenderFigure3(rows)
+	if !strings.Contains(out, "Figure 3(a)") || !strings.Contains(out, "Sparse Topology") {
+		t.Fatalf("render missing sections:\n%s", out)
+	}
+}
+
+func TestFigure4SmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs are slow")
+	}
+	cfg := DefaultConfig(Small())
+	for _, kind := range []TopologyKind{Brite, Sparse} {
+		rows, err := Figure4(cfg, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rows) != 3 {
+			t.Fatalf("%v: got %d rows, want 3", kind, len(rows))
+		}
+		for _, r := range rows {
+			for _, alg := range Fig4AlgorithmNames {
+				errs, ok := r.Errors[alg]
+				if !ok || len(errs) == 0 {
+					t.Fatalf("%v/%s: no errors recorded for %s", kind, r.Scenario, alg)
+				}
+				m := r.MeanErr(alg)
+				if m < 0 || m > 1 {
+					t.Fatalf("%v/%s/%s: mean abs error %v out of range", kind, r.Scenario, alg, m)
+				}
+			}
+		}
+		out := RenderFigure4(rows, kind)
+		if !strings.Contains(out, "Mean absolute error") {
+			t.Fatal("render missing header")
+		}
+	}
+}
+
+func TestFigure4CDFSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs are slow")
+	}
+	cfg := DefaultConfig(Small())
+	points := []float64{0, 0.1, 0.2, 0.5, 1}
+	curves, err := Figure4CDF(cfg, points)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range Fig4AlgorithmNames {
+		curve, ok := curves[alg]
+		if !ok || len(curve) != len(points) {
+			t.Fatalf("missing curve for %s", alg)
+		}
+		for i := 1; i < len(curve); i++ {
+			if curve[i] < curve[i-1] {
+				t.Fatalf("%s: CDF not monotone: %v", alg, curve)
+			}
+		}
+		if curve[len(curve)-1] != 1 {
+			t.Fatalf("%s: CDF does not reach 1 at abs.err=1: %v", alg, curve)
+		}
+	}
+	if out := RenderFigure4CDF(points, curves); !strings.Contains(out, "Figure 4(c)") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestFigure4SubsetsSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure runs are slow")
+	}
+	cfg := DefaultConfig(Small())
+	cells, err := Figure4Subsets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 {
+		t.Fatalf("got %d cells, want 2 (Brite, Sparse)", len(cells))
+	}
+	for _, c := range cells {
+		if c.LinkErr < 0 || c.LinkErr > 1 || c.SubsetErr < 0 || c.SubsetErr > 1 {
+			t.Fatalf("%v: errors out of range: %+v", c.Topology, c)
+		}
+	}
+	if out := RenderFigure4d(cells); !strings.Contains(out, "Figure 4(d)") {
+		t.Fatal("render missing header")
+	}
+}
+
+func TestTable2Matrix(t *testing.T) {
+	cols, cells := Table2()
+	if len(cols) != 3 {
+		t.Fatalf("cols = %v", cols)
+	}
+	// The paper's Table 2: Sparsity assumes Homogeneity, CLINK assumes
+	// Independence, Bayesian-Correlation assumes Correlation Sets and
+	// needs Identifiability++.
+	if !cells["Sparsity"]["Homogeneity"] {
+		t.Fatal("Sparsity must list Homogeneity")
+	}
+	if !cells["Bayesian-Independence"]["Independence"] {
+		t.Fatal("Bayesian-Independence must list Independence")
+	}
+	if !cells["Bayesian-Correlation"]["Correlation Sets"] || !cells["Bayesian-Correlation"]["Identifiability++"] {
+		t.Fatal("Bayesian-Correlation must list Correlation Sets and Identifiability++")
+	}
+	for _, c := range cols {
+		if !cells[c]["Separability"] || !cells[c]["E2E Monitoring"] {
+			t.Fatalf("%s missing universal assumptions", c)
+		}
+	}
+	out := RenderTable2()
+	for _, row := range Table2Rows {
+		if !strings.Contains(out, row) {
+			t.Fatalf("render missing row %q", row)
+		}
+	}
+}
+
+func TestScalesAreOrdered(t *testing.T) {
+	s, m, p := Small(), Medium(), Paper()
+	if !(s.BritePaths < m.BritePaths && m.BritePaths <= p.BritePaths) {
+		t.Fatal("scales not ordered by path count")
+	}
+	if !(s.Intervals <= m.Intervals && m.Intervals <= p.Intervals) {
+		t.Fatal("scales not ordered by interval count")
+	}
+}

@@ -1,0 +1,68 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/probcalc"
+)
+
+// Table2Rows are the sources of inaccuracy in the paper's Table 2, in
+// row order.
+var Table2Rows = []string{
+	"Separability",
+	"E2E Monitoring",
+	"Homogeneity",
+	"Independence",
+	"Correlation Sets",
+	"Identifiability",
+	"Identifiability++",
+	"Other approx./heuristic",
+}
+
+// Table2 regenerates the assumption matrix from the algorithms' own
+// metadata: each cell is true when the algorithm relies on that
+// assumption/condition/approximation.
+func Table2() (cols []string, cells map[string]map[string]bool) {
+	algs := []inference.Algorithm{
+		inference.NewSparsity(),
+		inference.NewBayesianIndependence(probcalc.IndependenceConfig{}),
+		inference.NewBayesianCorrelation(core.Config{}),
+	}
+	cells = map[string]map[string]bool{}
+	for _, a := range algs {
+		cols = append(cols, a.Name())
+		m := map[string]bool{}
+		for _, s := range a.Assumptions() {
+			m[s] = true
+		}
+		cells[a.Name()] = m
+	}
+	return cols, cells
+}
+
+// RenderTable2 formats the matrix like the paper's Table 2.
+func RenderTable2() string {
+	cols, cells := Table2()
+	var b strings.Builder
+	b.WriteString("Table 2: Sources of inaccuracy for Boolean Inference algorithms\n")
+	fmt.Fprintf(&b, "%-26s", "")
+	for _, c := range cols {
+		fmt.Fprintf(&b, " %22s", c)
+	}
+	b.WriteByte('\n')
+	for _, row := range Table2Rows {
+		fmt.Fprintf(&b, "%-26s", row)
+		for _, c := range cols {
+			mark := ""
+			if cells[c][row] {
+				mark = "X"
+			}
+			fmt.Fprintf(&b, " %22s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

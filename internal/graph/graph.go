@@ -1,0 +1,190 @@
+// Package graph provides the small undirected-multigraph substrate used
+// by the topology generators: adjacency with stable edge IDs, BFS
+// shortest paths, and connectivity checks.
+package graph
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// halfEdge is one direction of an undirected edge.
+type halfEdge struct {
+	to   int
+	edge int
+}
+
+// Graph is an undirected multigraph over vertices 0..N-1. Edges carry
+// dense integer IDs in insertion order.
+type Graph struct {
+	n     int
+	adj   [][]halfEdge
+	edges [][2]int
+}
+
+// New returns an empty graph with n vertices.
+func New(n int) *Graph {
+	if n < 0 {
+		panic("graph: negative vertex count")
+	}
+	return &Graph{n: n, adj: make([][]halfEdge, n)}
+}
+
+// N returns the number of vertices.
+func (g *Graph) N() int { return g.n }
+
+// M returns the number of edges.
+func (g *Graph) M() int { return len(g.edges) }
+
+// AddEdge inserts an undirected edge {u, v} and returns its ID.
+// Self-loops are rejected; parallel edges are allowed (they model
+// parallel peering links).
+func (g *Graph) AddEdge(u, v int) int {
+	if u == v {
+		panic("graph: self-loop")
+	}
+	if u < 0 || u >= g.n || v < 0 || v >= g.n {
+		panic(fmt.Sprintf("graph: edge (%d,%d) out of range [0,%d)", u, v, g.n))
+	}
+	id := len(g.edges)
+	g.edges = append(g.edges, [2]int{u, v})
+	g.adj[u] = append(g.adj[u], halfEdge{to: v, edge: id})
+	g.adj[v] = append(g.adj[v], halfEdge{to: u, edge: id})
+	return id
+}
+
+// HasEdge reports whether at least one edge connects u and v.
+func (g *Graph) HasEdge(u, v int) bool {
+	if len(g.adj[v]) < len(g.adj[u]) {
+		u, v = v, u
+	}
+	for _, he := range g.adj[u] {
+		if he.to == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Endpoints returns the two endpoints of edge id.
+func (g *Graph) Endpoints(id int) [2]int { return g.edges[id] }
+
+// Degree returns the number of incident edges of v.
+func (g *Graph) Degree(v int) int { return len(g.adj[v]) }
+
+// Neighbors calls fn for each incident half-edge of v.
+func (g *Graph) Neighbors(v int, fn func(to, edgeID int)) {
+	for _, he := range g.adj[v] {
+		fn(he.to, he.edge)
+	}
+}
+
+// ShortestPath returns the vertices and edge IDs of an unweighted
+// shortest path from src to dst (BFS). ok is false if dst is
+// unreachable. A path from a vertex to itself is ([]int{src}, nil,
+// true).
+func (g *Graph) ShortestPath(src, dst int) (vertices, edgeIDs []int, ok bool) {
+	if src == dst {
+		return []int{src}, nil, true
+	}
+	prevV := make([]int, g.n)
+	prevE := make([]int, g.n)
+	for i := range prevV {
+		prevV[i] = -1
+	}
+	prevV[src] = src
+	queue := []int{src}
+	for len(queue) > 0 && prevV[dst] == -1 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, he := range g.adj[v] {
+			if prevV[he.to] == -1 {
+				prevV[he.to] = v
+				prevE[he.to] = he.edge
+				queue = append(queue, he.to)
+			}
+		}
+	}
+	if prevV[dst] == -1 {
+		return nil, nil, false
+	}
+	for v := dst; v != src; v = prevV[v] {
+		vertices = append(vertices, v)
+		edgeIDs = append(edgeIDs, prevE[v])
+	}
+	vertices = append(vertices, src)
+	reverseInts(vertices)
+	reverseInts(edgeIDs)
+	return vertices, edgeIDs, true
+}
+
+// RandomizedShortestPath is ShortestPath with neighbor order shuffled
+// per call, so equal-length shortest paths are sampled (this models
+// load balancing across ECMP paths in the traceroute synthesizer).
+func (g *Graph) RandomizedShortestPath(src, dst int, rng *rand.Rand) (vertices, edgeIDs []int, ok bool) {
+	if src == dst {
+		return []int{src}, nil, true
+	}
+	prevV := make([]int, g.n)
+	prevE := make([]int, g.n)
+	for i := range prevV {
+		prevV[i] = -1
+	}
+	prevV[src] = src
+	queue := []int{src}
+	scratch := make([]halfEdge, 0, 16)
+	for len(queue) > 0 && prevV[dst] == -1 {
+		v := queue[0]
+		queue = queue[1:]
+		scratch = append(scratch[:0], g.adj[v]...)
+		rng.Shuffle(len(scratch), func(i, j int) { scratch[i], scratch[j] = scratch[j], scratch[i] })
+		for _, he := range scratch {
+			if prevV[he.to] == -1 {
+				prevV[he.to] = v
+				prevE[he.to] = he.edge
+				queue = append(queue, he.to)
+			}
+		}
+	}
+	if prevV[dst] == -1 {
+		return nil, nil, false
+	}
+	for v := dst; v != src; v = prevV[v] {
+		vertices = append(vertices, v)
+		edgeIDs = append(edgeIDs, prevE[v])
+	}
+	vertices = append(vertices, src)
+	reverseInts(vertices)
+	reverseInts(edgeIDs)
+	return vertices, edgeIDs, true
+}
+
+// Connected reports whether the graph is connected (true for the empty
+// and single-vertex graph).
+func (g *Graph) Connected() bool {
+	if g.n <= 1 {
+		return true
+	}
+	seen := make([]bool, g.n)
+	seen[0] = true
+	queue := []int{0}
+	count := 1
+	for len(queue) > 0 {
+		v := queue[0]
+		queue = queue[1:]
+		for _, he := range g.adj[v] {
+			if !seen[he.to] {
+				seen[he.to] = true
+				count++
+				queue = append(queue, he.to)
+			}
+		}
+	}
+	return count == g.n
+}
+
+func reverseInts(s []int) {
+	for i, j := 0, len(s)-1; i < j; i, j = i+1, j-1 {
+		s[i], s[j] = s[j], s[i]
+	}
+}

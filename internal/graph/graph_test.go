@@ -1,0 +1,140 @@
+package graph
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func line(n int) *Graph {
+	g := New(n)
+	for i := 0; i+1 < n; i++ {
+		g.AddEdge(i, i+1)
+	}
+	return g
+}
+
+func TestAddEdgeAndAccessors(t *testing.T) {
+	g := New(3)
+	e0 := g.AddEdge(0, 1)
+	e1 := g.AddEdge(1, 2)
+	if e0 != 0 || e1 != 1 || g.M() != 2 || g.N() != 3 {
+		t.Fatalf("ids %d,%d M=%d N=%d", e0, e1, g.M(), g.N())
+	}
+	if g.Endpoints(1) != [2]int{1, 2} {
+		t.Fatalf("Endpoints = %v", g.Endpoints(1))
+	}
+	if g.Degree(1) != 2 || g.Degree(0) != 1 {
+		t.Fatal("degrees wrong")
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 0) || g.HasEdge(0, 2) {
+		t.Fatal("HasEdge wrong")
+	}
+	var seen int
+	g.Neighbors(1, func(to, edgeID int) { seen++ })
+	if seen != 2 {
+		t.Fatalf("Neighbors visited %d", seen)
+	}
+}
+
+func TestSelfLoopPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(2).AddEdge(1, 1)
+}
+
+func TestParallelEdgesAllowed(t *testing.T) {
+	g := New(2)
+	a := g.AddEdge(0, 1)
+	b := g.AddEdge(0, 1)
+	if a == b || g.M() != 2 {
+		t.Fatal("parallel edges must get distinct IDs")
+	}
+}
+
+func TestShortestPathLine(t *testing.T) {
+	g := line(5)
+	vs, es, ok := g.ShortestPath(0, 4)
+	if !ok || len(vs) != 5 || len(es) != 4 {
+		t.Fatalf("vs=%v es=%v ok=%v", vs, es, ok)
+	}
+	for i, v := range vs {
+		if v != i {
+			t.Fatalf("vertex order %v", vs)
+		}
+	}
+	for i, e := range es {
+		if e != i {
+			t.Fatalf("edge order %v", es)
+		}
+	}
+}
+
+func TestShortestPathTrivialAndUnreachable(t *testing.T) {
+	g := New(3)
+	g.AddEdge(0, 1)
+	vs, es, ok := g.ShortestPath(1, 1)
+	if !ok || len(vs) != 1 || len(es) != 0 {
+		t.Fatal("self path wrong")
+	}
+	if _, _, ok := g.ShortestPath(0, 2); ok {
+		t.Fatal("vertex 2 should be unreachable")
+	}
+}
+
+func TestConnected(t *testing.T) {
+	if !line(4).Connected() {
+		t.Fatal("line should be connected")
+	}
+	g := New(4)
+	g.AddEdge(0, 1)
+	if g.Connected() {
+		t.Fatal("disconnected graph reported connected")
+	}
+	if !New(0).Connected() || !New(1).Connected() {
+		t.Fatal("trivial graphs should be connected")
+	}
+}
+
+// Property: on a random connected graph, BFS path length equals the
+// randomized-BFS path length (both are shortest), and consecutive path
+// edges are incident to consecutive vertices.
+func TestQuickShortestPathProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(20)
+		g := New(n)
+		// Random spanning tree guarantees connectivity.
+		for v := 1; v < n; v++ {
+			g.AddEdge(rng.Intn(v), v)
+		}
+		for k := 0; k < n; k++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u != v {
+				g.AddEdge(u, v)
+			}
+		}
+		src, dst := rng.Intn(n), rng.Intn(n)
+		vs, es, ok := g.ShortestPath(src, dst)
+		if !ok {
+			return false
+		}
+		if len(vs) != len(es)+1 || vs[0] != src || vs[len(vs)-1] != dst {
+			return false
+		}
+		for i, e := range es {
+			ep := g.Endpoints(e)
+			if !(ep[0] == vs[i] && ep[1] == vs[i+1] || ep[1] == vs[i] && ep[0] == vs[i+1]) {
+				return false
+			}
+		}
+		_, es2, ok2 := g.RandomizedShortestPath(src, dst, rng)
+		return ok2 && len(es2) == len(es)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}

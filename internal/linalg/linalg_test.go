@@ -1,0 +1,351 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func randomMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func random01Matrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		if rng.Intn(2) == 1 {
+			m.Data[i] = 1
+		}
+	}
+	return m
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.At(1, 0) != 3 {
+		t.Fatalf("At(1,0) = %v", m.At(1, 0))
+	}
+	m.Set(1, 0, 7)
+	if m.At(1, 0) != 7 {
+		t.Fatal("Set failed")
+	}
+	if got := m.Col(1); got[0] != 2 || got[1] != 4 {
+		t.Fatalf("Col = %v", got)
+	}
+	c := m.Clone()
+	c.Set(0, 0, 99)
+	if m.At(0, 0) == 99 {
+		t.Fatal("Clone not independent")
+	}
+}
+
+func TestMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{5, 6}, {7, 8}})
+	p := a.Mul(b)
+	want := FromRows([][]float64{{19, 22}, {43, 50}})
+	for i := range p.Data {
+		if p.Data[i] != want.Data[i] {
+			t.Fatalf("Mul = %v", p)
+		}
+	}
+}
+
+func TestMulVecVecMul(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	if got := a.MulVec([]float64{1, 1, 1}); got[0] != 6 || got[1] != 15 {
+		t.Fatalf("MulVec = %v", got)
+	}
+	if got := a.VecMul([]float64{1, 1}); got[0] != 5 || got[1] != 7 || got[2] != 9 {
+		t.Fatalf("VecMul = %v", got)
+	}
+}
+
+func TestTransposeDropColSwapCols(t *testing.T) {
+	a := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	at := a.Transpose()
+	if at.Rows != 3 || at.Cols != 2 || at.At(2, 1) != 6 {
+		t.Fatalf("Transpose = %v", at)
+	}
+	d := a.DropCol(1)
+	if d.Cols != 2 || d.At(0, 1) != 3 || d.At(1, 0) != 4 {
+		t.Fatalf("DropCol = %v", d)
+	}
+	s := a.Clone()
+	s.SwapCols(0, 2)
+	if s.At(0, 0) != 3 || s.At(0, 2) != 1 {
+		t.Fatalf("SwapCols = %v", s)
+	}
+}
+
+func TestAppendRow(t *testing.T) {
+	m := NewMatrix(0, 0)
+	m = m.AppendRow([]float64{1, 2})
+	m = m.AppendRow([]float64{3, 4})
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 1) != 4 {
+		t.Fatalf("AppendRow = %v", m)
+	}
+}
+
+func TestLeastSquaresExact(t *testing.T) {
+	// Square non-singular system: exact solve.
+	a := FromRows([][]float64{{2, 1}, {1, 3}})
+	b := []float64{5, 10}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 1, 1e-9) || !almostEqual(x[1], 3, 1e-9) {
+		t.Fatalf("x = %v, want [1 3]", x)
+	}
+}
+
+func TestLeastSquaresOverdetermined(t *testing.T) {
+	// Fit y = 2x + 1 with noise-free points: LS must recover it.
+	a := FromRows([][]float64{{0, 1}, {1, 1}, {2, 1}, {3, 1}})
+	b := []float64{1, 3, 5, 7}
+	x, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEqual(x[0], 2, 1e-9) || !almostEqual(x[1], 1, 1e-9) {
+		t.Fatalf("x = %v, want [2 1]", x)
+	}
+}
+
+func TestLeastSquaresRankDeficient(t *testing.T) {
+	a := FromRows([][]float64{{1, 1}, {2, 2}, {3, 3}})
+	if _, err := SolveLeastSquares(a, []float64{1, 2, 3}); err != ErrRankDeficient {
+		t.Fatalf("err = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestLeastSquaresUnderdetermined(t *testing.T) {
+	a := FromRows([][]float64{{1, 0, 1}})
+	if _, err := SolveLeastSquares(a, []float64{1}); err != ErrRankDeficient {
+		t.Fatalf("err = %v, want ErrRankDeficient", err)
+	}
+}
+
+func TestQuickLeastSquaresResidualOrthogonality(t *testing.T) {
+	// At the LS optimum, the residual is orthogonal to the column space:
+	// Aᵀ(Ax − b) = 0.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rows := 3 + rng.Intn(10)
+		cols := 1 + rng.Intn(3)
+		a := randomMatrix(rng, rows, cols)
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := SolveLeastSquares(a, b)
+		if err != nil {
+			return true // rank-deficient draw; nothing to check
+		}
+		res := a.MulVec(x)
+		for i := range res {
+			res[i] -= b[i]
+		}
+		g := a.Transpose().MulVec(res)
+		for _, v := range g {
+			if math.Abs(v) > 1e-7 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRREFKnown(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 2, 3},
+		{2, 4, 6},
+		{1, 0, 1},
+	})
+	rref, pivots := RREF(a)
+	if len(pivots) != 2 || pivots[0] != 0 || pivots[1] != 1 {
+		t.Fatalf("pivots = %v", pivots)
+	}
+	// Row 2 must be eliminated to zero.
+	for j := 0; j < 3; j++ {
+		if math.Abs(rref.At(2, j)) > 1e-9 {
+			t.Fatalf("rref row 2 not zero: %v", rref.Row(2))
+		}
+	}
+}
+
+func TestRankRREF(t *testing.T) {
+	cases := []struct {
+		m    *Matrix
+		want int
+	}{
+		{Identity(4), 4},
+		{FromRows([][]float64{{1, 1}, {2, 2}}), 1},
+		{NewMatrix(3, 3), 0},
+		{FromRows([][]float64{{1, 0, 0}, {0, 1, 0}}), 2},
+	}
+	for i, c := range cases {
+		if got := RankRREF(c.m); got != c.want {
+			t.Errorf("case %d: rank = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestQuickRankTransposeInvariant(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := random01Matrix(rng, 1+rng.Intn(12), 1+rng.Intn(12))
+		return RankRREF(a) == RankRREF(a.Transpose())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullSpaceBasisProperties(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 1, 0, 0},
+		{0, 0, 1, 1},
+	})
+	ns := NullSpaceBasis(a)
+	if ns.Cols != 2 {
+		t.Fatalf("nullity = %d, want 2", ns.Cols)
+	}
+	prod := a.Mul(ns)
+	for _, v := range prod.Data {
+		if math.Abs(v) > 1e-9 {
+			t.Fatalf("A·N != 0: %v", prod)
+		}
+	}
+}
+
+func TestNullSpaceEmptyMatrix(t *testing.T) {
+	ns := NullSpaceBasis(NewMatrix(0, 3))
+	if ns.Rows != 3 || ns.Cols != 3 {
+		t.Fatalf("null space of empty system should be identity, got %dx%d", ns.Rows, ns.Cols)
+	}
+}
+
+func TestQuickNullSpaceSpansKernel(t *testing.T) {
+	// rank(A) + nullity(A) == cols(A), and A·N == 0, and N has full
+	// column rank.
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := random01Matrix(rng, 1+rng.Intn(10), 1+rng.Intn(10))
+		ns := NullSpaceBasis(a)
+		if RankRREF(a)+ns.Cols != a.Cols {
+			return false
+		}
+		if ns.Cols > 0 {
+			prod := a.Mul(ns)
+			for _, v := range prod.Data {
+				if math.Abs(v) > 1e-8 {
+					return false
+				}
+			}
+			if RankRREF(ns) != ns.Cols {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNullSpaceUpdateMatchesRecompute(t *testing.T) {
+	// Incrementally adding rows via NullSpaceUpdate must keep N spanning
+	// the exact null space of the grown matrix.
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		cols := 4 + rng.Intn(6)
+		base := random01Matrix(rng, 1+rng.Intn(3), cols)
+		N := NullSpaceBasis(base)
+		acc := base.Clone()
+		for step := 0; step < 8; step++ {
+			r := make([]float64, cols)
+			for j := range r {
+				if rng.Intn(2) == 1 {
+					r[j] = 1
+				}
+			}
+			inSpace := InRowSpace(N, r)
+			N2 := NullSpaceUpdate(N, r)
+			acc = acc.AppendRow(r)
+			if inSpace {
+				if N2.Cols != N.Cols {
+					t.Fatalf("in-row-space update changed nullity %d -> %d", N.Cols, N2.Cols)
+				}
+			} else if N2.Cols != N.Cols-1 {
+				t.Fatalf("update nullity %d -> %d, want -1", N.Cols, N2.Cols)
+			}
+			N = N2
+			// Invariant: acc·N == 0 and nullity matches recomputation.
+			want := NullSpaceBasis(acc)
+			if want.Cols != N.Cols {
+				t.Fatalf("nullity drift: incremental %d, recomputed %d", N.Cols, want.Cols)
+			}
+			if N.Cols > 0 {
+				prod := acc.Mul(N)
+				for _, v := range prod.Data {
+					if math.Abs(v) > 1e-7 {
+						t.Fatalf("acc·N != 0 after update")
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestNullSpaceUpdateNoColumns(t *testing.T) {
+	N := NewMatrix(3, 0)
+	if got := NullSpaceUpdate(N, []float64{1, 0, 0}); got.Cols != 0 {
+		t.Fatal("update of empty null space must stay empty")
+	}
+}
+
+func TestInRowSpace(t *testing.T) {
+	a := FromRows([][]float64{{1, 1, 0}})
+	N := NullSpaceBasis(a)
+	if !InRowSpace(N, []float64{2, 2, 0}) {
+		t.Fatal("scaled row should be in row space")
+	}
+	if InRowSpace(N, []float64{1, 0, 0}) {
+		t.Fatal("independent row should not be in row space")
+	}
+}
+
+func TestNorm2(t *testing.T) {
+	if !almostEqual(Norm2([]float64{3, 4}), 5, 1e-12) {
+		t.Fatal("Norm2(3,4) != 5")
+	}
+	if Norm2(nil) != 0 {
+		t.Fatal("Norm2(nil) != 0")
+	}
+}
+
+func TestQRRankFullRankGaussian(t *testing.T) {
+	// Random Gaussian matrices are full rank almost surely; the QR
+	// diagonal count must agree.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 40; trial++ {
+		rows := 1 + rng.Intn(10)
+		cols := 1 + rng.Intn(rows) // cols <= rows
+		a := randomMatrix(rng, rows, cols)
+		if got := Factor(a).Rank(); got != cols {
+			t.Fatalf("QR rank = %d, want %d", got, cols)
+		}
+	}
+}

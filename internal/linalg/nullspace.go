@@ -1,0 +1,164 @@
+package linalg
+
+import "math"
+
+// rrefTol is the pivot tolerance for reduced row-echelon elimination.
+// The systems handled here are 0/1 indicator matrices, so pivots are
+// well separated from rounding noise.
+const rrefTol = 1e-9
+
+// RREF returns the reduced row-echelon form of a together with the
+// indices of the pivot columns. a is not modified.
+func RREF(a *Matrix) (*Matrix, []int) {
+	m := a.Clone()
+	var pivots []int
+	row := 0
+	for col := 0; col < m.Cols && row < m.Rows; col++ {
+		// Partial pivoting: find the largest entry in this column at or
+		// below `row`.
+		best, bestAbs := -1, rrefTol
+		for i := row; i < m.Rows; i++ {
+			if v := math.Abs(m.At(i, col)); v > bestAbs {
+				best, bestAbs = i, v
+			}
+		}
+		if best < 0 {
+			continue // free column
+		}
+		// Swap into position and normalize.
+		if best != row {
+			br, rr := m.Row(best), m.Row(row)
+			for j := range br {
+				br[j], rr[j] = rr[j], br[j]
+			}
+		}
+		p := m.At(row, col)
+		rr := m.Row(row)
+		for j := range rr {
+			rr[j] /= p
+		}
+		// Eliminate the column everywhere else.
+		for i := 0; i < m.Rows; i++ {
+			if i == row {
+				continue
+			}
+			f := m.At(i, col)
+			if f == 0 {
+				continue
+			}
+			ir := m.Row(i)
+			for j := range ir {
+				ir[j] -= f * rr[j]
+			}
+		}
+		pivots = append(pivots, col)
+		row++
+	}
+	return m, pivots
+}
+
+// RankRREF returns the rank of a computed by Gaussian elimination.
+func RankRREF(a *Matrix) int {
+	if a.Rows == 0 || a.Cols == 0 {
+		return 0
+	}
+	_, pivots := RREF(a)
+	return len(pivots)
+}
+
+// NullSpaceBasis returns an n×k matrix N whose columns form a basis of
+// the null space of a (a·N = 0), with k = n − rank(a). If the null
+// space is trivial, the returned matrix has zero columns.
+func NullSpaceBasis(a *Matrix) *Matrix {
+	n := a.Cols
+	if a.Rows == 0 {
+		return Identity(n)
+	}
+	rref, pivots := RREF(a)
+	isPivot := make([]bool, n)
+	for _, p := range pivots {
+		isPivot[p] = true
+	}
+	free := make([]int, 0, n-len(pivots))
+	for j := 0; j < n; j++ {
+		if !isPivot[j] {
+			free = append(free, j)
+		}
+	}
+	ns := NewMatrix(n, len(free))
+	for k, fc := range free {
+		ns.Set(fc, k, 1)
+		// For each pivot row, the pivot variable equals minus the free
+		// column's coefficient in that row.
+		for r, pc := range pivots {
+			ns.Set(pc, k, -rref.At(r, fc))
+		}
+	}
+	return ns
+}
+
+// NullSpaceUpdate implements the paper's Algorithm 2: given N (n×p)
+// whose columns span the null space of the current system matrix R, and
+// a new row r (length n) with ‖r×N‖ > 0, it returns an n×(p−1) matrix
+// whose columns span the null space of R with r appended:
+//
+//	N' = (I_n − N_{*1}·r / (r·N_{*1})) · N_{*2:p}
+//
+// For numerical safety we first permute the column of N with the
+// largest |r·N_j| into position 1 (the paper leaves the choice of
+// pivot column implicit; any column with nonzero product is valid).
+// If r·N = 0 (the row is already in the row space), N is returned
+// unchanged.
+func NullSpaceUpdate(N *Matrix, r []float64) *Matrix {
+	if N.Cols == 0 {
+		return N
+	}
+	if len(r) != N.Rows {
+		panic("linalg: NullSpaceUpdate dimension mismatch")
+	}
+	rn := N.VecMul(r) // r × N, length p
+	best, bestAbs := -1, rrefTol
+	for j, v := range rn {
+		if a := math.Abs(v); a > bestAbs {
+			best, bestAbs = j, a
+		}
+	}
+	if best < 0 {
+		return N // r is in the row space already; nothing to remove
+	}
+	work := N
+	if best != 0 {
+		work = N.Clone()
+		work.SwapCols(0, best)
+		rn[0], rn[best] = rn[best], rn[0]
+	}
+	// N' columns: for j = 1..p−1, N'_j = N_j − N_0 · (r·N_j)/(r·N_0).
+	// This is the expanded form of (I − N_0 r/(r N_0)) N_{*2:p}: each
+	// new column stays in span(N) and is orthogonal to r.
+	p := work.Cols
+	out := NewMatrix(work.Rows, p-1)
+	pivot := rn[0]
+	for j := 1; j < p; j++ {
+		f := rn[j] / pivot
+		for i := 0; i < work.Rows; i++ {
+			out.Set(i, j-1, work.At(i, j)-f*work.At(i, 0))
+		}
+	}
+	return out
+}
+
+// InRowSpace reports whether row r is in the row space of the matrix
+// whose null space is spanned by the columns of N, i.e. whether
+// r × N == 0 within tolerance.
+func InRowSpace(N *Matrix, r []float64) bool {
+	if N.Cols == 0 {
+		return true
+	}
+	rn := N.VecMul(r)
+	for _, v := range rn {
+		if math.Abs(v) > rrefTol {
+			return false
+		}
+	}
+	return true
+}

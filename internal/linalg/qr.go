@@ -1,0 +1,145 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+)
+
+// ErrRankDeficient is returned by solvers when the system matrix does
+// not have full column rank and a unique solution therefore does not
+// exist.
+var ErrRankDeficient = errors.New("linalg: matrix is rank deficient")
+
+// QR holds a Householder QR factorization A = Q·R (LINPACK storage:
+// the Householder vectors live in the lower trapezoid of qr including
+// the diagonal, and the diagonal of R is kept separately in rdiag).
+type QR struct {
+	qr    *Matrix
+	rdiag []float64
+	m, n  int
+}
+
+// Factor computes the Householder QR factorization of a. a is not
+// modified.
+func Factor(a *Matrix) *QR {
+	m, n := a.Rows, a.Cols
+	f := &QR{qr: a.Clone(), m: m, n: n, rdiag: make([]float64, n)}
+	for k := 0; k < n && k < m; k++ {
+		// 2-norm of column k below (and including) the diagonal.
+		nrm := 0.0
+		for i := k; i < m; i++ {
+			nrm = math.Hypot(nrm, f.qr.At(i, k))
+		}
+		if nrm == 0 {
+			f.rdiag[k] = 0
+			continue
+		}
+		if f.qr.At(k, k) < 0 {
+			nrm = -nrm
+		}
+		for i := k; i < m; i++ {
+			f.qr.Set(i, k, f.qr.At(i, k)/nrm)
+		}
+		f.qr.Set(k, k, f.qr.At(k, k)+1)
+		// Apply the reflector to the remaining columns.
+		for j := k + 1; j < n; j++ {
+			var s float64
+			for i := k; i < m; i++ {
+				s += f.qr.At(i, k) * f.qr.At(i, j)
+			}
+			s = -s / f.qr.At(k, k)
+			for i := k; i < m; i++ {
+				f.qr.Set(i, j, f.qr.At(i, j)+s*f.qr.At(i, k))
+			}
+		}
+		f.rdiag[k] = -nrm
+	}
+	return f
+}
+
+// rankTol returns the tolerance under which an R diagonal entry is
+// treated as zero, scaled by the magnitude of the matrix.
+func (f *QR) rankTol() float64 {
+	maxDiag := 0.0
+	for k := 0; k < min(f.m, f.n); k++ {
+		if d := math.Abs(f.rdiag[k]); d > maxDiag {
+			maxDiag = d
+		}
+	}
+	if maxDiag == 0 {
+		return 0
+	}
+	return maxDiag * 1e-10 * float64(max(f.m, f.n))
+}
+
+// Rank returns the count of non-negligible diagonal entries of R. Note
+// that unpivoted QR is not a fully reliable rank revealer for general
+// matrices; use RankRREF for the robust variant (used throughout the
+// tomography code).
+func (f *QR) Rank() int {
+	tol := f.rankTol()
+	r := 0
+	for k := 0; k < min(f.m, f.n); k++ {
+		if math.Abs(f.rdiag[k]) > tol {
+			r++
+		}
+	}
+	return r
+}
+
+// applyQT overwrites b (length m) with Qᵀ·b.
+func (f *QR) applyQT(b []float64) {
+	for k := 0; k < min(f.m, f.n); k++ {
+		if f.rdiag[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < f.m; i++ {
+			s += f.qr.At(i, k) * b[i]
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < f.m; i++ {
+			b[i] += s * f.qr.At(i, k)
+		}
+	}
+}
+
+// SolveLeastSquares returns x minimizing ‖A·x − b‖₂. It requires A to
+// have full column rank; otherwise ErrRankDeficient is returned.
+func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
+	if len(b) != f.m {
+		panic("linalg: SolveLeastSquares dimension mismatch")
+	}
+	if f.m < f.n {
+		return nil, ErrRankDeficient
+	}
+	tol := f.rankTol()
+	for k := 0; k < f.n; k++ {
+		if math.Abs(f.rdiag[k]) <= tol {
+			return nil, ErrRankDeficient
+		}
+	}
+	qtb := make([]float64, f.m)
+	copy(qtb, b)
+	f.applyQT(qtb)
+	// Back substitution on R x = (Qᵀ b)[:n].
+	x := make([]float64, f.n)
+	for i := f.n - 1; i >= 0; i-- {
+		s := qtb[i]
+		for j := i + 1; j < f.n; j++ {
+			s -= f.qr.At(i, j) * x[j]
+		}
+		x[i] = s / f.rdiag[i]
+	}
+	return x, nil
+}
+
+// SolveLeastSquares factors a and solves min ‖a·x − b‖₂.
+func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
+	return Factor(a).SolveLeastSquares(b)
+}
+
+// Rank returns the numerical rank of a (computed by Gaussian
+// elimination, which is robust for the 0/1 indicator matrices used by
+// the tomography algorithms).
+func Rank(a *Matrix) int { return RankRREF(a) }

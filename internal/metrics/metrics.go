@@ -1,0 +1,124 @@
+// Package metrics implements the evaluation metrics of the paper:
+// per-interval detection rate and false-positive rate for Boolean
+// Inference (§3.2), absolute error and its mean/CDF for Probability
+// Computation (§5.4).
+package metrics
+
+import (
+	"math"
+	"sort"
+
+	"repro/internal/bitset"
+)
+
+// DetectionRate returns the fraction of actually congested links that
+// were inferred congested during the interval. ok is false when no link
+// was actually congested (the interval does not contribute to the
+// average, as in the paper's definition).
+func DetectionRate(inferred, actual *bitset.Set) (rate float64, ok bool) {
+	total := actual.Count()
+	if total == 0 {
+		return 0, false
+	}
+	return float64(inferred.Intersect(actual).Count()) / float64(total), true
+}
+
+// FalsePositiveRate returns the fraction of links inferred congested
+// that were actually good. ok is false when nothing was inferred.
+func FalsePositiveRate(inferred, actual *bitset.Set) (rate float64, ok bool) {
+	total := inferred.Count()
+	if total == 0 {
+		return 0, false
+	}
+	return float64(inferred.Difference(actual).Count()) / float64(total), true
+}
+
+// Mean accumulates a running average over contributing samples.
+type Mean struct {
+	sum float64
+	n   int
+}
+
+// Add records one sample.
+func (m *Mean) Add(x float64) { m.sum += x; m.n++ }
+
+// AddIf records x only when ok (convenient with DetectionRate et al.).
+func (m *Mean) AddIf(x float64, ok bool) {
+	if ok {
+		m.Add(x)
+	}
+}
+
+// Value returns the average (0 with no samples).
+func (m *Mean) Value() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	return m.sum / float64(m.n)
+}
+
+// N returns the number of recorded samples.
+func (m *Mean) N() int { return m.n }
+
+// AbsErrors returns |est[i] − truth[i]| for the indices where
+// include(i) is true (pass nil to include all).
+func AbsErrors(est, truth []float64, include func(i int) bool) []float64 {
+	if len(est) != len(truth) {
+		panic("metrics: AbsErrors length mismatch")
+	}
+	var out []float64
+	for i := range est {
+		if include != nil && !include(i) {
+			continue
+		}
+		out = append(out, math.Abs(est[i]-truth[i]))
+	}
+	return out
+}
+
+// MeanOf returns the arithmetic mean of xs (0 for empty input).
+func MeanOf(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// CDF evaluates the empirical cumulative distribution of xs at each of
+// the given points: the fraction of samples ≤ point.
+func CDF(xs, points []float64) []float64 {
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	out := make([]float64, len(points))
+	if len(sorted) == 0 {
+		return out
+	}
+	for i, p := range points {
+		// Upper bound: first index with value > p.
+		k := sort.SearchFloat64s(sorted, math.Nextafter(p, math.Inf(1)))
+		out[i] = float64(k) / float64(len(sorted))
+	}
+	return out
+}
+
+// Quantile returns the q-quantile (0 ≤ q ≤ 1) of xs by the
+// nearest-rank method; 0 for empty input.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	k := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if k < 0 {
+		k = 0
+	}
+	if k >= len(sorted) {
+		k = len(sorted) - 1
+	}
+	return sorted[k]
+}

@@ -1,0 +1,158 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+func TestDetectionRate(t *testing.T) {
+	actual := bitset.FromIndices(10, 1, 2, 3, 4)
+	inferred := bitset.FromIndices(10, 2, 3, 9)
+	dr, ok := DetectionRate(inferred, actual)
+	if !ok || dr != 0.5 {
+		t.Fatalf("dr=%v ok=%v, want 0.5,true", dr, ok)
+	}
+	if _, ok := DetectionRate(inferred, bitset.New(10)); ok {
+		t.Fatal("empty actual set must not contribute")
+	}
+	if dr, _ := DetectionRate(bitset.New(10), actual); dr != 0 {
+		t.Fatal("nothing inferred -> detection 0")
+	}
+}
+
+func TestFalsePositiveRate(t *testing.T) {
+	actual := bitset.FromIndices(10, 1, 2)
+	inferred := bitset.FromIndices(10, 1, 8, 9)
+	fpr, ok := FalsePositiveRate(inferred, actual)
+	if !ok || math.Abs(fpr-2.0/3.0) > 1e-12 {
+		t.Fatalf("fpr=%v ok=%v", fpr, ok)
+	}
+	if _, ok := FalsePositiveRate(bitset.New(10), actual); ok {
+		t.Fatal("nothing inferred must not contribute")
+	}
+}
+
+func TestMean(t *testing.T) {
+	var m Mean
+	if m.Value() != 0 || m.N() != 0 {
+		t.Fatal("empty mean wrong")
+	}
+	m.Add(1)
+	m.Add(3)
+	m.AddIf(100, false)
+	m.AddIf(2, true)
+	if m.N() != 3 || m.Value() != 2 {
+		t.Fatalf("mean=%v n=%d", m.Value(), m.N())
+	}
+}
+
+func TestAbsErrors(t *testing.T) {
+	est := []float64{0.1, 0.5, 0.9}
+	truth := []float64{0.2, 0.5, 0.4}
+	all := AbsErrors(est, truth, nil)
+	if len(all) != 3 || math.Abs(all[0]-0.1) > 1e-12 || all[1] != 0 || math.Abs(all[2]-0.5) > 1e-12 {
+		t.Fatalf("errors = %v", all)
+	}
+	some := AbsErrors(est, truth, func(i int) bool { return i != 1 })
+	if len(some) != 2 {
+		t.Fatalf("filtered = %v", some)
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	if MeanOf(nil) != 0 {
+		t.Fatal("MeanOf(nil) != 0")
+	}
+	if MeanOf([]float64{1, 2, 3}) != 2 {
+		t.Fatal("MeanOf wrong")
+	}
+}
+
+func TestCDF(t *testing.T) {
+	xs := []float64{0.1, 0.2, 0.2, 0.9}
+	got := CDF(xs, []float64{0, 0.1, 0.2, 0.5, 1})
+	want := []float64{0, 0.25, 0.75, 0.75, 1}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-12 {
+			t.Fatalf("CDF = %v, want %v", got, want)
+		}
+	}
+	if out := CDF(nil, []float64{0.5}); out[0] != 0 {
+		t.Fatal("CDF of empty sample should be 0")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{3, 1, 2, 4}
+	if Quantile(xs, 0.5) != 2 {
+		t.Fatalf("median = %v", Quantile(xs, 0.5))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Fatal("extreme quantiles wrong")
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Fatal("empty quantile should be 0")
+	}
+}
+
+// Properties: rates are always within [0,1]; detection uses actual as
+// denominator, FPR uses inferred.
+func TestQuickRatesBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(50)
+		inferred, actual := bitset.New(n), bitset.New(n)
+		for i := 0; i < n; i++ {
+			if rng.Intn(2) == 0 {
+				inferred.Add(i)
+			}
+			if rng.Intn(2) == 0 {
+				actual.Add(i)
+			}
+		}
+		if dr, ok := DetectionRate(inferred, actual); ok && (dr < 0 || dr > 1) {
+			return false
+		}
+		if fpr, ok := FalsePositiveRate(inferred, actual); ok && (fpr < 0 || fpr > 1) {
+			return false
+		}
+		// Perfect inference: dr = 1, fpr = 0.
+		if !actual.IsEmpty() {
+			dr, _ := DetectionRate(actual, actual)
+			fpr, _ := FalsePositiveRate(actual, actual)
+			if dr != 1 || fpr != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// CDF is monotone non-decreasing in the evaluation points.
+func TestQuickCDFMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 1+rng.Intn(40))
+		for i := range xs {
+			xs[i] = rng.Float64()
+		}
+		points := []float64{0, 0.25, 0.5, 0.75, 1}
+		cdf := CDF(xs, points)
+		for i := 1; i < len(cdf); i++ {
+			if cdf[i] < cdf[i-1] {
+				return false
+			}
+		}
+		return cdf[len(cdf)-1] == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

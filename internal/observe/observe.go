@@ -1,0 +1,140 @@
+// Package observe stores per-interval path observations and computes
+// the empirical joint statistics every tomography algorithm consumes:
+// the frequency with which a *set* of paths was simultaneously good
+// over the measurement period (the left-hand sides of Eq. 1), and the
+// set of always-good paths that determines which correlation subsets
+// are potentially congested (§5.2).
+package observe
+
+import (
+	"math"
+
+	"repro/internal/bitset"
+)
+
+// Recorder accumulates the observed congestion status of all paths over
+// a sequence of measurement intervals (Assumption 2: E2E Monitoring).
+type Recorder struct {
+	numPaths  int
+	intervals []*bitset.Set // congested paths per interval
+	congCount []int         // per path: intervals observed congested
+}
+
+// NewRecorder returns an empty recorder for numPaths paths.
+func NewRecorder(numPaths int) *Recorder {
+	return &Recorder{numPaths: numPaths, congCount: make([]int, numPaths)}
+}
+
+// Add appends one interval's set of congested paths. The set is cloned.
+func (r *Recorder) Add(congestedPaths *bitset.Set) {
+	c := congestedPaths.Clone()
+	r.intervals = append(r.intervals, c)
+	c.ForEach(func(pi int) bool {
+		if pi < r.numPaths {
+			r.congCount[pi]++
+		}
+		return true
+	})
+}
+
+// T returns the number of recorded intervals.
+func (r *Recorder) T() int { return len(r.intervals) }
+
+// NumPaths returns the path universe size.
+func (r *Recorder) NumPaths() int { return r.numPaths }
+
+// CongestedAt returns the congested-path set of interval t. The result
+// must not be modified.
+func (r *Recorder) CongestedAt(t int) *bitset.Set { return r.intervals[t] }
+
+// CongestedFraction returns the fraction of intervals in which path p
+// was observed congested.
+func (r *Recorder) CongestedFraction(p int) float64 {
+	if r.T() == 0 {
+		return 0
+	}
+	return float64(r.congCount[p]) / float64(r.T())
+}
+
+// GoodCount returns the number of intervals in which *every* path in
+// the set was good: the raw count behind P̂(∩_{p∈P} Y_p = 0).
+func (r *Recorder) GoodCount(paths *bitset.Set) int {
+	n := 0
+	for _, cong := range r.intervals {
+		if !paths.Intersects(cong) {
+			n++
+		}
+	}
+	return n
+}
+
+// GoodFreq returns the empirical probability that all paths in the set
+// were simultaneously good.
+func (r *Recorder) GoodFreq(paths *bitset.Set) float64 {
+	if r.T() == 0 {
+		return 1
+	}
+	return float64(r.GoodCount(paths)) / float64(r.T())
+}
+
+// LogGoodFreq returns log P̂(∩ Y_p = 0), the observable side of the
+// log-linear equations. A zero count is clamped to half an observation
+// (the usual continuity correction) so that the logarithm stays finite;
+// the second return reports whether clamping occurred.
+func (r *Recorder) LogGoodFreq(paths *bitset.Set) (logp float64, clamped bool) {
+	if r.T() == 0 {
+		return 0, false
+	}
+	c := r.GoodCount(paths)
+	if c == 0 {
+		return math.Log(0.5 / float64(r.T())), true
+	}
+	return math.Log(float64(c) / float64(r.T())), false
+}
+
+// AllCongestedCount returns the number of intervals in which every path
+// in the set was simultaneously congested. For a single path {p} whose
+// link e is congested, separability forces p congested, so the
+// frequency over the paths through e upper-bounds e's congestion
+// probability; the fallback estimators use this.
+func (r *Recorder) AllCongestedCount(paths *bitset.Set) int {
+	if paths.IsEmpty() {
+		return r.T()
+	}
+	n := 0
+	for _, cong := range r.intervals {
+		if paths.SubsetOf(cong) {
+			n++
+		}
+	}
+	return n
+}
+
+// AllCongestedFreq is AllCongestedCount normalized by T.
+func (r *Recorder) AllCongestedFreq(paths *bitset.Set) float64 {
+	if r.T() == 0 {
+		return 0
+	}
+	return float64(r.AllCongestedCount(paths)) / float64(r.T())
+}
+
+// AlwaysGoodPaths returns the paths observed good in every interval,
+// within tolerance: a path counts as always good when its congested
+// fraction is ≤ tol (tol = 0 is the paper's strict definition; a small
+// tol absorbs probing false positives).
+func (r *Recorder) AlwaysGoodPaths(tol float64) *bitset.Set {
+	out := bitset.New(r.numPaths)
+	if r.T() == 0 {
+		// No observation contradicts goodness yet: vacuously all good.
+		for p := 0; p < r.numPaths; p++ {
+			out.Add(p)
+		}
+		return out
+	}
+	for p := 0; p < r.numPaths; p++ {
+		if r.CongestedFraction(p) <= tol {
+			out.Add(p)
+		}
+	}
+	return out
+}

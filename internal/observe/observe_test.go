@@ -1,0 +1,142 @@
+package observe
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// record builds a recorder for 3 paths from per-interval congested sets.
+func record(intervals ...[]int) *Recorder {
+	r := NewRecorder(3)
+	for _, iv := range intervals {
+		r.Add(bitset.FromIndices(3, iv...))
+	}
+	return r
+}
+
+func TestCountsAndFrequencies(t *testing.T) {
+	r := record([]int{0}, []int{0, 1}, nil, []int{2})
+	if r.T() != 4 || r.NumPaths() != 3 {
+		t.Fatal("T/NumPaths wrong")
+	}
+	if got := r.CongestedFraction(0); got != 0.5 {
+		t.Fatalf("CongestedFraction(0) = %v", got)
+	}
+	// Path set {0}: good in intervals 3, 4 -> 2/4.
+	if got := r.GoodFreq(bitset.FromIndices(3, 0)); got != 0.5 {
+		t.Fatalf("GoodFreq({0}) = %v", got)
+	}
+	// Path set {0,1}: good in intervals 3, 4 -> 2/4.
+	if got := r.GoodFreq(bitset.FromIndices(3, 0, 1)); got != 0.5 {
+		t.Fatalf("GoodFreq({0,1}) = %v", got)
+	}
+	// Path set {0,2}: good only in interval 3 -> 1/4.
+	if got := r.GoodFreq(bitset.FromIndices(3, 0, 2)); got != 0.25 {
+		t.Fatalf("GoodFreq({0,2}) = %v", got)
+	}
+	// All congested: {0,1} simultaneously congested only in interval 2.
+	if got := r.AllCongestedFreq(bitset.FromIndices(3, 0, 1)); got != 0.25 {
+		t.Fatalf("AllCongestedFreq = %v", got)
+	}
+	if got := r.AllCongestedCount(bitset.New(3)); got != 4 {
+		t.Fatalf("AllCongestedCount(empty) = %v", got)
+	}
+}
+
+func TestLogGoodFreqClamping(t *testing.T) {
+	r := record([]int{0}, []int{0})
+	lp, clamped := r.LogGoodFreq(bitset.FromIndices(3, 0))
+	if !clamped {
+		t.Fatal("expected clamping for a never-good path")
+	}
+	if want := math.Log(0.5 / 2); lp != want {
+		t.Fatalf("clamped log = %v, want %v", lp, want)
+	}
+	lp, clamped = r.LogGoodFreq(bitset.FromIndices(3, 1))
+	if clamped || lp != 0 {
+		t.Fatalf("always-good path: log = %v clamped=%v", lp, clamped)
+	}
+}
+
+func TestAlwaysGoodPaths(t *testing.T) {
+	r := record([]int{0}, []int{0}, []int{1}, nil)
+	if got := r.AlwaysGoodPaths(0).String(); got != "{2}" {
+		t.Fatalf("strict always-good = %s", got)
+	}
+	// Path 1 congested 25% of the time: tolerance 0.3 admits it.
+	if got := r.AlwaysGoodPaths(0.3).String(); got != "{1, 2}" {
+		t.Fatalf("tolerant always-good = %s", got)
+	}
+}
+
+func TestEmptyRecorder(t *testing.T) {
+	r := NewRecorder(2)
+	if r.GoodFreq(bitset.FromIndices(2, 0)) != 1 {
+		t.Fatal("empty recorder GoodFreq should be 1")
+	}
+	if r.CongestedFraction(0) != 0 {
+		t.Fatal("empty recorder CongestedFraction should be 0")
+	}
+	if lp, _ := r.LogGoodFreq(bitset.FromIndices(2, 0)); lp != 0 {
+		t.Fatal("empty recorder LogGoodFreq should be 0")
+	}
+	if !r.AlwaysGoodPaths(0).Equal(bitset.FromIndices(2, 0, 1)) {
+		t.Fatal("all paths always good on empty recorder")
+	}
+}
+
+func TestAddClonesInput(t *testing.T) {
+	r := NewRecorder(3)
+	s := bitset.FromIndices(3, 0)
+	r.Add(s)
+	s.Add(1) // mutating the caller's set must not affect the record
+	if r.GoodFreq(bitset.FromIndices(3, 1)) != 1 {
+		t.Fatal("Add did not clone its input")
+	}
+}
+
+// Monotonicity: adding paths to a set can only reduce its good
+// frequency, and GoodFreq(P) ≥ 1 − Σ congested fractions (union bound).
+func TestQuickGoodFreqMonotoneAndBounded(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nPaths := 2 + rng.Intn(6)
+		r := NewRecorder(nPaths)
+		T := 1 + rng.Intn(40)
+		for i := 0; i < T; i++ {
+			s := bitset.New(nPaths)
+			for p := 0; p < nPaths; p++ {
+				if rng.Intn(3) == 0 {
+					s.Add(p)
+				}
+			}
+			r.Add(s)
+		}
+		small := bitset.New(nPaths)
+		big := bitset.New(nPaths)
+		for p := 0; p < nPaths; p++ {
+			if rng.Intn(2) == 0 {
+				big.Add(p)
+				if rng.Intn(2) == 0 {
+					small.Add(p)
+				}
+			}
+		}
+		if r.GoodFreq(small) < r.GoodFreq(big) {
+			return false
+		}
+		sum := 0.0
+		big.ForEach(func(p int) bool {
+			sum += r.CongestedFraction(p)
+			return true
+		})
+		return r.GoodFreq(big) >= 1-sum-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

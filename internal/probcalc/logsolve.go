@@ -1,0 +1,108 @@
+package probcalc
+
+import (
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// solveLogSystem least-squares-solves a 0/1 log-domain system: each row
+// lists the column indices whose log-unknowns sum to the corresponding
+// rhs entry. It returns exp(x) per column (clamped to [0,1]) and a flag
+// per column reporting whether it was identifiable. Unidentifiable
+// columns (those in the null space of the row set) and the rows that
+// mention them are dropped iteratively, mirroring core's solver.
+func solveLogSystem(rows [][]int, rhs []float64, nCols int) (g []float64, identifiable []bool) {
+	g = make([]float64, nCols)
+	identifiable = make([]bool, nCols)
+	if nCols == 0 || len(rows) == 0 {
+		return g, identifiable
+	}
+	active := make([]bool, len(rows))
+	for i := range active {
+		active[i] = true
+	}
+	alive := make([]bool, nCols)
+	// A column is a candidate only if some row mentions it.
+	for _, r := range rows {
+		for _, c := range r {
+			alive[c] = true
+		}
+	}
+	for iter := 0; iter < nCols+2; iter++ {
+		// Drop rows touching dead columns.
+		for ri, r := range rows {
+			if !active[ri] {
+				continue
+			}
+			for _, c := range r {
+				if !alive[c] {
+					active[ri] = false
+					break
+				}
+			}
+		}
+		var colMap []int
+		colIdx := make([]int, nCols)
+		for c := 0; c < nCols; c++ {
+			colIdx[c] = -1
+			if alive[c] {
+				colIdx[c] = len(colMap)
+				colMap = append(colMap, c)
+			}
+		}
+		if len(colMap) == 0 {
+			return g, identifiable
+		}
+		var mRows [][]float64
+		var b []float64
+		for ri, r := range rows {
+			if !active[ri] {
+				continue
+			}
+			row := make([]float64, len(colMap))
+			for _, c := range r {
+				row[colIdx[c]] = 1
+			}
+			mRows = append(mRows, row)
+			b = append(b, rhs[ri])
+		}
+		if len(mRows) >= len(colMap) {
+			a := linalg.FromRows(mRows)
+			if x, err := linalg.SolveLeastSquares(a, b); err == nil {
+				for k, c := range colMap {
+					v := math.Exp(x[k])
+					if v > 1 {
+						v = 1
+					}
+					g[c] = v
+					identifiable[c] = true
+				}
+				return g, identifiable
+			}
+		}
+		// Rank-deficient: kill the columns in the null space and retry.
+		var a *linalg.Matrix
+		if len(mRows) == 0 {
+			return g, identifiable
+		}
+		a = linalg.FromRows(mRows)
+		ns := linalg.NullSpaceBasis(a)
+		changed := false
+		for k, c := range colMap {
+			for j := 0; j < ns.Cols; j++ {
+				if math.Abs(ns.At(k, j)) > 1e-7 {
+					if alive[c] {
+						alive[c] = false
+						changed = true
+					}
+					break
+				}
+			}
+		}
+		if !changed {
+			return g, identifiable
+		}
+	}
+	return g, identifiable
+}

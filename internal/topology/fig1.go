@@ -1,0 +1,43 @@
+package topology
+
+// This file constructs the paper's toy topology of Figure 1:
+//
+//	Links E* = {e1, e2, e3, e4}; Paths P* = {p1, p2, p3}
+//	p1 = {e1, e2}, p2 = {e1, e3}, p3 = {e4, e3}
+//
+// so that Paths({e1}) = {p1,p2}, Paths({e2}) = {p1},
+// Paths({e3}) = {p2,p3}, Paths({e4}) = {p3}, matching the coverage
+// table in §5.3. The two correlation-set cases of the figure are:
+//
+//	Case 1: C* = {{e1}, {e2,e3}, {e4}}   (Identifiability++ holds)
+//	Case 2: C* = {{e1,e4}, {e2,e3}}      (Identifiability++ fails)
+
+func fig1Links() []Link {
+	return []Link{
+		{ID: 0, Name: "e1", AS: 1},
+		{ID: 1, Name: "e2", AS: 2},
+		{ID: 2, Name: "e3", AS: 2},
+		{ID: 3, Name: "e4", AS: 3},
+	}
+}
+
+func fig1Paths() []Path {
+	return []Path{
+		{ID: 0, Name: "p1", Links: []int{0, 1}},
+		{ID: 1, Name: "p2", Links: []int{0, 2}},
+		{ID: 2, Name: "p3", Links: []int{3, 2}},
+	}
+}
+
+// Fig1Case1 returns the toy topology with correlation sets
+// {{e1}, {e2,e3}, {e4}}.
+func Fig1Case1() *Topology {
+	return New(fig1Links(), fig1Paths(), [][]int{{0}, {1, 2}, {3}})
+}
+
+// Fig1Case2 returns the toy topology with correlation sets
+// {{e1,e4}, {e2,e3}}, for which Identifiability++ fails: the subsets
+// {e1,e4} and {e2,e3} are traversed by the same paths {p1,p2,p3}.
+func Fig1Case2() *Topology {
+	return New(fig1Links(), fig1Paths(), [][]int{{0, 3}, {1, 2}})
+}

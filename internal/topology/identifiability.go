@@ -1,0 +1,124 @@
+package topology
+
+import (
+	"repro/internal/bitset"
+)
+
+// Subset is a correlation subset: a non-empty subset of one correlation
+// set, together with its coverage Paths(E).
+type Subset struct {
+	Links *bitset.Set // link IDs, all within one correlation set
+	Set   int         // index of the correlation set
+	Cover *bitset.Set // Paths(E)
+}
+
+// EnumerateSubsets lists all correlation subsets of size ≤ maxSize,
+// in deterministic order (by correlation set, then by subset size, then
+// lexicographically). maxSize ≤ 0 means no size bound. Correlation sets
+// larger than 63 links are enumerated only up to maxSize (which must
+// then be positive) to keep the enumeration tractable.
+func (t *Topology) EnumerateSubsets(maxSize int) []Subset {
+	var out []Subset
+	for ci, set := range t.CorrSets {
+		limit := maxSize
+		if limit <= 0 || limit > len(set) {
+			limit = len(set)
+		}
+		// Enumerate by size so small subsets (the cheap, most useful
+		// probabilities, §4) come first.
+		for size := 1; size <= limit; size++ {
+			combos(len(set), size, func(idx []int) {
+				links := bitset.New(t.NumLinks())
+				for _, k := range idx {
+					links.Add(set[k])
+				}
+				out = append(out, Subset{
+					Links: links,
+					Set:   ci,
+					Cover: t.PathsOf(links),
+				})
+			})
+		}
+	}
+	return out
+}
+
+// combos invokes fn with each k-combination of {0..n-1} in
+// lexicographic order. The slice passed to fn is reused across calls.
+func combos(n, k int, fn func(idx []int)) {
+	if k > n || k <= 0 {
+		return
+	}
+	idx := make([]int, k)
+	for i := range idx {
+		idx[i] = i
+	}
+	for {
+		fn(idx)
+		// Advance to the next combination.
+		i := k - 1
+		for i >= 0 && idx[i] == n-k+i {
+			i--
+		}
+		if i < 0 {
+			return
+		}
+		idx[i]++
+		for j := i + 1; j < k; j++ {
+			idx[j] = idx[j-1] + 1
+		}
+	}
+}
+
+// Violation records two distinct correlation subsets traversed by the
+// same set of paths — a violation of Identifiability++ (Condition 2).
+type Violation struct {
+	A, B Subset
+}
+
+// CheckIdentifiability tests Condition 1: no two links are traversed by
+// exactly the same paths. It returns the violating link ID pairs
+// (possibly truncated to maxReport pairs; maxReport ≤ 0 means all).
+func (t *Topology) CheckIdentifiability(maxReport int) [][2]int {
+	byCover := make(map[string]int, t.NumLinks())
+	var out [][2]int
+	for li := range t.Links {
+		key := t.linkPaths[li].Key()
+		if prev, ok := byCover[key]; ok {
+			out = append(out, [2]int{prev, li})
+			if maxReport > 0 && len(out) >= maxReport {
+				return out
+			}
+			continue
+		}
+		byCover[key] = li
+	}
+	return out
+}
+
+// CheckIdentifiabilityPlusPlus tests Condition 2 over all correlation
+// subsets of size ≤ maxSize: any two correlation subsets must not be
+// traversed by the same paths. Subsets covered by no path at all are
+// excluded (they are trivially unidentifiable but also irrelevant: no
+// equation can mention them). Violations are truncated to maxReport
+// (≤ 0 means all).
+func (t *Topology) CheckIdentifiabilityPlusPlus(maxSize, maxReport int) []Violation {
+	subsets := t.EnumerateSubsets(maxSize)
+	byCover := make(map[string]int, len(subsets))
+	var out []Violation
+	for i, s := range subsets {
+		if s.Cover.IsEmpty() {
+			continue
+		}
+		key := s.Cover.Key()
+		if prev, ok := byCover[key]; ok {
+			out = append(out, Violation{A: subsets[prev], B: s})
+			if maxReport > 0 && len(out) >= maxReport {
+				return out
+			}
+			continue
+		}
+		byCover[key] = i
+	}
+	return out
+}

@@ -1,0 +1,60 @@
+package topology
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// wireTopology is the JSON representation written by cmd/topogen and
+// consumed by cmd/tomo, so that generated topologies can be stored and
+// experiments replayed.
+type wireTopology struct {
+	Links    []Link  `json:"links"`
+	Paths    []Path  `json:"paths"`
+	CorrSets [][]int `json:"correlation_sets,omitempty"`
+}
+
+// WriteJSON serializes the topology.
+func (t *Topology) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(wireTopology{Links: t.Links, Paths: t.Paths, CorrSets: t.CorrSets})
+}
+
+// ReadJSON deserializes a topology and rebuilds its indices.
+func ReadJSON(r io.Reader) (*Topology, error) {
+	var wt wireTopology
+	if err := json.NewDecoder(r).Decode(&wt); err != nil {
+		return nil, fmt.Errorf("topology: decoding JSON: %w", err)
+	}
+	t := &Topology{Links: wt.Links, Paths: wt.Paths, CorrSets: wt.CorrSets}
+	if err := t.Build(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// CorrelationSetsByAS groups link IDs into one correlation set per AS
+// number, the paper's default policy (§2). Links with AS = -1 each get
+// their own singleton set.
+func CorrelationSetsByAS(links []Link) [][]int {
+	byAS := make(map[int][]int)
+	var singletons [][]int
+	var order []int
+	for _, l := range links {
+		if l.AS < 0 {
+			singletons = append(singletons, []int{l.ID})
+			continue
+		}
+		if _, ok := byAS[l.AS]; !ok {
+			order = append(order, l.AS)
+		}
+		byAS[l.AS] = append(byAS[l.AS], l.ID)
+	}
+	out := make([][]int, 0, len(order)+len(singletons))
+	for _, as := range order {
+		out = append(out, byAS[as])
+	}
+	return append(out, singletons...)
+}

@@ -1,0 +1,145 @@
+// Package traceroute synthesizes the paper's "Sparse topologies"
+// (§3.2): the AS-level view a source ISP obtains by tracerouting from a
+// few vantage points inside its own network toward many Internet
+// end-hosts, and discarding every incomplete traceroute.
+//
+// The paper's Sparse topologies are proprietary operator data; this
+// package is the substitution documented in DESIGN.md §5. It reproduces
+// the structural property the paper blames for inference failure: few
+// paths intersect one another, so the routing matrix has low rank
+// relative to the number of unknowns. Sparsity arises here for the same
+// reasons as in the real campaign: all measurements share a handful of
+// vantage points, the probed Internet is much larger than the kept
+// trace set, and unresponsive routers plus load-balancing noise force
+// many traces to be discarded.
+package traceroute
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/brite"
+	"repro/internal/topology"
+)
+
+// Config parameterizes the traceroute campaign.
+type Config struct {
+	Internet brite.Config // ground-truth Internet to probe
+
+	Vantages    int     // vantage routers inside the source AS
+	TargetPaths int     // stop once this many complete traces are kept
+	MaxProbes   int     // campaign budget: maximum traceroutes issued
+	ResponseP   float64 // per-hop probability that a router answers probes
+	MaxTTL      int     // traces longer than this are incomplete
+	LoadBalance bool    // sample among equal-cost paths per traceroute
+}
+
+// DefaultConfig returns a campaign sized to yield a Sparse overlay of
+// roughly the paper's proportions (≈2000 links seen by ≈1500 paths,
+// i.e. more unknowns than observations, unlike the Brite overlays).
+func DefaultConfig() Config {
+	inet := brite.DefaultConfig()
+	inet.NumAS = 300
+	inet.RoutersPerAS = 7
+	return Config{
+		Internet:    inet,
+		Vantages:    4,
+		TargetPaths: 1500,
+		MaxProbes:   60000,
+		ResponseP:   0.92,
+		MaxTTL:      30,
+		LoadBalance: true,
+	}
+}
+
+// Campaign is the outcome of a synthetic traceroute measurement run.
+type Campaign struct {
+	Topology *topology.Topology
+	Internet *brite.Internet
+	Issued   int // traceroutes sent
+	Kept     int // complete traces kept
+	SourceAS int
+}
+
+// Run generates the ground-truth Internet, executes the campaign, and
+// builds the Sparse AS-level overlay from the kept traces.
+func Run(cfg Config, rng *rand.Rand) (*Campaign, error) {
+	if cfg.Vantages < 1 || cfg.TargetPaths < 1 || cfg.ResponseP <= 0 || cfg.ResponseP > 1 {
+		return nil, fmt.Errorf("traceroute: invalid config %+v", cfg)
+	}
+	in, err := brite.Generate(cfg.Internet, rng)
+	if err != nil {
+		return nil, err
+	}
+	return RunOn(cfg, in, rng)
+}
+
+// RunOn executes the campaign over an existing Internet.
+func RunOn(cfg Config, in *brite.Internet, rng *rand.Rand) (*Campaign, error) {
+	// The source ISP is the highest-degree AS in the peering graph — a
+	// Tier-1, like the paper's source ISP.
+	sourceAS := 0
+	for as := 1; as < in.NumAS; as++ {
+		if in.ASGraph.Degree(as) > in.ASGraph.Degree(sourceAS) {
+			sourceAS = as
+		}
+	}
+	var vantages []int
+	for r, as := range in.RouterAS {
+		if as == sourceAS {
+			vantages = append(vantages, r)
+		}
+	}
+	rng.Shuffle(len(vantages), func(i, j int) { vantages[i], vantages[j] = vantages[j], vantages[i] })
+	if len(vantages) > cfg.Vantages {
+		vantages = vantages[:cfg.Vantages]
+	}
+
+	maxProbes := cfg.MaxProbes
+	if maxProbes <= 0 {
+		maxProbes = 40 * cfg.TargetPaths
+	}
+	var kept []brite.Route
+	issued := 0
+	seen := map[[2]int]bool{}
+	for issued < maxProbes && len(kept) < cfg.TargetPaths {
+		issued++
+		src := vantages[rng.Intn(len(vantages))]
+		dst := rng.Intn(in.Routers.N())
+		if in.RouterAS[dst] == sourceAS || seen[[2]int{src, dst}] {
+			continue
+		}
+		var vs, es []int
+		var ok bool
+		if cfg.LoadBalance {
+			vs, es, ok = in.Routers.RandomizedShortestPath(src, dst, rng)
+		} else {
+			vs, es, ok = in.Routers.ShortestPath(src, dst)
+		}
+		if !ok || len(es) == 0 || len(es) > cfg.MaxTTL {
+			continue // unreachable or TTL-exceeded: incomplete, discarded
+		}
+		// Each intermediate and final router must answer its probe for
+		// the trace to be complete; otherwise the operator discards it.
+		complete := true
+		for h := 1; h < len(vs); h++ {
+			if rng.Float64() >= cfg.ResponseP {
+				complete = false
+				break
+			}
+		}
+		if !complete {
+			continue
+		}
+		seen[[2]int{src, dst}] = true
+		kept = append(kept, brite.Route{Vertices: vs, Edges: es})
+	}
+	if len(kept) == 0 {
+		return nil, fmt.Errorf("traceroute: campaign kept no complete traces (issued %d)", issued)
+	}
+	top, err := brite.Overlay(in, kept)
+	if err != nil {
+		return nil, err
+	}
+	return &Campaign{Topology: top, Internet: in, Issued: issued, Kept: len(kept), SourceAS: sourceAS}, nil
+}

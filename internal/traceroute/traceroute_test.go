@@ -1,0 +1,134 @@
+package traceroute
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/brite"
+)
+
+// smallConfig keeps unit tests fast.
+func smallConfig() Config {
+	cfg := DefaultConfig()
+	cfg.Internet.NumAS = 40
+	cfg.Internet.RoutersPerAS = 5
+	cfg.TargetPaths = 120
+	cfg.MaxProbes = 8000
+	return cfg
+}
+
+func TestRunProducesSparseOverlay(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	c, err := Run(smallConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Kept == 0 || c.Topology.NumPaths() == 0 {
+		t.Fatal("campaign kept no traces")
+	}
+	if c.Issued < c.Kept {
+		t.Fatalf("issued %d < kept %d", c.Issued, c.Kept)
+	}
+}
+
+func TestSparseIsSparserThanDense(t *testing.T) {
+	// The defining properties of the Sparse topology (§3.2), measured at
+	// the paper's scale (1500 paths): fewer paths intersect (lower mean
+	// paths-per-link), more unknowns than observations (links ≈ or >
+	// paths, unlike the Brite overlay), and far more links covered by a
+	// single path.
+	c, err := Run(DefaultConfig(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sparse := c.Topology
+	dense, _, err := brite.DenseTopology(brite.DefaultConfig(), sparse.NumPaths(), rand.New(rand.NewSource(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds, dd := sparse.MeanPathsPerLink(), dense.MeanPathsPerLink(); ds >= dd/1.5 {
+		t.Fatalf("sparse paths-per-link %.2f not well below dense %.2f", ds, dd)
+	}
+	ss, sd := 0, 0
+	for i := 0; i < sparse.NumLinks(); i++ {
+		if sparse.LinkPaths(i).Count() == 1 {
+			ss++
+		}
+	}
+	for i := 0; i < dense.NumLinks(); i++ {
+		if dense.LinkPaths(i).Count() == 1 {
+			sd++
+		}
+	}
+	fs := float64(ss) / float64(sparse.NumLinks())
+	fd := float64(sd) / float64(dense.NumLinks())
+	if fs <= fd {
+		t.Fatalf("sparse singleton-coverage %.2f <= dense %.2f", fs, fd)
+	}
+	if float64(sparse.NumLinks())/float64(sparse.NumPaths()) <= float64(dense.NumLinks())/float64(dense.NumPaths()) {
+		t.Fatal("sparse should have more links per path than dense")
+	}
+}
+
+func TestSourceASIsHighestDegree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	in, err := brite.Generate(smallConfig().Internet, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := RunOn(smallConfig(), in, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for as := 0; as < in.NumAS; as++ {
+		if in.ASGraph.Degree(as) > in.ASGraph.Degree(c.SourceAS) {
+			t.Fatalf("AS %d has higher degree than chosen source %d", as, c.SourceAS)
+		}
+	}
+}
+
+func TestUnresponsiveRoutersReduceKeptTraces(t *testing.T) {
+	mk := func(p float64) int {
+		cfg := smallConfig()
+		cfg.ResponseP = p
+		cfg.MaxProbes = 3000
+		cfg.TargetPaths = 1 << 30 // never satisfied; probe budget binds
+		c, err := Run(cfg, rand.New(rand.NewSource(4)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Kept
+	}
+	high, low := mk(0.99), mk(0.6)
+	if low >= high {
+		t.Fatalf("kept(respP=0.6)=%d >= kept(respP=0.99)=%d", low, high)
+	}
+}
+
+func TestRejectsBadConfig(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Vantages = 0
+	if _, err := Run(cfg, rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("Vantages=0 should be rejected")
+	}
+	cfg = smallConfig()
+	cfg.ResponseP = 0
+	if _, err := Run(cfg, rand.New(rand.NewSource(5))); err == nil {
+		t.Fatal("ResponseP=0 should be rejected")
+	}
+}
+
+func TestDeterministicUnderSeed(t *testing.T) {
+	gen := func() (int, int) {
+		c, err := Run(smallConfig(), rand.New(rand.NewSource(6)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c.Topology.NumLinks(), c.Topology.NumPaths()
+	}
+	l1, p1 := gen()
+	l2, p2 := gen()
+	if l1 != l2 || p1 != p2 {
+		t.Fatal("campaign not deterministic under fixed seed")
+	}
+}

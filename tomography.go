@@ -1,0 +1,241 @@
+// Package tomography is a Go implementation of the system described in
+// "Shifting Network Tomography Toward A Practical Goal" (Ghita,
+// Karakus, Argyraki, Thiran — ACM CoNEXT 2011).
+//
+// It provides, as a library:
+//
+//   - the Boolean network-tomography model: AS-level topologies with
+//     links, end-to-end paths, coverage functions and correlation sets
+//     (one per AS by default);
+//   - the paper's primary contribution, the Correlation-complete
+//     Congestion Probability Computation algorithm (Algorithms 1 and 2),
+//     which computes, for each correlation subset of links, the
+//     probability that all its links are congested — accurately, under
+//     only the Separability, E2E-Monitoring and Correlation-Sets
+//     assumptions;
+//   - the baselines it is evaluated against: the Independence
+//     probability computation (CLINK's step 1) and the
+//     Correlation-heuristic, plus the three Boolean Inference
+//     algorithms (Sparsity, Bayesian-Independence,
+//     Bayesian-Correlation) whose limitations motivate the paper;
+//   - the experimental substrate: BRITE-style dense topology
+//     generation, a traceroute-campaign synthesizer for sparse
+//     ISP-view topologies, and a congestion/loss/probing simulator
+//     with router-level correlation ground truth.
+//
+// # Quick start
+//
+// Monitor a network by recording, per measurement interval, which paths
+// were congested; then compute link-congestion probabilities:
+//
+//	top := tomography.Fig1Case1() // or your own topology
+//	rec := tomography.NewRecorder(top.NumPaths())
+//	for each interval {
+//	    rec.Add(congestedPaths) // a bitset of path IDs
+//	}
+//	res, err := tomography.ComputeProbabilities(top, rec, tomography.DefaultProbabilityConfig())
+//	p, ok := res.LinkGoodProb(linkID)
+//
+// See examples/ for complete programs and cmd/tomo for the harness that
+// regenerates every figure and table of the paper.
+package tomography
+
+import (
+	"math/rand"
+
+	"repro/internal/bitset"
+	"repro/internal/brite"
+	"repro/internal/core"
+	"repro/internal/inference"
+	"repro/internal/netsim"
+	"repro/internal/observe"
+	"repro/internal/probcalc"
+	"repro/internal/topology"
+	"repro/internal/traceroute"
+)
+
+// ---------------------------------------------------------------------
+// Network model
+// ---------------------------------------------------------------------
+
+// Topology is the network model: links, loop-free end-to-end paths, and
+// correlation sets (Assumption 5).
+type Topology = topology.Topology
+
+// Link is a logical (AS-level) link.
+type Link = topology.Link
+
+// Path is a loop-free end-to-end path.
+type Path = topology.Path
+
+// Set is a bit set of link or path IDs.
+type Set = bitset.Set
+
+// NewSet returns an empty set over universe [0, n).
+func NewSet(n int) *Set { return bitset.New(n) }
+
+// SetOf returns a set over [0, n) containing the given indices.
+func SetOf(n int, indices ...int) *Set { return bitset.FromIndices(n, indices...) }
+
+// NewTopology assembles a topology; it panics on invalid input.
+// corrSets may be nil (every link becomes its own correlation set); use
+// CorrelationSetsByAS for the paper's one-set-per-AS policy.
+func NewTopology(links []Link, paths []Path, corrSets [][]int) *Topology {
+	return topology.New(links, paths, corrSets)
+}
+
+// CorrelationSetsByAS groups links into one correlation set per AS (§2).
+func CorrelationSetsByAS(links []Link) [][]int { return topology.CorrelationSetsByAS(links) }
+
+// Fig1Case1 returns the paper's toy topology (Fig. 1) with correlation
+// sets {{e1}, {e2,e3}, {e4}}.
+func Fig1Case1() *Topology { return topology.Fig1Case1() }
+
+// Fig1Case2 returns the toy topology with correlation sets
+// {{e1,e4}, {e2,e3}}, for which Identifiability++ fails.
+func Fig1Case2() *Topology { return topology.Fig1Case2() }
+
+// ---------------------------------------------------------------------
+// Observation
+// ---------------------------------------------------------------------
+
+// Recorder accumulates per-interval path observations (Assumption 2).
+type Recorder = observe.Recorder
+
+// NewRecorder returns an empty recorder for numPaths paths.
+func NewRecorder(numPaths int) *Recorder { return observe.NewRecorder(numPaths) }
+
+// ---------------------------------------------------------------------
+// Congestion Probability Computation (the paper's contribution)
+// ---------------------------------------------------------------------
+
+// ProbabilityConfig tunes the Correlation-complete algorithm; the
+// MaxSubsetSize field is the paper's resource knob (§4).
+type ProbabilityConfig = core.Config
+
+// DefaultProbabilityConfig returns the configuration used by the
+// paper's experiments (subsets of up to two links).
+func DefaultProbabilityConfig() ProbabilityConfig { return core.DefaultConfig() }
+
+// ProbabilityResult is the output of Correlation-complete: per-subset
+// good probabilities with identifiability flags.
+type ProbabilityResult = core.Result
+
+// ComputeProbabilities runs the Correlation-complete algorithm
+// (Algorithms 1 and 2 of the paper) over the recorded observations.
+func ComputeProbabilities(top *Topology, rec *Recorder, cfg ProbabilityConfig) (*ProbabilityResult, error) {
+	return core.Compute(top, rec, cfg)
+}
+
+// LinkProbabilities holds per-link congestion probability estimates
+// from one of the baseline algorithms.
+type LinkProbabilities = probcalc.LinkResult
+
+// IndependenceConfig tunes the Independence baseline.
+type IndependenceConfig = probcalc.IndependenceConfig
+
+// ComputeProbabilitiesIndependence runs the Independence baseline
+// (CLINK's Probability Computation step [11]).
+func ComputeProbabilitiesIndependence(top *Topology, rec *Recorder, cfg IndependenceConfig) (*LinkProbabilities, error) {
+	return probcalc.Independence(top, rec, cfg)
+}
+
+// HeuristicConfig tunes the Correlation-heuristic baseline.
+type HeuristicConfig = probcalc.HeuristicConfig
+
+// ComputeProbabilitiesHeuristic runs the Correlation-heuristic baseline
+// of [9].
+func ComputeProbabilitiesHeuristic(top *Topology, rec *Recorder, cfg HeuristicConfig) (*LinkProbabilities, error) {
+	return probcalc.CorrelationHeuristic(top, rec, cfg)
+}
+
+// ---------------------------------------------------------------------
+// Boolean Inference (the problem the paper argues against)
+// ---------------------------------------------------------------------
+
+// InferenceAlgorithm diagnoses the congested links of one interval from
+// the congested paths.
+type InferenceAlgorithm = inference.Algorithm
+
+// NewSparsity returns the Sparsity (Tomo) inference algorithm [6, 8].
+func NewSparsity() InferenceAlgorithm { return inference.NewSparsity() }
+
+// NewBayesianIndependence returns the CLINK-style inference algorithm
+// [11].
+func NewBayesianIndependence(cfg IndependenceConfig) InferenceAlgorithm {
+	return inference.NewBayesianIndependence(cfg)
+}
+
+// NewBayesianCorrelation returns the correlation-aware Bayesian
+// inference algorithm developed for the paper [10].
+func NewBayesianCorrelation(cfg ProbabilityConfig) InferenceAlgorithm {
+	return inference.NewBayesianCorrelation(cfg)
+}
+
+// ---------------------------------------------------------------------
+// Topology generation and simulation
+// ---------------------------------------------------------------------
+
+// BriteConfig parameterizes the BRITE-style generator.
+type BriteConfig = brite.Config
+
+// DefaultBriteConfig returns the dense-topology parameters used in the
+// evaluation.
+func DefaultBriteConfig() BriteConfig { return brite.DefaultConfig() }
+
+// Internet is a generated two-tier (router + AS) ground-truth network.
+type Internet = brite.Internet
+
+// GenerateBrite generates a dense "Brite" AS-level overlay by routing
+// numPaths random end-to-end routes over a synthetic Internet. It
+// returns the overlay and the underlying Internet (whose router-level
+// links define the ground-truth link correlations).
+func GenerateBrite(cfg BriteConfig, numPaths int, rng *rand.Rand) (*Topology, *Internet, error) {
+	return brite.DenseTopology(cfg, numPaths, rng)
+}
+
+// TracerouteConfig parameterizes the sparse-view traceroute campaign.
+type TracerouteConfig = traceroute.Config
+
+// DefaultTracerouteConfig sizes a campaign to the paper's Sparse
+// topologies.
+func DefaultTracerouteConfig() TracerouteConfig { return traceroute.DefaultConfig() }
+
+// Campaign is the outcome of a traceroute measurement campaign.
+type Campaign = traceroute.Campaign
+
+// GenerateSparse synthesizes the paper's "Sparse" topology: the
+// AS-level view of a source ISP tracerouting the Internet from a few
+// vantage points, with incomplete traces discarded.
+func GenerateSparse(cfg TracerouteConfig, rng *rand.Rand) (*Campaign, error) {
+	return traceroute.Run(cfg, rng)
+}
+
+// Scenario selects which links are congestible in a simulation.
+type Scenario = netsim.Scenario
+
+// The paper's congestion scenarios (§3.2).
+const (
+	RandomCongestion       = netsim.RandomCongestion
+	ConcentratedCongestion = netsim.ConcentratedCongestion
+	NoIndependence         = netsim.NoIndependence
+)
+
+// SimulationConfig parameterizes the congestion/loss/probing simulator.
+type SimulationConfig = netsim.Config
+
+// DefaultSimulationConfig mirrors the paper's simulator setup for the
+// given scenario.
+func DefaultSimulationConfig(s Scenario) SimulationConfig { return netsim.DefaultConfig(s) }
+
+// Simulation is a fully specified congestion model over a topology.
+type Simulation = netsim.Model
+
+// Observation is one simulated interval: the probed path statuses and
+// the hidden ground truth.
+type Observation = netsim.Observation
+
+// NewSimulation draws a congestion model for totalIntervals intervals.
+func NewSimulation(top *Topology, cfg SimulationConfig, totalIntervals int, rng *rand.Rand) (*Simulation, error) {
+	return netsim.NewModel(top, cfg, totalIntervals, rng)
+}

@@ -1,0 +1,125 @@
+package tomography
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestFacadeEndToEnd exercises the public API exactly as the README
+// advertises it: build, record, compute.
+func TestFacadeEndToEnd(t *testing.T) {
+	top := Fig1Case1()
+	rec := NewRecorder(top.NumPaths())
+	rng := rand.New(rand.NewSource(1))
+	const p23 = 0.4
+	for i := 0; i < 20000; i++ {
+		cong := NewSet(top.NumLinks())
+		if rng.Float64() < p23 {
+			cong.Add(1)
+			cong.Add(2)
+		}
+		congPaths := NewSet(top.NumPaths())
+		for p := 0; p < top.NumPaths(); p++ {
+			if top.PathLinks(p).Intersects(cong) {
+				congPaths.Add(p)
+			}
+		}
+		rec.Add(congPaths)
+	}
+	res, err := ComputeProbabilities(top, rec, DefaultProbabilityConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	joint, ok := res.CongestedProb(SetOf(top.NumLinks(), 1, 2))
+	if !ok {
+		t.Fatal("pair should be identifiable")
+	}
+	if math.Abs(joint-p23) > 0.03 {
+		t.Fatalf("joint = %.3f, want ≈%.2f", joint, p23)
+	}
+}
+
+func TestFacadeGenerators(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	bcfg := DefaultBriteConfig()
+	bcfg.NumAS = 15
+	bcfg.RoutersPerAS = 4
+	top, inet, err := GenerateBrite(bcfg, 60, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if top.NumPaths() == 0 || inet.Routers.N() == 0 {
+		t.Fatal("empty generation")
+	}
+
+	tcfg := DefaultTracerouteConfig()
+	tcfg.Internet.NumAS = 30
+	tcfg.Internet.RoutersPerAS = 4
+	tcfg.TargetPaths = 40
+	campaign, err := GenerateSparse(tcfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if campaign.Kept == 0 {
+		t.Fatal("campaign kept nothing")
+	}
+}
+
+func TestFacadeSimulationAndInference(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	bcfg := DefaultBriteConfig()
+	bcfg.NumAS = 15
+	bcfg.RoutersPerAS = 4
+	top, _, err := GenerateBrite(bcfg, 80, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := NewSimulation(top, DefaultSimulationConfig(RandomCongestion), 100, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := NewRecorder(top.NumPaths())
+	var lastObs Observation
+	for i := 0; i < 100; i++ {
+		lastObs = sim.Interval(i, rng)
+		rec.Add(lastObs.CongestedPaths)
+	}
+	for _, alg := range []InferenceAlgorithm{
+		NewSparsity(),
+		NewBayesianIndependence(IndependenceConfig{AlwaysGoodTol: 0.02}),
+		NewBayesianCorrelation(func() ProbabilityConfig {
+			c := DefaultProbabilityConfig()
+			c.AlwaysGoodTol = 0.02
+			return c
+		}()),
+	} {
+		if err := alg.Prepare(top, rec); err != nil {
+			t.Fatalf("%s: %v", alg.Name(), err)
+		}
+		inferred := alg.Infer(lastObs.CongestedPaths)
+		if inferred == nil {
+			t.Fatalf("%s returned nil", alg.Name())
+		}
+	}
+
+	// Baseline probability computations run through the facade too.
+	if _, err := ComputeProbabilitiesIndependence(top, rec, IndependenceConfig{AlwaysGoodTol: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ComputeProbabilitiesHeuristic(top, rec, HeuristicConfig{AlwaysGoodTol: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCorrelationSetsByASFacade(t *testing.T) {
+	links := []Link{{ID: 0, AS: 1}, {ID: 1, AS: 1}, {ID: 2, AS: 2}}
+	sets := CorrelationSetsByAS(links)
+	if len(sets) != 2 || len(sets[0]) != 2 {
+		t.Fatalf("sets = %v", sets)
+	}
+	top := NewTopology(links, []Path{{ID: 0, Links: []int{0, 1, 2}}}, sets)
+	if top.CorrSetOf(1) != 0 {
+		t.Fatal("correlation set lookup wrong")
+	}
+}
