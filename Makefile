@@ -1,0 +1,27 @@
+# Developer entry points. CI runs the same targets (see
+# .github/workflows/ci.yml).
+
+GO ?= go
+BENCH_DATE := $(shell date +%Y%m%d)
+
+.PHONY: all build vet test bench bench-smoke
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Full benchmark run, recorded as a dated JSON snapshot so the perf
+# trajectory is tracked from PR to PR (see DESIGN.md reference table).
+bench:
+	$(GO) test -run '^$$' -bench . -benchmem -json . | tee BENCH_$(BENCH_DATE).json
+
+# One-iteration smoke: every benchmark must still execute.
+bench-smoke:
+	$(GO) test -run '^$$' -bench . -benchtime=1x .

@@ -11,8 +11,10 @@ package tomography
 
 import (
 	"math/rand"
+	"strconv"
 	"testing"
 
+	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/experiment"
 	"repro/internal/linalg"
@@ -238,15 +240,74 @@ func BenchmarkBinomialSampler(b *testing.B) {
 	})
 }
 
-func sizeName(n int) string {
-	digits := "0123456789"
-	if n == 0 {
-		return "0"
+func sizeName(n int) string { return strconv.Itoa(n) }
+
+// BenchmarkGoodCount compares the columnar empirical-frequency query
+// (per-path congestion masks, OR + popcount, allocation-free) against
+// the retained naive row-scan reference at the paper's interval count.
+// This is the innermost query of every equation the solvers build.
+func BenchmarkGoodCount(b *testing.B) {
+	const numPaths, intervals = 1500, 1000
+	rng := rand.New(rand.NewSource(1))
+	rec := observe.NewRecorder(numPaths)
+	s := bitset.New(numPaths)
+	for t := 0; t < intervals; t++ {
+		s.Clear()
+		for p := 0; p < numPaths; p++ {
+			if rng.Intn(5) == 0 {
+				s.Add(p)
+			}
+		}
+		rec.Add(s)
 	}
-	var out []byte
-	for n > 0 {
-		out = append([]byte{digits[n%10]}, out...)
-		n /= 10
+	paths := bitset.New(numPaths)
+	for paths.Count() < 8 {
+		paths.Add(rng.Intn(numPaths))
 	}
-	return string(out)
+	if got, want := rec.GoodCount(paths), rec.GoodCountNaive(paths); got != want {
+		b.Fatalf("columnar GoodCount %d != naive %d", got, want)
+	}
+	b.Run("columnar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.GoodCount(paths)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.GoodCountNaive(paths)
+		}
+	})
+	b.Run("columnar-allcongested", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.AllCongestedCount(paths)
+		}
+	})
+	b.Run("naive-allcongested", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			rec.AllCongestedCountNaive(paths)
+		}
+	})
+}
+
+// BenchmarkFigure4Parallel measures the parallel experiment engine:
+// the same Figure 4(a) regeneration fanned out over 1, 2 and 4
+// workers. Output is bit-identical across worker counts (see
+// TestFigure4ParallelMatchesSerial); only wall-clock should move.
+func BenchmarkFigure4Parallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(sizeName(workers), func(b *testing.B) {
+			cfg := benchCfg()
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := experiment.Figure4(cfg, experiment.Brite); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }

@@ -14,6 +14,8 @@
 //	-seed N                     master random seed (default 1)
 //	-tol F                      always-good tolerance (default 0.02)
 //	-maxsubset K                Correlation-complete subset-size knob (default 2)
+//	-workers N                  parallel trial workers; output is
+//	                            bit-identical to serial (default 1, -1 = all CPUs)
 package main
 
 import (
@@ -30,6 +32,7 @@ func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	tol := flag.Float64("tol", 0.02, "always-good congested-fraction tolerance")
 	maxSubset := flag.Int("maxsubset", 2, "Correlation-complete max subset size (the paper's resource knob)")
+	workers := flag.Int("workers", 1, "parallel trial workers (0/1 = serial, -1 = all CPUs); output is bit-identical to serial")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -54,6 +57,7 @@ func main() {
 		Seed:          *seed,
 		AlwaysGoodTol: *tol,
 		MaxSubsetSize: *maxSubset,
+		Workers:       *workers,
 	}
 
 	artifact := flag.Arg(0)

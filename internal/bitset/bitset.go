@@ -8,6 +8,7 @@
 package bitset
 
 import (
+	"encoding/binary"
 	"fmt"
 	"math/bits"
 	"strings"
@@ -240,18 +241,20 @@ func (s *Set) ForEach(fn func(i int) bool) {
 }
 
 // Key returns a string usable as a map key that uniquely identifies the
-// set's contents (trailing zero words are not significant).
+// set's contents (trailing zero words are not significant). The
+// encoding is opaque — raw little-endian words, 8 bytes each — chosen
+// over a printable form because Key sits on the solvers' subset
+// registration and lookup hot path.
 func (s *Set) Key() string {
 	end := len(s.words)
 	for end > 0 && s.words[end-1] == 0 {
 		end--
 	}
-	var b strings.Builder
-	b.Grow(end * 11)
+	buf := make([]byte, end*8)
 	for i := 0; i < end; i++ {
-		fmt.Fprintf(&b, "%x,", s.words[i])
+		binary.LittleEndian.PutUint64(buf[i*8:], s.words[i])
 	}
-	return b.String()
+	return string(buf)
 }
 
 // String renders the set as "{a, b, c}".

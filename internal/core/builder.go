@@ -2,10 +2,12 @@ package core
 
 import (
 	"math"
+	"sort"
 
 	"repro/internal/bitset"
 	"repro/internal/linalg"
 	"repro/internal/observe"
+	"repro/internal/parallel"
 	"repro/internal/topology"
 )
 
@@ -31,6 +33,7 @@ type builder struct {
 	rows     [][]int // per path set: sorted subset indices appearing in its equation
 
 	nullspace *linalg.Matrix
+	rowBuf    []float64 // reusable dense-row scratch for the augmentation loop
 }
 
 type subsetEntry struct {
@@ -85,7 +88,11 @@ func (b *builder) register(links *bitset.Set, corrSet int) (int, bool) {
 // system is frozen and the equation references an unregistered subset.
 func (b *builder) rowFor(pathSet *bitset.Set) (cols []int, ok bool) {
 	links := b.top.LinksOf(pathSet)
+	// Register in first-encounter order (ascending link index), not map
+	// iteration order: the index a fresh subset receives feeds the
+	// augmentation loop's tie-breaking, so it must be deterministic.
 	bySet := map[int]*bitset.Set{}
+	var setOrder []int
 	links.ForEach(func(li int) bool {
 		if !b.potLinks.Contains(li) {
 			return true // always-good link: factor 1, drops out
@@ -93,27 +100,27 @@ func (b *builder) rowFor(pathSet *bitset.Set) (cols []int, ok bool) {
 		c := b.top.CorrSetOf(li)
 		if bySet[c] == nil {
 			bySet[c] = bitset.New(b.top.NumLinks())
+			setOrder = append(setOrder, c)
 		}
 		bySet[c].Add(li)
 		return true
 	})
-	for c, sub := range bySet {
-		i, regOK := b.register(sub, c)
+	for _, c := range setOrder {
+		i, regOK := b.register(bySet[c], c)
 		if !regOK {
 			return nil, false
 		}
 		cols = append(cols, i)
 	}
-	sortIntsAsc(cols)
+	sort.Ints(cols)
 	return cols, true
 }
 
-func sortIntsAsc(s []int) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
+// parallelFor runs fn(i) for i in [start, end) on the configured number
+// of workers (cfg.Concurrency). fn must only write state owned by
+// index i so that the parallel path is bit-identical to the serial one.
+func (b *builder) parallelFor(start, end int, fn func(i int)) {
+	parallel.For(b.cfg.Concurrency, start, end, fn)
 }
 
 // enumerate builds the unknown universe Ê: all potentially congested
@@ -170,19 +177,15 @@ func (b *builder) enumerate() {
 	// which in turn need their own seed sets; iterate to a fixpoint
 	// (bounded: each round can only add subsets that appear in some
 	// equation).
+	// The per-subset seed-set computation only reads the immutable
+	// topology and potLinks and writes its own slot, so each round fans
+	// out across the configured workers (cfg.Concurrency); the serial
+	// rowFor sweep that follows keeps registration order — and thus the
+	// whole run — deterministic.
 	for round, done := 0, 0; done < len(b.subsets) && round < 8; round++ {
 		start := done
 		done = len(b.subsets)
-		for i := start; i < done; i++ {
-			s := &b.subsets[i]
-			comp := bitset.New(b.top.NumLinks())
-			for _, li := range b.top.CorrSetLinks(s.corrSet) {
-				if b.potLinks.Contains(li) && !s.links.Contains(li) {
-					comp.Add(li)
-				}
-			}
-			s.seedSet = s.cover.Difference(b.top.PathsOf(comp))
-		}
+		b.parallelFor(start, done, b.computeSeedSet)
 		for i := start; i < done; i++ {
 			if !b.subsets[i].seedSet.IsEmpty() {
 				b.rowFor(b.subsets[i].seedSet) // may register new subsets
@@ -190,19 +193,26 @@ func (b *builder) enumerate() {
 		}
 	}
 	// Any subsets registered in the final round still need a seed set.
-	for i := range b.subsets {
+	b.parallelFor(0, len(b.subsets), func(i int) {
 		if b.subsets[i].seedSet == nil {
-			s := &b.subsets[i]
-			comp := bitset.New(b.top.NumLinks())
-			for _, li := range b.top.CorrSetLinks(s.corrSet) {
-				if b.potLinks.Contains(li) && !s.links.Contains(li) {
-					comp.Add(li)
-				}
-			}
-			s.seedSet = s.cover.Difference(b.top.PathsOf(comp))
+			b.computeSeedSet(i)
+		}
+	})
+	b.frozen = true
+}
+
+// computeSeedSet fills subset i's isolation path set
+// Paths(E) \ Paths(Ē), where Ē is the potentially congested complement
+// within E's correlation set.
+func (b *builder) computeSeedSet(i int) {
+	s := &b.subsets[i]
+	comp := bitset.New(b.top.NumLinks())
+	for _, li := range b.top.CorrSetLinks(s.corrSet) {
+		if b.potLinks.Contains(li) && !s.links.Contains(li) {
+			comp.Add(li)
 		}
 	}
-	b.frozen = true
+	s.seedSet = s.cover.Difference(b.top.PathsOf(comp))
 }
 
 // addPathSet appends a selected path set and its row.
@@ -212,9 +222,19 @@ func (b *builder) addPathSet(p *bitset.Set, cols []int) {
 	b.rows = append(b.rows, cols)
 }
 
-// denseRow expands a column-index row into a dense vector over Ê.
+// denseRow expands a column-index row into a dense vector over Ê. The
+// returned slice aliases a scratch buffer owned by the builder — it is
+// valid only until the next denseRow call and must not be retained
+// (the augmentation loop only hands it to InRowSpace and
+// NullSpaceUpdateInPlace, neither of which keeps it).
 func (b *builder) denseRow(cols []int) []float64 {
-	r := make([]float64, len(b.subsets))
+	if cap(b.rowBuf) < len(b.subsets) {
+		b.rowBuf = make([]float64, len(b.subsets))
+	}
+	r := b.rowBuf[:len(b.subsets)]
+	for i := range r {
+		r[i] = 0
+	}
 	for _, c := range cols {
 		r[c] = 1
 	}
@@ -280,9 +300,10 @@ func (b *builder) augment() {
 				if linalg.InRowSpace(b.nullspace, r) {
 					return true
 				}
-				// ‖r×N‖ > 0: this equation increases the rank.
+				// ‖r×N‖ > 0: this equation increases the rank; the
+				// update compacts the basis within its own storage.
 				b.addPathSet(p, cols)
-				b.nullspace = linalg.NullSpaceUpdate(b.nullspace, r)
+				linalg.NullSpaceUpdateInPlace(b.nullspace, r)
 				found = true
 				return false
 			})
@@ -447,9 +468,11 @@ func (b *builder) solve() (*Result, error) {
 			res.Nullity = nCols
 			return res, nil
 		}
-		a := linalg.FromRows(mRows)
 		if len(mRows) >= len(colMap) {
-			x, err := linalg.SolveLeastSquares(a, rhs)
+			// FromRows copies mRows, so the in-place factorization may
+			// destroy its result; the rank-deficient fallback below
+			// rebuilds from mRows.
+			x, err := linalg.SolveLeastSquaresInPlace(linalg.FromRows(mRows), rhs)
 			if err == nil {
 				res.Rank = len(colMap)
 				res.Nullity = nCols - len(colMap)
@@ -461,9 +484,10 @@ func (b *builder) solve() (*Result, error) {
 				return res, nil
 			}
 		}
-		// Rank fell after dropping rows: recompute identifiability on
-		// the reduced system and iterate.
-		ns := linalg.NullSpaceBasis(a)
+		// Rank fell after dropping rows (or the system is
+		// under-determined): recompute identifiability on the reduced
+		// system and iterate.
+		ns := linalg.NullSpaceBasis(linalg.FromRows(mRows))
 		for k, c := range colMap {
 			for j := 0; j < ns.Cols; j++ {
 				if math.Abs(ns.At(k, j)) > 1e-7 {

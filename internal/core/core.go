@@ -65,6 +65,14 @@ type Config struct {
 	// that augmentation rows may reference. Default true (disable only
 	// in tests).
 	DisableSinglePathRegistration bool
+
+	// Concurrency bounds the worker goroutines used for the per-subset
+	// coverage and isolation-path-set computation of the enumeration
+	// phase (the dominant topology-query cost on large instances). The
+	// result is bit-identical to the serial path: workers write only
+	// their own subset's slot. 0 or 1 runs serially; negative uses
+	// GOMAXPROCS.
+	Concurrency int
 }
 
 // DefaultConfig returns the configuration used by the experiments:
@@ -189,27 +197,27 @@ func (r *Result) goodProbFactored(s *bitset.Set) (float64, bool) {
 	if eff.IsEmpty() {
 		return 1, true
 	}
+	// Factor in first-encounter order so the float multiplication order
+	// — and hence the exact result bits — never depends on map
+	// iteration order.
 	bySet := map[int]*bitset.Set{}
-	failed := false
+	var setOrder []int
 	eff.ForEach(func(li int) bool {
 		c := r.top.CorrSetOf(li)
 		if bySet[c] == nil {
 			bySet[c] = bitset.New(r.top.NumLinks())
+			setOrder = append(setOrder, c)
 		}
 		bySet[c].Add(li)
 		return true
 	})
 	g := 1.0
-	for _, sub := range bySet {
-		i, ok := r.index[sub.Key()]
+	for _, c := range setOrder {
+		i, ok := r.index[bySet[c].Key()]
 		if !ok || !r.Subsets[i].Identifiable {
-			failed = true
-			break
+			return math.NaN(), false
 		}
 		g *= r.Subsets[i].GoodProb
-	}
-	if failed {
-		return math.NaN(), false
 	}
 	return g, true
 }
@@ -279,19 +287,23 @@ func (r *Result) residualFallback(e int) (float64, bool) {
 		one.Clear()
 		one.Add(pi)
 		links := r.top.PathLinks(pi).Intersect(r.PotentiallyCongested)
-		// Decompose the path's equation per correlation set.
+		// Decompose the path's equation per correlation set, in
+		// first-encounter order for a deterministic product.
 		bySet := map[int]*bitset.Set{}
+		var setOrder []int
 		links.ForEach(func(li int) bool {
 			c := r.top.CorrSetOf(li)
 			if bySet[c] == nil {
 				bySet[c] = bitset.New(r.top.NumLinks())
+				setOrder = append(setOrder, c)
 			}
 			bySet[c].Add(li)
 			return true
 		})
 		prodKnown := 1.0
 		unknownLinks := 0
-		for _, sub := range bySet {
+		for _, c := range setOrder {
+			sub := bySet[c]
 			if j, ok := r.index[sub.Key()]; ok && r.Subsets[j].Identifiable {
 				prodKnown *= r.Subsets[j].GoodProb
 			} else {

@@ -13,6 +13,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/netsim"
 	"repro/internal/observe"
+	"repro/internal/parallel"
 	"repro/internal/topology"
 	"repro/internal/traceroute"
 )
@@ -88,6 +89,13 @@ type Config struct {
 
 	// MaxSubsetSize is the Correlation-complete resource knob.
 	MaxSubsetSize int
+
+	// Workers bounds the goroutines the figure drivers fan scenario
+	// rows out to. Every trial derives its RNG from the scenario index
+	// (rand.NewSource(Seed+trial)) and owns its simulator and recorder,
+	// so the output is bit-identical to the serial run regardless of
+	// scheduling. 0 or 1 runs serially; negative uses all CPUs.
+	Workers int
 }
 
 // DefaultConfig returns the configuration used by EXPERIMENTS.md.
@@ -122,6 +130,16 @@ func BuildTopology(kind TopologyKind, scale Scale, seed int64) (*topology.Topolo
 	default:
 		return nil, fmt.Errorf("experiment: unknown topology kind %d", kind)
 	}
+}
+
+// forEachTrial runs fn(i) for every trial index in [0, n), fanned out
+// over a bounded worker pool of workers goroutines (serial when ≤ 1).
+// Each fn owns slot i of its output slice and seeds its own RNG from
+// the trial index, so results are bit-identical to the serial loop.
+// The error of the lowest failing trial is returned — the serial
+// path's error precedence — and no new trials start after a failure.
+func forEachTrial(workers, n int, fn func(i int) error) error {
+	return parallel.ForErr(workers, n, fn)
 }
 
 // simRun is one simulated monitoring period: the model, the recorded

@@ -60,11 +60,12 @@ func newInferenceAlgorithms(cfg Config) []inference.Algorithm {
 
 // Figure3 regenerates both panels of Figure 3: for each of the five
 // scenarios, the per-algorithm average detection rate (panel a) and
-// false-positive rate (panel b).
+// false-positive rate (panel b). Scenario rows fan out over
+// cfg.Workers goroutines; each scenario seeds its own RNG
+// (cfg.Seed+100+i) and owns its simulator, recorder and algorithm
+// instances, so the rows are bit-identical to the serial run. The two
+// topologies are built once up front and shared read-only.
 func Figure3(cfg Config) ([]Fig3Row, error) {
-	var rows []Fig3Row
-	tops := map[TopologyKind]interface{}{}
-	_ = tops
 	briteTop, err := BuildTopology(Brite, cfg.Scale, cfg.Seed)
 	if err != nil {
 		return nil, err
@@ -73,14 +74,17 @@ func Figure3(cfg Config) ([]Fig3Row, error) {
 	if err != nil {
 		return nil, err
 	}
-	for i, sc := range fig3Scenarios() {
+	scenarios := fig3Scenarios()
+	rows := make([]Fig3Row, len(scenarios))
+	err = forEachTrial(cfg.Workers, len(scenarios), func(i int) error {
+		sc := scenarios[i]
 		top := briteTop
 		if sc.kind == Sparse {
 			top = sparseTop
 		}
 		run, err := runSim(cfg, top, sc.scen, sc.nonStationary, cfg.Seed+int64(100+i))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		row := Fig3Row{
 			Scenario:      sc.name,
@@ -90,7 +94,7 @@ func Figure3(cfg Config) ([]Fig3Row, error) {
 		}
 		for _, alg := range newInferenceAlgorithms(cfg) {
 			if err := alg.Prepare(run.top, run.rec); err != nil {
-				return nil, fmt.Errorf("figure3 %s/%s: %w", sc.name, alg.Name(), err)
+				return fmt.Errorf("figure3 %s/%s: %w", sc.name, alg.Name(), err)
 			}
 			var dr, fpr metrics.Mean
 			for t := range run.truth {
@@ -104,7 +108,11 @@ func Figure3(cfg Config) ([]Fig3Row, error) {
 			row.Detection[alg.Name()] = dr.Value()
 			row.FalsePositive[alg.Name()] = fpr.Value()
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -90,21 +90,25 @@ func linkEstimates(cfg Config, run *simRun) (map[string][]float64, *bitset.Set, 
 
 // Figure4 regenerates one panel of Figure 4(a)/(b): the mean absolute
 // error of each algorithm's per-link congestion probabilities under the
-// three scenarios, on the given topology kind.
+// three scenarios, on the given topology kind. Scenario rows fan out
+// over cfg.Workers goroutines with per-trial seeds (cfg.Seed+200+i), so
+// the output is bit-identical to the serial run.
 func Figure4(cfg Config, kind TopologyKind) ([]Fig4Row, error) {
 	top, err := BuildTopology(kind, cfg.Scale, cfg.Seed)
 	if err != nil {
 		return nil, err
 	}
-	var rows []Fig4Row
-	for i, sc := range fig4Scenarios() {
+	scenarios := fig4Scenarios()
+	rows := make([]Fig4Row, len(scenarios))
+	err = forEachTrial(cfg.Workers, len(scenarios), func(i int) error {
+		sc := scenarios[i]
 		run, err := runSim(cfg, top, sc.scen, sc.nonStationary, cfg.Seed+int64(200+i))
 		if err != nil {
-			return nil, err
+			return err
 		}
 		ests, eval, err := linkEstimates(cfg, run)
 		if err != nil {
-			return nil, fmt.Errorf("figure4 %s: %w", sc.name, err)
+			return fmt.Errorf("figure4 %s: %w", sc.name, err)
 		}
 		truth := make([]float64, run.top.NumLinks())
 		for e := range truth {
@@ -114,7 +118,11 @@ func Figure4(cfg Config, kind TopologyKind) ([]Fig4Row, error) {
 		for alg, est := range ests {
 			row.Errors[alg] = metrics.AbsErrors(est, truth, eval.Contains)
 		}
-		rows = append(rows, row)
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }
@@ -157,21 +165,24 @@ type Fig4dCell struct {
 	NumSubsets int // identifiable multi-link subsets evaluated
 }
 
-// Figure4Subsets regenerates Figure 4(d).
+// Figure4Subsets regenerates Figure 4(d). The two topology kinds run
+// as independent trials on the cfg.Workers pool.
 func Figure4Subsets(cfg Config) ([]Fig4dCell, error) {
-	var out []Fig4dCell
-	for _, kind := range []TopologyKind{Brite, Sparse} {
+	kinds := []TopologyKind{Brite, Sparse}
+	out := make([]Fig4dCell, len(kinds))
+	err := forEachTrial(cfg.Workers, len(kinds), func(ki int) error {
+		kind := kinds[ki]
 		top, err := BuildTopology(kind, cfg.Scale, cfg.Seed)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		run, err := runSim(cfg, top, netsim.NoIndependence, true, cfg.Seed+400)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		complete, err := core.Compute(run.top, run.rec, run.coreCf)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		var linkErr, subsetErr metrics.Mean
 		for e := 0; e < run.top.NumLinks(); e++ {
@@ -193,12 +204,16 @@ func Figure4Subsets(cfg Config) ([]Fig4dCell, error) {
 			subsetErr.Add(absDiff(est, run.model.TrueCongestedProb(s.Links)))
 			nsubs++
 		}
-		out = append(out, Fig4dCell{
+		out[ki] = Fig4dCell{
 			Topology:   kind,
 			LinkErr:    linkErr.Value(),
 			SubsetErr:  subsetErr.Value(),
 			NumSubsets: nsubs,
-		})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }

@@ -1,0 +1,75 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+)
+
+// tinyScale keeps the serial-vs-parallel comparison runs fast: the
+// determinism guarantee is structural (per-trial seeds, per-slot
+// writes), not scale-dependent.
+func tinyScale() Scale {
+	return Scale{
+		BriteNumAS: 12, BriteRoutersPerAS: 3, BritePaths: 40,
+		SparseNumAS: 20, SparseRoutersPerAS: 4, SparsePaths: 30,
+		Intervals: 60, PacketsPerPath: 400,
+	}
+}
+
+// The parallel experiment engine must produce bit-identical rows to
+// the serial engine for the same seed, for every worker count.
+func TestFigure3ParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig(tinyScale())
+	serial, err := Figure3(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 4, -1} {
+		pcfg := cfg
+		pcfg.Workers = workers
+		par, err := Figure3(pcfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("workers=%d: Figure3 rows diverge from serial\nserial:   %+v\nparallel: %+v",
+				workers, serial, par)
+		}
+	}
+}
+
+func TestFigure4ParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig(tinyScale())
+	for _, kind := range []TopologyKind{Brite, Sparse} {
+		serial, err := Figure4(cfg, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcfg := cfg
+		pcfg.Workers = 4
+		par, err := Figure4(pcfg, kind)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, par) {
+			t.Fatalf("%v: Figure4 rows diverge from serial", kind)
+		}
+	}
+}
+
+func TestFigure4SubsetsParallelMatchesSerial(t *testing.T) {
+	cfg := DefaultConfig(tinyScale())
+	serial, err := Figure4Subsets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pcfg := cfg
+	pcfg.Workers = 2
+	par, err := Figure4Subsets(pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatalf("Figure4Subsets cells diverge from serial\nserial:   %+v\nparallel: %+v", serial, par)
+	}
+}

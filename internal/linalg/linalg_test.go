@@ -309,6 +309,83 @@ func TestNullSpaceUpdateMatchesRecompute(t *testing.T) {
 	}
 }
 
+func TestNullSpaceUpdateInPlaceMatchesImmutable(t *testing.T) {
+	// The in-place update must produce exactly the matrix the immutable
+	// API returns, and must leave N untouched when the row is already in
+	// the row space.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 40; trial++ {
+		cols := 3 + rng.Intn(8)
+		base := random01Matrix(rng, 1+rng.Intn(3), cols)
+		N := NullSpaceBasis(base)
+		r := make([]float64, cols)
+		for j := range r {
+			if rng.Intn(2) == 1 {
+				r[j] = 1
+			}
+		}
+		want := NullSpaceUpdate(N, r)
+		got := N.Clone()
+		removed := NullSpaceUpdateInPlace(got, r)
+		if removed != !InRowSpace(N, r) {
+			t.Fatalf("removed = %v, InRowSpace = %v", removed, InRowSpace(N, r))
+		}
+		if got.Rows != want.Rows || got.Cols != want.Cols {
+			t.Fatalf("shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
+		}
+		for i := range want.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("trial %d: in-place result diverges at %d: %v vs %v",
+					trial, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+func TestNullSpaceUpdateDoesNotMutateInput(t *testing.T) {
+	base := FromRows([][]float64{{1, 1, 0, 0}})
+	N := NullSpaceBasis(base)
+	snapshot := N.Clone()
+	NullSpaceUpdate(N, []float64{0, 0, 1, 1})
+	for i := range N.Data {
+		if N.Data[i] != snapshot.Data[i] {
+			t.Fatal("NullSpaceUpdate mutated its input")
+		}
+	}
+}
+
+func TestSolveLeastSquaresInPlaceMatchesFactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 30; trial++ {
+		rows := 3 + rng.Intn(8)
+		cols := 1 + rng.Intn(3)
+		a := randomMatrix(rng, rows, cols)
+		b := make([]float64, rows)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		bCopy := append([]float64(nil), b...)
+		want, errWant := SolveLeastSquares(a, b)
+		got, errGot := SolveLeastSquaresInPlace(a.Clone(), b)
+		if (errWant == nil) != (errGot == nil) {
+			t.Fatalf("error mismatch: %v vs %v", errWant, errGot)
+		}
+		if errWant != nil {
+			continue
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("x diverges: %v vs %v", want, got)
+			}
+		}
+		for i := range b {
+			if b[i] != bCopy[i] {
+				t.Fatal("SolveLeastSquaresInPlace mutated b")
+			}
+		}
+	}
+}
+
 func TestNullSpaceUpdateNoColumns(t *testing.T) {
 	N := NewMatrix(3, 0)
 	if got := NullSpaceUpdate(N, []float64{1, 0, 0}); got.Cols != 0 {

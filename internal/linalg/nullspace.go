@@ -108,10 +108,25 @@ func NullSpaceBasis(a *Matrix) *Matrix {
 // largest |r·N_j| into position 1 (the paper leaves the choice of
 // pivot column implicit; any column with nonzero product is valid).
 // If r·N = 0 (the row is already in the row space), N is returned
-// unchanged.
+// unchanged. N itself is never modified; the hot path uses
+// NullSpaceUpdateInPlace instead.
 func NullSpaceUpdate(N *Matrix, r []float64) *Matrix {
+	out := N.Clone()
+	if !NullSpaceUpdateInPlace(out, r) {
+		return N // r is in the row space already; nothing to remove
+	}
+	return out
+}
+
+// NullSpaceUpdateInPlace is NullSpaceUpdate mutating N: the projected
+// basis is compacted into N's own backing array (each new column is
+// written left of the data it reads, so no second matrix is allocated)
+// and N shrinks by one column. It reports whether a column was removed;
+// when r is already in the row space N is left untouched and false is
+// returned.
+func NullSpaceUpdateInPlace(N *Matrix, r []float64) bool {
 	if N.Cols == 0 {
-		return N
+		return false
 	}
 	if len(r) != N.Rows {
 		panic("linalg: NullSpaceUpdate dimension mismatch")
@@ -124,27 +139,37 @@ func NullSpaceUpdate(N *Matrix, r []float64) *Matrix {
 		}
 	}
 	if best < 0 {
-		return N // r is in the row space already; nothing to remove
+		return false
 	}
-	work := N
 	if best != 0 {
-		work = N.Clone()
-		work.SwapCols(0, best)
+		N.SwapCols(0, best)
 		rn[0], rn[best] = rn[best], rn[0]
 	}
 	// N' columns: for j = 1..p−1, N'_j = N_j − N_0 · (r·N_j)/(r·N_0).
 	// This is the expanded form of (I − N_0 r/(r N_0)) N_{*2:p}: each
-	// new column stays in span(N) and is orthogonal to r.
-	p := work.Cols
-	out := NewMatrix(work.Rows, p-1)
+	// new column stays in span(N) and is orthogonal to r. Turn rn into
+	// the per-column factors once.
+	p := N.Cols
 	pivot := rn[0]
 	for j := 1; j < p; j++ {
-		f := rn[j] / pivot
-		for i := 0; i < work.Rows; i++ {
-			out.Set(i, j-1, work.At(i, j)-f*work.At(i, 0))
+		rn[j] /= pivot
+	}
+	// Compact row by row. Destination index i*(p−1)+(j−1) is strictly
+	// smaller than source index i*p+j for every i, j ≥ 1, and the
+	// pivot entry of each row is saved before the row is overwritten,
+	// so the rewrite is safe within the shared backing array.
+	data := N.Data
+	for i := 0; i < N.Rows; i++ {
+		src := data[i*p : i*p+p]
+		n0 := src[0]
+		dst := data[i*(p-1):]
+		for j := 1; j < p; j++ {
+			dst[j-1] = src[j] - rn[j]*n0
 		}
 	}
-	return out
+	N.Cols = p - 1
+	N.Data = data[:N.Rows*(p-1)]
+	return true
 }
 
 // InRowSpace reports whether row r is in the row space of the matrix

@@ -20,10 +20,21 @@ type QR struct {
 }
 
 // Factor computes the Householder QR factorization of a. a is not
-// modified.
+// modified (it is cloned; callers that own a freshly built matrix and
+// do not need it afterwards should use FactorInPlace, which skips the
+// full copy).
 func Factor(a *Matrix) *QR {
+	return FactorInPlace(a.Clone())
+}
+
+// FactorInPlace computes the Householder QR factorization using a's own
+// storage: a is overwritten with the factored form and must not be used
+// afterwards except through the returned QR. This is the
+// allocation-light path for solvers that rebuild their system matrix on
+// every call.
+func FactorInPlace(a *Matrix) *QR {
 	m, n := a.Rows, a.Cols
-	f := &QR{qr: a.Clone(), m: m, n: n, rdiag: make([]float64, n)}
+	f := &QR{qr: a, m: m, n: n, rdiag: make([]float64, n)}
 	for k := 0; k < n && k < m; k++ {
 		// 2-norm of column k below (and including) the diagonal.
 		nrm := 0.0
@@ -134,9 +145,16 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 	return x, nil
 }
 
-// SolveLeastSquares factors a and solves min ‖a·x − b‖₂.
+// SolveLeastSquares factors a and solves min ‖a·x − b‖₂. a is not
+// modified.
 func SolveLeastSquares(a *Matrix, b []float64) ([]float64, error) {
 	return Factor(a).SolveLeastSquares(b)
+}
+
+// SolveLeastSquaresInPlace solves min ‖a·x − b‖₂ factoring a in its own
+// storage; a is destroyed. b is not modified.
+func SolveLeastSquaresInPlace(a *Matrix, b []float64) ([]float64, error) {
+	return FactorInPlace(a).SolveLeastSquares(b)
 }
 
 // Rank returns the numerical rank of a (computed by Gaussian

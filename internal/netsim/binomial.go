@@ -10,14 +10,21 @@ import (
 // experiment; sampling it directly (instead of flipping n coins) keeps
 // interval simulation cheap for thousands of paths.
 //
-// For small n it inverts the CDF; for large n·p·(1−p) it uses the
+// For small n·p it inverts the CDF; for large n·p·(1−p) it uses the
 // normal approximation with continuity correction, clamped to [0, n].
+// p > 1/2 is folded through the symmetry Bin(n, p) = n − Bin(n, 1−p)
+// so the inversion walk is O(n·min(p, 1−p)) — the probing hot path
+// samples survival probabilities near 1, which would otherwise walk
+// the CDF across nearly all n packets on every probe.
 func Binomial(n int, p float64, rng *rand.Rand) int {
 	switch {
 	case n <= 0 || p <= 0:
 		return 0
 	case p >= 1:
 		return n
+	}
+	if p > 0.5 {
+		return n - Binomial(n, 1-p, rng)
 	}
 	variance := float64(n) * p * (1 - p)
 	if variance > 25 {

@@ -4,35 +4,73 @@
 // over the measurement period (the left-hand sides of Eq. 1), and the
 // set of always-good paths that determines which correlation subsets
 // are potentially congested (§5.2).
+//
+// The store is columnar: besides the per-interval congested-path sets
+// (the row view, kept for CongestedAt and as the naive reference), the
+// recorder maintains one congested-interval bitmask per path, updated
+// incrementally on Add. GoodCount over a path set P then reduces to
+// OR-ing |P| masks and popcounting — O(|P|·T/64) words instead of a
+// scan over all T row sets — and AllCongestedCount to the analogous
+// AND. A scratch buffer owned by the recorder keeps both queries
+// allocation-free; consequently a Recorder must not be queried from
+// multiple goroutines concurrently (the parallel experiment engine
+// gives each trial its own recorder).
 package observe
 
 import (
 	"math"
+	"math/bits"
 
 	"repro/internal/bitset"
 )
+
+const wordBits = 64
 
 // Recorder accumulates the observed congestion status of all paths over
 // a sequence of measurement intervals (Assumption 2: E2E Monitoring).
 type Recorder struct {
 	numPaths  int
-	intervals []*bitset.Set // congested paths per interval
+	intervals []*bitset.Set // row view: congested paths per interval
 	congCount []int         // per path: intervals observed congested
+
+	// cong is the columnar view: cong[p] is a bitmask over intervals,
+	// bit t set iff path p was congested in interval t. Masks are
+	// ragged — trailing zero words are not stored — so a path that was
+	// never congested costs nothing.
+	cong [][]uint64
+
+	scratch []uint64 // reusable word buffer for mask queries
 }
 
 // NewRecorder returns an empty recorder for numPaths paths.
 func NewRecorder(numPaths int) *Recorder {
-	return &Recorder{numPaths: numPaths, congCount: make([]int, numPaths)}
+	return &Recorder{
+		numPaths:  numPaths,
+		congCount: make([]int, numPaths),
+		cong:      make([][]uint64, numPaths),
+	}
 }
 
-// Add appends one interval's set of congested paths. The set is cloned.
+// Add appends one interval's set of congested paths. The set is
+// cloned; indices outside the path universe are dropped so that the row
+// and columnar views stay consistent.
 func (r *Recorder) Add(congestedPaths *bitset.Set) {
+	t := len(r.intervals)
 	c := congestedPaths.Clone()
 	r.intervals = append(r.intervals, c)
+	wi, bit := t/wordBits, uint64(1)<<uint(t%wordBits)
 	c.ForEach(func(pi int) bool {
-		if pi < r.numPaths {
-			r.congCount[pi]++
+		if pi >= r.numPaths {
+			c.Remove(pi)
+			return true
 		}
+		r.congCount[pi]++
+		m := r.cong[pi]
+		for len(m) <= wi {
+			m = append(m, 0)
+		}
+		m[wi] |= bit
+		r.cong[pi] = m
 		return true
 	})
 }
@@ -56,9 +94,54 @@ func (r *Recorder) CongestedFraction(p int) float64 {
 	return float64(r.congCount[p]) / float64(r.T())
 }
 
+// words returns the number of mask words covering the recorded
+// intervals.
+func (r *Recorder) words() int { return (len(r.intervals) + wordBits - 1) / wordBits }
+
+// scratchWords returns the scratch buffer sized to nw words; contents
+// are unspecified.
+func (r *Recorder) scratchWords(nw int) []uint64 {
+	if cap(r.scratch) < nw {
+		r.scratch = make([]uint64, nw)
+	}
+	return r.scratch[:nw]
+}
+
 // GoodCount returns the number of intervals in which *every* path in
 // the set was good: the raw count behind P̂(∩_{p∈P} Y_p = 0).
+//
+// Columnar evaluation: an interval fails iff at least one path of the
+// set was congested in it, so the answer is T minus the popcount of
+// the OR of the per-path congestion masks.
 func (r *Recorder) GoodCount(paths *bitset.Set) int {
+	T := len(r.intervals)
+	if T == 0 {
+		return 0
+	}
+	nw := r.words()
+	sc := r.scratchWords(nw)
+	for i := range sc {
+		sc[i] = 0
+	}
+	paths.ForEach(func(pi int) bool {
+		if pi < r.numPaths {
+			for i, w := range r.cong[pi] {
+				sc[i] |= w
+			}
+		}
+		return true
+	})
+	bad := 0
+	for _, w := range sc {
+		bad += bits.OnesCount64(w)
+	}
+	return T - bad
+}
+
+// GoodCountNaive is the retained reference implementation of GoodCount:
+// a full scan over the row view. It is used by the property tests and
+// benchmarks that validate the columnar store.
+func (r *Recorder) GoodCountNaive(paths *bitset.Set) int {
 	n := 0
 	for _, cong := range r.intervals {
 		if !paths.Intersects(cong) {
@@ -97,7 +180,56 @@ func (r *Recorder) LogGoodFreq(paths *bitset.Set) (logp float64, clamped bool) {
 // link e is congested, separability forces p congested, so the
 // frequency over the paths through e upper-bounds e's congestion
 // probability; the fallback estimators use this.
+//
+// Columnar evaluation: the popcount of the AND of the per-path
+// congestion masks (a mask's missing trailing words are zero, so a
+// shorter mask zeroes the tail).
 func (r *Recorder) AllCongestedCount(paths *bitset.Set) int {
+	if paths.IsEmpty() {
+		return r.T()
+	}
+	T := len(r.intervals)
+	if T == 0 {
+		return 0
+	}
+	nw := r.words()
+	sc := r.scratchWords(nw)
+	for i := range sc {
+		sc[i] = ^uint64(0)
+	}
+	if rem := T % wordBits; rem != 0 {
+		sc[nw-1] = (uint64(1) << uint(rem)) - 1
+	}
+	empty := false
+	paths.ForEach(func(pi int) bool {
+		if pi >= r.numPaths {
+			// A path outside the universe was never observed congested.
+			empty = true
+			return false
+		}
+		m := r.cong[pi]
+		for i := range sc {
+			if i < len(m) {
+				sc[i] &= m[i]
+			} else {
+				sc[i] = 0
+			}
+		}
+		return true
+	})
+	if empty {
+		return 0
+	}
+	n := 0
+	for _, w := range sc {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// AllCongestedCountNaive is the retained reference implementation of
+// AllCongestedCount (row-view scan).
+func (r *Recorder) AllCongestedCountNaive(paths *bitset.Set) int {
 	if paths.IsEmpty() {
 		return r.T()
 	}
@@ -121,7 +253,8 @@ func (r *Recorder) AllCongestedFreq(paths *bitset.Set) float64 {
 // AlwaysGoodPaths returns the paths observed good in every interval,
 // within tolerance: a path counts as always good when its congested
 // fraction is ≤ tol (tol = 0 is the paper's strict definition; a small
-// tol absorbs probing false positives).
+// tol absorbs probing false positives). The per-path congestion
+// counters make this O(numPaths) with no interval scan.
 func (r *Recorder) AlwaysGoodPaths(tol float64) *bitset.Set {
 	out := bitset.New(r.numPaths)
 	if r.T() == 0 {
@@ -133,6 +266,31 @@ func (r *Recorder) AlwaysGoodPaths(tol float64) *bitset.Set {
 	}
 	for p := 0; p < r.numPaths; p++ {
 		if r.CongestedFraction(p) <= tol {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// AlwaysGoodPathsNaive is the retained reference implementation of
+// AlwaysGoodPaths: it re-derives each path's congested fraction from a
+// full scan of the row view.
+func (r *Recorder) AlwaysGoodPathsNaive(tol float64) *bitset.Set {
+	out := bitset.New(r.numPaths)
+	if r.T() == 0 {
+		for p := 0; p < r.numPaths; p++ {
+			out.Add(p)
+		}
+		return out
+	}
+	for p := 0; p < r.numPaths; p++ {
+		c := 0
+		for _, cong := range r.intervals {
+			if cong.Contains(p) {
+				c++
+			}
+		}
+		if float64(c)/float64(r.T()) <= tol {
 			out.Add(p)
 		}
 	}

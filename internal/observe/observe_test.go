@@ -99,6 +99,81 @@ func TestAddClonesInput(t *testing.T) {
 	}
 }
 
+// Property test for the columnar store: on random recorders, the
+// mask-based GoodCount / AllCongestedCount / AlwaysGoodPaths must
+// exactly match the retained naive row-scan reference, including for
+// query sets with out-of-universe indices and for interval counts that
+// straddle the 64-bit word boundary.
+func TestQuickColumnarMatchesNaive(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nPaths := 1 + rng.Intn(100)
+		r := NewRecorder(nPaths)
+		T := rng.Intn(200)
+		for i := 0; i < T; i++ {
+			s := bitset.New(nPaths + 4)
+			for p := 0; p < nPaths+4; p++ {
+				if rng.Intn(4) == 0 {
+					s.Add(p) // indices ≥ nPaths exercise the clamping
+				}
+			}
+			r.Add(s)
+		}
+		for q := 0; q < 20; q++ {
+			paths := bitset.New(nPaths + 4)
+			for p := 0; p < nPaths+4; p++ {
+				if rng.Intn(6) == 0 {
+					paths.Add(p)
+				}
+			}
+			if r.GoodCount(paths) != r.GoodCountNaive(paths) {
+				t.Logf("seed %d: GoodCount %d != naive %d for %s",
+					seed, r.GoodCount(paths), r.GoodCountNaive(paths), paths)
+				return false
+			}
+			if r.AllCongestedCount(paths) != r.AllCongestedCountNaive(paths) {
+				t.Logf("seed %d: AllCongestedCount %d != naive %d for %s",
+					seed, r.AllCongestedCount(paths), r.AllCongestedCountNaive(paths), paths)
+				return false
+			}
+		}
+		for _, tol := range []float64{0, 0.05, 0.3, 1} {
+			if !r.AlwaysGoodPaths(tol).Equal(r.AlwaysGoodPathsNaive(tol)) {
+				t.Logf("seed %d: AlwaysGoodPaths(%v) mismatch", seed, tol)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The columnar queries must stay allocation-free once the recorder's
+// scratch buffer is warm (the hot-path contract the solver relies on).
+func TestColumnarQueriesAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	r := NewRecorder(64)
+	for i := 0; i < 130; i++ {
+		s := bitset.New(64)
+		for p := 0; p < 64; p++ {
+			if rng.Intn(5) == 0 {
+				s.Add(p)
+			}
+		}
+		r.Add(s)
+	}
+	paths := bitset.FromIndices(64, 3, 17, 40, 63)
+	r.GoodCount(paths) // warm the scratch buffer
+	if avg := testing.AllocsPerRun(50, func() {
+		r.GoodCount(paths)
+		r.AllCongestedCount(paths)
+	}); avg != 0 {
+		t.Fatalf("columnar queries allocate %v times per run, want 0", avg)
+	}
+}
+
 // Monotonicity: adding paths to a set can only reduce its good
 // frequency, and GoodFreq(P) ≥ 1 − Σ congested fractions (union bound).
 func TestQuickGoodFreqMonotoneAndBounded(t *testing.T) {

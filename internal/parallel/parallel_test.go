@@ -1,0 +1,82 @@
+package parallel
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, -1, 100} {
+		counts := make([]int32, 50)
+		For(workers, 10, 50, func(i int) {
+			atomic.AddInt32(&counts[i], 1)
+		})
+		for i, c := range counts {
+			want := int32(0)
+			if i >= 10 {
+				want = 1
+			}
+			if c != want {
+				t.Fatalf("workers=%d: index %d ran %d times, want %d", workers, i, c, want)
+			}
+		}
+	}
+}
+
+func TestForEmptyRange(t *testing.T) {
+	For(4, 3, 3, func(i int) { t.Fatal("fn called on empty range") })
+}
+
+func TestForErrLowestIndexWins(t *testing.T) {
+	errLow, errHigh := errors.New("low"), errors.New("high")
+	for _, workers := range []int{1, 4} {
+		err := ForErr(workers, 10, func(i int) error {
+			switch i {
+			case 2:
+				return errLow
+			case 7:
+				return errHigh
+			}
+			return nil
+		})
+		// Index 2 is always dispatched before 7, so its error is always
+		// collected and must win.
+		if err != errLow {
+			t.Fatalf("workers=%d: err = %v, want %v", workers, err, errLow)
+		}
+	}
+}
+
+func TestForErrStopsDispatchingAfterFailure(t *testing.T) {
+	var ran int32
+	err := ForErr(2, 1000, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errors.New("fail fast")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	// After index 0 fails, dispatch must stop: with 2 workers only a
+	// handful of indices can already be in flight, nowhere near all
+	// 1000 (the serial path would run exactly 1).
+	if n := atomic.LoadInt32(&ran); n > 100 {
+		t.Fatalf("ran %d trials after early failure, want early stop", n)
+	}
+}
+
+func TestForErrNoError(t *testing.T) {
+	var ran int32
+	if err := ForErr(4, 20, func(i int) error {
+		atomic.AddInt32(&ran, 1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 20 {
+		t.Fatalf("ran %d, want 20", ran)
+	}
+}

@@ -68,8 +68,10 @@ func solveLogSystem(rows [][]int, rhs []float64, nCols int) (g []float64, identi
 			b = append(b, rhs[ri])
 		}
 		if len(mRows) >= len(colMap) {
+			// The factorization may consume the matrix in place: the
+			// rank-deficient path below rebuilds from mRows.
 			a := linalg.FromRows(mRows)
-			if x, err := linalg.SolveLeastSquares(a, b); err == nil {
+			if x, err := linalg.SolveLeastSquaresInPlace(a, b); err == nil {
 				for k, c := range colMap {
 					v := math.Exp(x[k])
 					if v > 1 {

@@ -210,7 +210,12 @@ func CorrelationHeuristic(top *topology.Topology, rec *observe.Recorder, cfg Heu
 	index := map[string]int{}
 	registerRow := func(pathSet *bitset.Set) []int {
 		links := top.LinksOf(pathSet)
+		// Decompose per correlation set in first-encounter order (links
+		// iterate in ascending index order), NOT map iteration order:
+		// registration order fixes both column indices and the float
+		// summation order of the sweeps, so it must be deterministic.
 		bySet := map[int]*bitset.Set{}
+		var setOrder []int
 		links.ForEach(func(li int) bool {
 			if !pot.Contains(li) {
 				return true
@@ -218,12 +223,14 @@ func CorrelationHeuristic(top *topology.Topology, rec *observe.Recorder, cfg Heu
 			c := top.CorrSetOf(li)
 			if bySet[c] == nil {
 				bySet[c] = bitset.New(top.NumLinks())
+				setOrder = append(setOrder, c)
 			}
 			bySet[c].Add(li)
 			return true
 		})
 		var cols []int
-		for _, sub := range bySet {
+		for _, c := range setOrder {
+			sub := bySet[c]
 			key := sub.Key()
 			i, ok := index[key]
 			if !ok {
