@@ -3,8 +3,9 @@
 
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
+BENCHTIME ?= 1s
 
-.PHONY: all build vet test bench bench-smoke
+.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare
 
 all: vet build test
 
@@ -25,3 +26,15 @@ bench:
 # One-iteration smoke: every benchmark must still execute.
 bench-smoke:
 	$(GO) test -run '^$$' -bench . -benchtime=1x .
+
+# Refresh the committed baseline snapshot that bench-compare diffs
+# against. Run on a quiet box and commit the result.
+bench-baseline:
+	$(GO) test -run '^$$' -bench . -benchmem -json . > BENCH_baseline.json
+
+# Diff a fresh run against the committed baseline. Informational by
+# default (benchdiff always exits 0 without -fail-over); CI runs this
+# with BENCHTIME=1x as a reported, non-fatal step.
+bench-compare:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > BENCH_compare.json
+	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_compare.json

@@ -11,6 +11,8 @@ package tomography
 
 import (
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
 	"strconv"
 	"testing"
 
@@ -20,6 +22,8 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/netsim"
 	"repro/internal/observe"
+	"repro/internal/server"
+	"repro/internal/stream"
 )
 
 func benchCfg() experiment.Config {
@@ -291,6 +295,108 @@ func BenchmarkGoodCount(b *testing.B) {
 			rec.AllCongestedCountNaive(paths)
 		}
 	})
+}
+
+// BenchmarkStreamIngest measures the streaming store's steady-state
+// ingest path at the paper's path-universe scale: each Add evicts the
+// oldest interval of a full ring and must not allocate (the ring and
+// the per-path masks are warm after the first lap). The windowed
+// queries are benchmarked alongside since the solver loop issues them
+// against the same layout.
+func BenchmarkStreamIngest(b *testing.B) {
+	const numPaths, window = 1500, 1000
+	rng := rand.New(rand.NewSource(1))
+	pool := make([]*bitset.Set, 64)
+	for i := range pool {
+		s := bitset.New(numPaths)
+		for p := 0; p < numPaths; p++ {
+			if rng.Intn(5) == 0 {
+				s.Add(p)
+			}
+		}
+		pool[i] = s
+	}
+	newWarmWindow := func() *stream.Window {
+		w := stream.NewWindow(numPaths, window)
+		for i := 0; i < 2*window; i++ { // wrap the ring: steady state
+			w.Add(pool[i%len(pool)])
+		}
+		return w
+	}
+	b.Run("add-evict", func(b *testing.B) {
+		w := newWarmWindow()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.Add(pool[i%len(pool)])
+		}
+		b.ReportMetric(float64(w.T()), "window-intervals")
+	})
+	paths := bitset.New(numPaths)
+	for paths.Count() < 8 {
+		paths.Add(rng.Intn(numPaths))
+	}
+	b.Run("windowed-goodcount", func(b *testing.B) {
+		w := newWarmWindow()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.GoodCount(paths)
+		}
+	})
+	b.Run("windowed-allcongested", func(b *testing.B) {
+		w := newWarmWindow()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			w.AllCongestedCount(paths)
+		}
+	})
+}
+
+// BenchmarkSnapshotQuery measures the streaming service's query-side
+// latency through the real HTTP handlers (mux, JSON encoding and all)
+// against a published solver snapshot, the path a monitoring dashboard
+// polls.
+func BenchmarkSnapshotQuery(b *testing.B) {
+	scale := experiment.Small()
+	scale.BriteNumAS = 20
+	scale.BritePaths = 80
+	top, err := experiment.BuildTopology(experiment.Brite, scale, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s := server.New(top, server.Config{
+		WindowSize: 500,
+		Solver:     core.Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02},
+	})
+	rng := rand.New(rand.NewSource(1))
+	mc := netsim.DefaultConfig(netsim.RandomCongestion)
+	mc.PerfectE2E = true
+	model, err := netsim.NewModel(top, mc, 700, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for t := 0; t < 700; t++ {
+		s.Ingest([]*bitset.Set{model.Interval(t, rng).CongestedPaths})
+	}
+	if snap := s.Recompute(); snap.Err != nil {
+		b.Fatal(snap.Err)
+	}
+	handler := s.Handler()
+	serve := func(b *testing.B, method, url string) {
+		req := httptest.NewRequest(method, url, nil)
+		for i := 0; i < b.N; i++ {
+			rw := httptest.NewRecorder()
+			handler.ServeHTTP(rw, req)
+			if rw.Code != http.StatusOK {
+				b.Fatalf("%s %s: %d", method, url, rw.Code)
+			}
+		}
+	}
+	b.Run("link", func(b *testing.B) { serve(b, http.MethodGet, "/v1/links/3") })
+	b.Run("status", func(b *testing.B) { serve(b, http.MethodGet, "/v1/status") })
+	b.Run("congested-paths", func(b *testing.B) { serve(b, http.MethodGet, "/v1/paths/congested?min=0.25") })
 }
 
 // BenchmarkFigure4Parallel measures the parallel experiment engine:

@@ -1,0 +1,166 @@
+// Command benchdiff compares two benchmark snapshots produced by
+// `make bench` / `make bench-baseline` (`go test -json -bench` output)
+// and prints a per-benchmark delta table.
+//
+// Usage:
+//
+//	benchdiff [-fail-over PCT] BENCH_baseline.json BENCH_fresh.json
+//
+// By default the comparison is purely informational and always exits 0
+// (CI runs it as a reported, non-fatal step: one-shot CI timings are
+// too noisy to gate on). With -fail-over N it exits 1 when any
+// benchmark regressed by more than N percent, for use on boxes with
+// stable timings.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// benchRE matches one benchmark result line of `go test -bench`
+// output, e.g.
+//
+//	BenchmarkGoodCount/columnar-8   9031466   138.1 ns/op   0 B/op   0 allocs/op
+//
+// The trailing -N GOMAXPROCS suffix is stripped so snapshots from
+// machines with different core counts still align.
+var benchRE = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
+
+// testEvent is the subset of test2json's event schema we need.
+type testEvent struct {
+	Action string `json:"Action"`
+	Output string `json:"Output"`
+}
+
+// load parses a snapshot into benchmark name -> ns/op. A benchmark
+// appearing multiple times keeps its last measurement.
+//
+// test2json splits one bench-output line across multiple events (the
+// name is emitted when the benchmark starts, the measurements when it
+// finishes), so the raw stream is reassembled from the Output payloads
+// first and the result regex runs over its real lines.
+func load(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var raw strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		// Snapshots are test2json streams, but tolerate raw bench text
+		// too so hand-saved output also diffs.
+		if line[0] == '{' {
+			var ev testEvent
+			if err := json.Unmarshal(line, &ev); err == nil && ev.Action == "output" {
+				raw.WriteString(ev.Output)
+			}
+			continue
+		}
+		raw.Write(line)
+		raw.WriteByte('\n')
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]float64{}
+	for _, text := range strings.Split(raw.String(), "\n") {
+		m := benchRE.FindStringSubmatch(strings.TrimSpace(text))
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = ns
+	}
+	return out, nil
+}
+
+func human(ns float64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", ns/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", ns/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", ns/1e3)
+	default:
+		return fmt.Sprintf("%.0fns", ns)
+	}
+}
+
+func main() {
+	failOver := flag.Float64("fail-over", 0, "exit non-zero when any benchmark regresses by more than this percent (0 = never fail)")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-fail-over PCT] <baseline> <fresh>\n")
+		os.Exit(2)
+	}
+	base, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+	fresh, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(1)
+	}
+
+	names := map[string]bool{}
+	for n := range base {
+		names[n] = true
+	}
+	for n := range fresh {
+		names[n] = true
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	width := 0
+	for _, n := range sorted {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	worst := 0.0
+	fmt.Printf("%-*s  %12s  %12s  %s\n", width, "benchmark", "baseline", "fresh", "delta")
+	for _, n := range sorted {
+		b, inBase := base[n]
+		f, inFresh := fresh[n]
+		switch {
+		case !inBase:
+			fmt.Printf("%-*s  %12s  %12s  (new)\n", width, n, "-", human(f))
+		case !inFresh:
+			fmt.Printf("%-*s  %12s  %12s  (gone)\n", width, n, human(b), "-")
+		default:
+			delta := (f - b) / b * 100
+			if delta > worst {
+				worst = delta
+			}
+			fmt.Printf("%-*s  %12s  %12s  %+.1f%%\n", width, n, human(b), human(f), delta)
+		}
+	}
+	if *failOver > 0 && worst > *failOver {
+		fmt.Fprintf(os.Stderr, "benchdiff: worst regression %.1f%% exceeds threshold %.1f%%\n", worst, *failOver)
+		os.Exit(1)
+	}
+}

@@ -16,6 +16,8 @@
 //	-maxsubset K                Correlation-complete subset-size knob (default 2)
 //	-workers N                  parallel trial workers; output is
 //	                            bit-identical to serial (default 1, -1 = all CPUs)
+//	-concurrency N              solver workers inside each trial; output is
+//	                            bit-identical to serial (default 0, -1 = all CPUs)
 package main
 
 import (
@@ -33,6 +35,7 @@ func main() {
 	tol := flag.Float64("tol", 0.02, "always-good congested-fraction tolerance")
 	maxSubset := flag.Int("maxsubset", 2, "Correlation-complete max subset size (the paper's resource knob)")
 	workers := flag.Int("workers", 1, "parallel trial workers (0/1 = serial, -1 = all CPUs); output is bit-identical to serial")
+	concurrency := flag.Int("concurrency", 0, "solver workers inside each trial (0/1 = serial, -1 = all CPUs); output is bit-identical to serial")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -58,6 +61,7 @@ func main() {
 		AlwaysGoodTol: *tol,
 		MaxSubsetSize: *maxSubset,
 		Workers:       *workers,
+		Concurrency:   *concurrency,
 	}
 
 	artifact := flag.Arg(0)

@@ -1,0 +1,224 @@
+// Command tomod is the streaming tomography daemon: it ingests
+// per-interval path observations over HTTP, continuously recomputes the
+// Correlation-complete result over a sliding window, and answers
+// link-probability and congested-path queries from the latest solver
+// epoch.
+//
+// Serve mode (default):
+//
+//	tomod -topology topo.json -listen :9900 -window 1000 -recompute 2s
+//
+// The topology JSON is the format written by cmd/topogen and
+// topology.WriteJSON; alternatively -gen brite|sparse generates one on
+// startup (useful for demos and load tests).
+//
+// API:
+//
+//	POST /v1/observations      {"intervals":[{"congested_paths":[3,17]},...]}
+//	GET  /v1/links/{id}        best estimate of P(link congested), with epoch
+//	GET  /v1/paths/congested   paths above ?min= congested fraction
+//	GET  /v1/status            window fill, epoch, solver lag and stats
+//
+// Load-generator mode drives simulated netsim intervals at a running
+// daemon (the topology must be the same file/generation):
+//
+//	tomod -loadgen -topology topo.json -target http://localhost:9900 \
+//	      -intervals 10000 -batch 100 -scenario random
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/experiment"
+	"repro/internal/netsim"
+	"repro/internal/server"
+	"repro/internal/topology"
+)
+
+func main() {
+	var (
+		topoPath  = flag.String("topology", "", "topology JSON file (cmd/topogen format)")
+		gen       = flag.String("gen", "", "generate a topology instead: brite or sparse")
+		scaleName = flag.String("scale", "small", "generated-topology scale: small, medium, or paper")
+		genSeed   = flag.Int64("genseed", 1, "generated-topology seed")
+
+		listen      = flag.String("listen", ":9900", "serve: HTTP listen address")
+		window      = flag.Int("window", 1000, "serve: sliding-window capacity in intervals")
+		recompute   = flag.Duration("recompute", 2*time.Second, "serve: solver recompute cadence")
+		concurrency = flag.Int("concurrency", 0, "serve: solver workers per epoch (0/1 = serial, -1 = all CPUs)")
+		maxSubset   = flag.Int("maxsubset", 2, "serve: Correlation-complete max subset size")
+		tol         = flag.Float64("tol", 0.02, "serve: always-good congested-fraction tolerance")
+
+		loadgen   = flag.Bool("loadgen", false, "run as load generator instead of serving")
+		target    = flag.String("target", "http://localhost:9900", "loadgen: base URL of the daemon")
+		intervals = flag.Int("intervals", 10000, "loadgen: intervals to simulate and send")
+		batch     = flag.Int("batch", 100, "loadgen: intervals per POST")
+		scenario  = flag.String("scenario", "random", "loadgen: congestion scenario: random, concentrated, or noindep")
+		packets   = flag.Int("packets", 1000, "loadgen: probe packets per path per interval")
+		perfect   = flag.Bool("perfect", false, "loadgen: perfect E2E monitoring (skip probe sampling)")
+		simSeed   = flag.Int64("seed", 1, "loadgen: simulation seed")
+	)
+	flag.Parse()
+
+	top, err := loadTopology(*topoPath, *gen, *scaleName, *genSeed)
+	if err != nil {
+		log.Fatalf("tomod: %v", err)
+	}
+	log.Printf("topology: %d links, %d paths, %d correlation sets",
+		top.NumLinks(), top.NumPaths(), len(top.CorrSets))
+
+	if *loadgen {
+		scen, err := parseScenario(*scenario)
+		if err != nil {
+			log.Fatalf("tomod: %v", err)
+		}
+		simCfg := netsim.DefaultConfig(scen)
+		simCfg.PacketsPerPath = *packets
+		simCfg.PerfectE2E = *perfect
+		if err := runLoadGen(top, server.LoadConfig{
+			Target:    *target,
+			Intervals: *intervals,
+			BatchSize: *batch,
+			Seed:      *simSeed,
+			Sim:       simCfg,
+		}); err != nil {
+			log.Fatalf("tomod: %v", err)
+		}
+		return
+	}
+
+	cfg := server.Config{
+		WindowSize:     *window,
+		RecomputeEvery: *recompute,
+		Solver: core.Config{
+			MaxSubsetSize: *maxSubset,
+			AlwaysGoodTol: *tol,
+			Concurrency:   *concurrency,
+		},
+	}
+	if err := serve(top, cfg, *listen); err != nil {
+		log.Fatalf("tomod: %v", err)
+	}
+}
+
+// loadTopology reads the topology file, or generates one when -gen is
+// set.
+func loadTopology(path, gen, scaleName string, seed int64) (*topology.Topology, error) {
+	switch {
+	case path != "" && gen != "":
+		return nil, fmt.Errorf("-topology and -gen are mutually exclusive")
+	case path != "":
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return topology.ReadJSON(f)
+	case gen != "":
+		var kind experiment.TopologyKind
+		switch gen {
+		case "brite":
+			kind = experiment.Brite
+		case "sparse":
+			kind = experiment.Sparse
+		default:
+			return nil, fmt.Errorf("unknown -gen %q (want brite or sparse)", gen)
+		}
+		var scale experiment.Scale
+		switch scaleName {
+		case "small":
+			scale = experiment.Small()
+		case "medium":
+			scale = experiment.Medium()
+		case "paper":
+			scale = experiment.Paper()
+		default:
+			return nil, fmt.Errorf("unknown -scale %q", scaleName)
+		}
+		return experiment.BuildTopology(kind, scale, seed)
+	default:
+		return nil, fmt.Errorf("either -topology or -gen is required")
+	}
+}
+
+// serve runs the streaming service until SIGINT/SIGTERM, then shuts
+// down gracefully: stop accepting connections, stop the solver loop.
+func serve(top *topology.Topology, cfg server.Config, listen string) error {
+	s := server.New(top, cfg)
+	s.Start()
+	defer s.Close()
+
+	httpSrv := &http.Server{Addr: listen, Handler: s.Handler()}
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("listening on %s (window %d intervals, recompute every %v)",
+			listen, cfg.WindowSize, cfg.RecomputeEvery)
+		errc <- httpSrv.ListenAndServe()
+	}()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	log.Printf("shutting down")
+	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shutCancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return err
+	}
+	return nil
+}
+
+// runLoadGen drives the simulator at the target and prints throughput
+// plus the daemon's final status.
+func runLoadGen(top *topology.Topology, cfg server.LoadConfig) error {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	log.Printf("driving %d intervals at %s (batch %d)", cfg.Intervals, cfg.Target, cfg.BatchSize)
+	stats, err := server.RunLoadGen(ctx, top, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("sent %d intervals in %d batches over %.2fs (%.0f intervals/s)\n",
+		stats.Intervals, stats.Batches, stats.Elapsed.Seconds(), stats.IntervalsPerSec())
+
+	resp, err := http.Get(strings.TrimSuffix(cfg.Target, "/") + "/v1/status")
+	if err != nil {
+		return fmt.Errorf("fetching final status: %w", err)
+	}
+	defer resp.Body.Close()
+	var status map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+		return fmt.Errorf("decoding final status: %w", err)
+	}
+	out, _ := json.MarshalIndent(status, "", "  ")
+	fmt.Printf("server status: %s\n", out)
+	return nil
+}
+
+func parseScenario(name string) (netsim.Scenario, error) {
+	switch name {
+	case "random":
+		return netsim.RandomCongestion, nil
+	case "concentrated":
+		return netsim.ConcentratedCongestion, nil
+	case "noindep":
+		return netsim.NoIndependence, nil
+	default:
+		return 0, fmt.Errorf("unknown -scenario %q (want random, concentrated, or noindep)", name)
+	}
+}

@@ -14,7 +14,7 @@ import (
 // builder carries the state of one Correlation-complete run.
 type builder struct {
 	top *topology.Topology
-	rec *observe.Recorder
+	rec observe.Store
 	cfg Config
 
 	alwaysGoodPaths *bitset.Set
@@ -43,7 +43,7 @@ type subsetEntry struct {
 	seedSet *bitset.Set // Paths(E) \ Paths(Ē), the isolation path set
 }
 
-func newBuilder(top *topology.Topology, rec *observe.Recorder, cfg Config) *builder {
+func newBuilder(top *topology.Topology, rec observe.Store, cfg Config) *builder {
 	b := &builder{
 		top:      top,
 		rec:      rec,

@@ -113,12 +113,14 @@ type Result struct {
 	ClampedRows int
 
 	top *topology.Topology
-	rec *observe.Recorder
+	rec observe.Store
 }
 
 // Compute runs the Correlation-complete algorithm over the recorded
-// observations.
-func Compute(top *topology.Topology, rec *observe.Recorder, cfg Config) (*Result, error) {
+// observations. rec may be any observation store — an observe.Recorder
+// over a full monitoring period, or a stream.Window over the live
+// sliding window of the streaming service.
+func Compute(top *topology.Topology, rec observe.Store, cfg Config) (*Result, error) {
 	if rec.NumPaths() != top.NumPaths() {
 		return nil, fmt.Errorf("core: recorder has %d paths, topology has %d", rec.NumPaths(), top.NumPaths())
 	}
@@ -362,7 +364,7 @@ func (r *Result) subsetInformedFallback(e int) (float64, bool) {
 // across the potentially congested links of e's tightest covering path
 // — a Homogeneity-style prior that avoids blaming every link on a
 // congested path for the whole path's congestion.
-func FallbackLinkProb(top *topology.Topology, rec *observe.Recorder, potentiallyCongested *bitset.Set, e int) float64 {
+func FallbackLinkProb(top *topology.Topology, rec observe.Store, potentiallyCongested *bitset.Set, e int) float64 {
 	cover := top.LinkPaths(e)
 	if cover.IsEmpty() {
 		return 0

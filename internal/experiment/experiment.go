@@ -96,6 +96,13 @@ type Config struct {
 	// so the output is bit-identical to the serial run regardless of
 	// scheduling. 0 or 1 runs serially; negative uses all CPUs.
 	Workers int
+
+	// Concurrency is passed through to core.Config.Concurrency: the
+	// worker count inside each Correlation-complete run (bit-identical
+	// to serial). It multiplies with Workers, so leave it at 0 when
+	// fanning trials out across all CPUs. 0 or 1 runs serially;
+	// negative uses all CPUs.
+	Concurrency int
 }
 
 // DefaultConfig returns the configuration used by EXPERIMENTS.md.
@@ -177,6 +184,7 @@ func runSim(cfg Config, top *topology.Topology, scen netsim.Scenario, nonStation
 		coreCf: core.Config{
 			MaxSubsetSize: cfg.MaxSubsetSize,
 			AlwaysGoodTol: cfg.AlwaysGoodTol,
+			Concurrency:   cfg.Concurrency,
 		},
 	}, nil
 }

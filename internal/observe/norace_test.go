@@ -1,0 +1,5 @@
+//go:build !race
+
+package observe
+
+const raceEnabled = false

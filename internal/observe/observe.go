@@ -11,20 +11,77 @@
 // incrementally on Add. GoodCount over a path set P then reduces to
 // OR-ing |P| masks and popcounting — O(|P|·T/64) words instead of a
 // scan over all T row sets — and AllCongestedCount to the analogous
-// AND. A scratch buffer owned by the recorder keeps both queries
-// allocation-free; consequently a Recorder must not be queried from
-// multiple goroutines concurrently (the parallel experiment engine
-// gives each trial its own recorder).
+// AND. Both queries draw their word buffer from a shared scratch pool,
+// staying allocation-free on the steady-state path while remaining safe
+// for any number of concurrent readers; only Add requires external
+// serialization against the queries.
 package observe
 
 import (
 	"math"
 	"math/bits"
+	"sync"
 
 	"repro/internal/bitset"
 )
 
 const wordBits = 64
+
+// Store is the read side of an observation store: the empirical joint
+// statistics every tomography algorithm consumes. *Recorder implements
+// it over a monotonically growing record; stream.Window implements it
+// over a sliding window. Implementations must support concurrent
+// readers (writes still need external serialization against reads).
+type Store interface {
+	// NumPaths returns the path universe size.
+	NumPaths() int
+	// T returns the number of observed intervals.
+	T() int
+	// CongestedFraction returns the fraction of intervals in which
+	// path p was observed congested.
+	CongestedFraction(p int) float64
+	// GoodCount returns the number of intervals in which every path in
+	// the set was good.
+	GoodCount(paths *bitset.Set) int
+	// GoodFreq is GoodCount normalized by T (1 on an empty store).
+	GoodFreq(paths *bitset.Set) float64
+	// LogGoodFreq returns log P̂(∩ Y_p = 0), clamping a zero count to
+	// half an observation; clamped reports whether it did.
+	LogGoodFreq(paths *bitset.Set) (logp float64, clamped bool)
+	// AllCongestedCount returns the number of intervals in which every
+	// path in the set was simultaneously congested.
+	AllCongestedCount(paths *bitset.Set) int
+	// AllCongestedFreq is AllCongestedCount normalized by T.
+	AllCongestedFreq(paths *bitset.Set) float64
+	// AlwaysGoodPaths returns the paths whose congested fraction is
+	// ≤ tol.
+	AlwaysGoodPaths(tol float64) *bitset.Set
+}
+
+var _ Store = (*Recorder)(nil)
+
+// scratchPool holds the word buffers used by the mask queries. A pool
+// (rather than a buffer owned by each store) is what makes the queries
+// safe for concurrent readers while staying allocation-free once warm:
+// each query checks a buffer out for its own use and returns it before
+// finishing.
+var scratchPool = sync.Pool{New: func() any { return new([]uint64) }}
+
+// GetScratch returns a pooled word buffer of length nw with
+// unspecified contents. Callers must hand it back with PutScratch.
+// It is shared with stream.Window, which uses the same columnar mask
+// layout.
+func GetScratch(nw int) *[]uint64 {
+	p := scratchPool.Get().(*[]uint64)
+	if cap(*p) < nw {
+		*p = make([]uint64, nw)
+	}
+	*p = (*p)[:nw]
+	return p
+}
+
+// PutScratch returns a buffer obtained from GetScratch to the pool.
+func PutScratch(p *[]uint64) { scratchPool.Put(p) }
 
 // Recorder accumulates the observed congestion status of all paths over
 // a sequence of measurement intervals (Assumption 2: E2E Monitoring).
@@ -38,8 +95,6 @@ type Recorder struct {
 	// ragged — trailing zero words are not stored — so a path that was
 	// never congested costs nothing.
 	cong [][]uint64
-
-	scratch []uint64 // reusable word buffer for mask queries
 }
 
 // NewRecorder returns an empty recorder for numPaths paths.
@@ -98,15 +153,6 @@ func (r *Recorder) CongestedFraction(p int) float64 {
 // intervals.
 func (r *Recorder) words() int { return (len(r.intervals) + wordBits - 1) / wordBits }
 
-// scratchWords returns the scratch buffer sized to nw words; contents
-// are unspecified.
-func (r *Recorder) scratchWords(nw int) []uint64 {
-	if cap(r.scratch) < nw {
-		r.scratch = make([]uint64, nw)
-	}
-	return r.scratch[:nw]
-}
-
 // GoodCount returns the number of intervals in which *every* path in
 // the set was good: the raw count behind P̂(∩_{p∈P} Y_p = 0).
 //
@@ -118,8 +164,8 @@ func (r *Recorder) GoodCount(paths *bitset.Set) int {
 	if T == 0 {
 		return 0
 	}
-	nw := r.words()
-	sc := r.scratchWords(nw)
+	sp := GetScratch(r.words())
+	sc := *sp
 	for i := range sc {
 		sc[i] = 0
 	}
@@ -135,6 +181,7 @@ func (r *Recorder) GoodCount(paths *bitset.Set) int {
 	for _, w := range sc {
 		bad += bits.OnesCount64(w)
 	}
+	PutScratch(sp)
 	return T - bad
 }
 
@@ -193,7 +240,8 @@ func (r *Recorder) AllCongestedCount(paths *bitset.Set) int {
 		return 0
 	}
 	nw := r.words()
-	sc := r.scratchWords(nw)
+	sp := GetScratch(nw)
+	sc := *sp
 	for i := range sc {
 		sc[i] = ^uint64(0)
 	}
@@ -217,13 +265,13 @@ func (r *Recorder) AllCongestedCount(paths *bitset.Set) int {
 		}
 		return true
 	})
-	if empty {
-		return 0
-	}
 	n := 0
-	for _, w := range sc {
-		n += bits.OnesCount64(w)
+	if !empty {
+		for _, w := range sc {
+			n += bits.OnesCount64(w)
+		}
 	}
+	PutScratch(sp)
 	return n
 }
 

@@ -3,6 +3,8 @@ package observe
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"testing/quick"
 
@@ -150,9 +152,12 @@ func TestQuickColumnarMatchesNaive(t *testing.T) {
 	}
 }
 
-// The columnar queries must stay allocation-free once the recorder's
-// scratch buffer is warm (the hot-path contract the solver relies on).
+// The columnar queries must stay allocation-free once the shared
+// scratch pool is warm (the hot-path contract the solver relies on).
 func TestColumnarQueriesAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race")
+	}
 	rng := rand.New(rand.NewSource(7))
 	r := NewRecorder(64)
 	for i := 0; i < 130; i++ {
@@ -171,6 +176,55 @@ func TestColumnarQueriesAllocationFree(t *testing.T) {
 		r.AllCongestedCount(paths)
 	}); avg != 0 {
 		t.Fatalf("columnar queries allocate %v times per run, want 0", avg)
+	}
+}
+
+// A recorder must serve many concurrent readers: the streaming
+// server's snapshot queries rely on this (run under -race in CI).
+func TestConcurrentReaders(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	r := NewRecorder(80)
+	for i := 0; i < 150; i++ {
+		s := bitset.New(80)
+		for p := 0; p < 80; p++ {
+			if rng.Intn(4) == 0 {
+				s.Add(p)
+			}
+		}
+		r.Add(s)
+	}
+	queries := make([]*bitset.Set, 6)
+	wantGood := make([]int, len(queries))
+	wantAll := make([]int, len(queries))
+	for i := range queries {
+		q := bitset.New(80)
+		for p := 0; p < 80; p++ {
+			if rng.Intn(7) == 0 {
+				q.Add(p)
+			}
+		}
+		queries[i] = q
+		wantGood[i] = r.GoodCount(q)
+		wantAll[i] = r.AllCongestedCount(q)
+	}
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 200; rep++ {
+				i := (g + rep) % len(queries)
+				if r.GoodCount(queries[i]) != wantGood[i] || r.AllCongestedCount(queries[i]) != wantAll[i] {
+					failed.Store(true)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.Fatal("concurrent readers observed inconsistent counts")
 	}
 }
 

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sort"
+	"strconv"
+
+	"repro/internal/bitset"
+)
+
+// maxIngestBody bounds one ingest request (64 MiB is ~ a day of
+// intervals on the paper-scale path universe).
+const maxIngestBody = 64 << 20
+
+// Wire types of the JSON API.
+
+// IntervalObs is one measurement interval on the wire: the IDs of the
+// paths observed congested (Assumption 2: E2E monitoring).
+type IntervalObs struct {
+	CongestedPaths []int `json:"congested_paths"`
+}
+
+// ObservationsRequest is the body of POST /v1/observations.
+type ObservationsRequest struct {
+	Intervals []IntervalObs `json:"intervals"`
+}
+
+// ObservationsResponse acknowledges an ingest batch.
+type ObservationsResponse struct {
+	Accepted int    `json:"accepted"`
+	Seq      uint64 `json:"seq"`
+}
+
+// LinkResponse is the answer of GET /v1/links/{id}: the best available
+// estimate of P(link congested) under the snapshot's epoch.
+type LinkResponse struct {
+	Link        int     `json:"link"`
+	Name        string  `json:"name,omitempty"`
+	CongestProb float64 `json:"congest_prob"`
+	// Exact reports whether the probability was identified by the
+	// solver (vs an observable fallback estimate).
+	Exact   bool   `json:"exact"`
+	Epoch   uint64 `json:"epoch"`
+	WindowT int    `json:"window_intervals"`
+	SeqHigh uint64 `json:"seq_high"`
+}
+
+// CongestedPath is one entry of GET /v1/paths/congested.
+type CongestedPath struct {
+	Path              int     `json:"path"`
+	Name              string  `json:"name,omitempty"`
+	CongestedFraction float64 `json:"congested_fraction"`
+}
+
+// CongestedPathsResponse lists the paths whose congested fraction over
+// the snapshot window meets the threshold, most congested first.
+type CongestedPathsResponse struct {
+	Epoch     uint64          `json:"epoch"`
+	WindowT   int             `json:"window_intervals"`
+	SeqHigh   uint64          `json:"seq_high"`
+	Threshold float64         `json:"threshold"`
+	Paths     []CongestedPath `json:"paths"`
+}
+
+// StatusResponse is GET /v1/status: ingest/solver progress and lag.
+type StatusResponse struct {
+	Epoch       uint64 `json:"epoch"`
+	IngestedSeq uint64 `json:"ingested_seq"`
+	SnapshotSeq uint64 `json:"snapshot_seq"`
+	// LagIntervals is how many ingested intervals the published
+	// snapshot has not yet seen.
+	LagIntervals uint64  `json:"lag_intervals"`
+	WindowT      int     `json:"window_intervals"`
+	WindowCap    int     `json:"window_capacity"`
+	NumLinks     int     `json:"num_links"`
+	NumPaths     int     `json:"num_paths"`
+	ComputeMs    float64 `json:"last_compute_ms"`
+	Rank         int     `json:"rank"`
+	Nullity      int     `json:"nullity"`
+	Subsets      int     `json:"subsets"`
+	Identifiable int     `json:"identifiable_subsets"`
+	ClampedRows  int     `json:"clamped_rows"`
+	SolverError  string  `json:"solver_error,omitempty"`
+}
+
+// Handler returns the HTTP API: batched ingest, per-link and congested
+// path queries answered from the latest snapshot, and status.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/observations", s.handleObservations)
+	mux.HandleFunc("GET /v1/links/{id}", s.handleLink)
+	mux.HandleFunc("GET /v1/paths/congested", s.handleCongestedPaths)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
+	var req ObservationsRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	if err := dec.Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		return
+	}
+	numPaths := s.top.NumPaths()
+	batch := make([]*bitset.Set, len(req.Intervals))
+	for i, iv := range req.Intervals {
+		set := bitset.New(numPaths)
+		for _, p := range iv.CongestedPaths {
+			if p < 0 || p >= numPaths {
+				writeError(w, http.StatusBadRequest,
+					"interval %d: path %d outside universe [0,%d)", i, p, numPaths)
+				return
+			}
+			set.Add(p)
+		}
+		batch[i] = set
+	}
+	seq := s.Ingest(batch)
+	writeJSON(w, http.StatusOK, ObservationsResponse{Accepted: len(batch), Seq: seq})
+}
+
+func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, "link id %q is not an integer", r.PathValue("id"))
+		return
+	}
+	if id < 0 || id >= s.top.NumLinks() {
+		writeError(w, http.StatusNotFound, "link %d outside universe [0,%d)", id, s.top.NumLinks())
+		return
+	}
+	snap := s.Latest()
+	if snap == nil || snap.Result == nil {
+		writeError(w, http.StatusServiceUnavailable, "no solver snapshot yet")
+		return
+	}
+	p, exact := snap.Result.LinkCongestProbOrFallback(id)
+	writeJSON(w, http.StatusOK, LinkResponse{
+		Link:        id,
+		Name:        s.top.Links[id].Name,
+		CongestProb: p,
+		Exact:       exact,
+		Epoch:       snap.Epoch,
+		WindowT:     snap.T,
+		SeqHigh:     snap.SeqHigh,
+	})
+}
+
+func (s *Server) handleCongestedPaths(w http.ResponseWriter, r *http.Request) {
+	threshold := 0.5
+	if v := r.URL.Query().Get("min"); v != "" {
+		f, err := strconv.ParseFloat(v, 64)
+		if err != nil || f < 0 || f > 1 {
+			writeError(w, http.StatusBadRequest, "min must be a number in [0,1], got %q", v)
+			return
+		}
+		threshold = f
+	}
+	snap := s.Latest()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, "no solver snapshot yet")
+		return
+	}
+	resp := CongestedPathsResponse{
+		Epoch:     snap.Epoch,
+		WindowT:   snap.T,
+		SeqHigh:   snap.SeqHigh,
+		Threshold: threshold,
+		Paths:     []CongestedPath{},
+	}
+	for p := 0; p < s.top.NumPaths(); p++ {
+		if f := snap.Window.CongestedFraction(p); f >= threshold {
+			resp.Paths = append(resp.Paths, CongestedPath{
+				Path:              p,
+				Name:              s.top.Paths[p].Name,
+				CongestedFraction: f,
+			})
+		}
+	}
+	sort.Slice(resp.Paths, func(i, j int) bool {
+		if resp.Paths[i].CongestedFraction != resp.Paths[j].CongestedFraction {
+			return resp.Paths[i].CongestedFraction > resp.Paths[j].CongestedFraction
+		}
+		return resp.Paths[i].Path < resp.Paths[j].Path
+	})
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	// Load the snapshot before reading the ingest counter: SeqHigh is a
+	// past value of the monotone counter, so this order guarantees
+	// IngestedSeq ≥ SnapshotSeq and the lag subtraction cannot wrap.
+	snap := s.Latest()
+	st := StatusResponse{
+		IngestedSeq: s.Seq(),
+		WindowCap:   s.cfg.WindowSize,
+		NumLinks:    s.top.NumLinks(),
+		NumPaths:    s.top.NumPaths(),
+	}
+	if snap != nil {
+		st.Epoch = snap.Epoch
+		st.SnapshotSeq = snap.SeqHigh
+		st.LagIntervals = st.IngestedSeq - snap.SeqHigh
+		st.WindowT = snap.T
+		st.ComputeMs = float64(snap.ComputeTime.Microseconds()) / 1000
+		if snap.Err != nil {
+			st.SolverError = snap.Err.Error()
+		}
+		if res := snap.Result; res != nil {
+			st.Rank = res.Rank
+			st.Nullity = res.Nullity
+			st.Subsets = len(res.Subsets)
+			st.ClampedRows = res.ClampedRows
+			for _, sub := range res.Subsets {
+				if sub.Identifiable {
+					st.Identifiable++
+				}
+			}
+		}
+	} else {
+		st.LagIntervals = st.IngestedSeq
+	}
+	writeJSON(w, http.StatusOK, st)
+}

@@ -1,0 +1,203 @@
+// Package server implements the streaming tomography service: a
+// sliding-window observation store fed by batched ingest, an
+// epoch-versioned solver loop that recomputes the Correlation-complete
+// result over the live window on a fixed cadence, and the HTTP/JSON API
+// served by cmd/tomod.
+//
+// Concurrency contract (see DESIGN.md):
+//
+//   - Ingest serializes on one mutex guarding the live stream.Window;
+//     batches are applied atomically with respect to snapshots.
+//   - The solver loop clones the window under that mutex (cheap, O(state))
+//     and runs core.Compute on the frozen clone off-lock, so a slow
+//     solve never blocks ingest.
+//   - Each solve publishes an immutable Snapshot — the core.Result, the
+//     frozen window it was computed over, and a monotonically increasing
+//     epoch — via an atomic pointer swap. Queries load the pointer once
+//     and answer entirely from that snapshot, so every response is
+//     internally consistent with exactly one epoch and queries never
+//     block ingest or the solver.
+package server
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/core"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// Config parameterizes the streaming service.
+type Config struct {
+	// WindowSize is the sliding-window capacity in intervals
+	// (default 1000, the paper's monitoring-period length).
+	WindowSize int
+
+	// RecomputeEvery is the solver cadence (default 2s). A tick with no
+	// new observations since the last epoch is skipped.
+	RecomputeEvery time.Duration
+
+	// Solver tunes the Correlation-complete run of each epoch,
+	// including its Concurrency knob.
+	Solver core.Config
+}
+
+// withDefaults fills the zero values.
+func (c Config) withDefaults() Config {
+	if c.WindowSize <= 0 {
+		c.WindowSize = 1000
+	}
+	if c.RecomputeEvery <= 0 {
+		c.RecomputeEvery = 2 * time.Second
+	}
+	return c
+}
+
+// Snapshot is one epoch of solver output. It is immutable once
+// published: Result and Window are never mutated again, so any number
+// of queries may read them concurrently.
+type Snapshot struct {
+	// Epoch increases by one per solve; queries report it so clients
+	// can correlate answers.
+	Epoch uint64
+
+	// Result is the Correlation-complete output over Window; nil when
+	// Err is non-nil.
+	Result *core.Result
+
+	// Window is the frozen clone of the live window the result was
+	// computed over.
+	Window *stream.Window
+
+	// SeqHigh is the sequence number of the newest interval included:
+	// the window covers [SeqHigh−T, SeqHigh).
+	SeqHigh uint64
+
+	// T is the number of intervals in the window at solve time.
+	T int
+
+	ComputedAt  time.Time
+	ComputeTime time.Duration
+
+	// Err is the solver error, if the solve failed.
+	Err error
+}
+
+// Server is the streaming tomography service.
+type Server struct {
+	top *topology.Topology
+	cfg Config
+
+	mu  sync.Mutex // guards win (ingest and snapshot cloning)
+	win *stream.Window
+
+	computeMu sync.Mutex // serializes solver runs
+	epoch     atomic.Uint64
+	snap      atomic.Pointer[Snapshot]
+
+	stop      chan struct{}
+	wg        sync.WaitGroup
+	startOnce sync.Once
+	closeOnce sync.Once
+}
+
+// New assembles a server over the topology. Call Start to launch the
+// recompute loop and Close to stop it.
+func New(top *topology.Topology, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		top:  top,
+		cfg:  cfg,
+		win:  stream.NewWindow(top.NumPaths(), cfg.WindowSize),
+		stop: make(chan struct{}),
+	}
+}
+
+// Topology returns the topology the server monitors.
+func (s *Server) Topology() *topology.Topology { return s.top }
+
+// Start launches the background recompute loop.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		s.wg.Add(1)
+		go s.run()
+	})
+}
+
+// Close stops the recompute loop and waits for it to exit.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() { close(s.stop) })
+	s.wg.Wait()
+}
+
+// Ingest appends a batch of interval observations to the live window,
+// atomically with respect to snapshot cloning, and returns the sequence
+// number after the batch. Sets may contain indices outside the path
+// universe; they are dropped (observe.Recorder semantics).
+func (s *Server) Ingest(batch []*bitset.Set) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, obs := range batch {
+		s.win.Add(obs)
+	}
+	return s.win.Seq()
+}
+
+// Seq returns the total number of intervals ingested.
+func (s *Server) Seq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.win.Seq()
+}
+
+// Latest returns the most recently published snapshot, or nil before
+// the first solve completes.
+func (s *Server) Latest() *Snapshot { return s.snap.Load() }
+
+// Recompute clones the live window, runs the solver over the frozen
+// clone, publishes the new snapshot, and returns it. It is what the
+// background loop calls each tick; tests and the daemon's shutdown path
+// call it directly for a synchronous epoch.
+func (s *Server) Recompute() *Snapshot {
+	s.computeMu.Lock()
+	defer s.computeMu.Unlock()
+	s.mu.Lock()
+	w := s.win.Clone()
+	s.mu.Unlock()
+	start := time.Now()
+	res, err := core.Compute(s.top, w, s.cfg.Solver)
+	snap := &Snapshot{
+		Epoch:       s.epoch.Add(1),
+		Result:      res,
+		Window:      w,
+		SeqHigh:     w.Seq(),
+		T:           w.T(),
+		ComputedAt:  time.Now(),
+		ComputeTime: time.Since(start),
+		Err:         err,
+	}
+	s.snap.Store(snap)
+	return snap
+}
+
+// run is the solver loop: one potential epoch per tick, skipped when
+// nothing was ingested since the last one.
+func (s *Server) run() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.RecomputeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if last := s.snap.Load(); last != nil && last.SeqHigh == s.Seq() {
+				continue // window unchanged since the last epoch
+			}
+			s.Recompute()
+		}
+	}
+}

@@ -1,0 +1,341 @@
+// Package stream provides the sliding-window observation store behind
+// the streaming tomography service: an observe.Store over only the most
+// recent intervals, with O(words) add and evict.
+//
+// The layout is the columnar bitmask layout of observe.Recorder bent
+// into a ring: each path keeps one congestion bitmask over *ring
+// positions* rather than over absolute interval numbers. The ring spans
+// ringWords = ⌈capacity/64⌉ whole words, so an interval with sequence
+// number s occupies bit position s mod (ringWords·64); because at most
+// `capacity` intervals are live at once, live intervals never collide,
+// and evicting the oldest interval just clears its bit in the masks of
+// the paths that were congested in it (found via the retained row
+// view). The invariant that makes the queries cheap is that every dead
+// ring position is zero in every mask:
+//
+//   - GoodCount is, exactly as in the Recorder, T − popcount(OR of the
+//     per-path masks) — dead positions contribute nothing to the OR;
+//   - AllCongestedCount ANDs the masks into a live-position mask
+//     (a cyclic bit range, built in O(words));
+//   - AlwaysGoodPaths reads per-path congestion counters maintained by
+//     Add and evict.
+//
+// Like the Recorder, queries draw scratch from the shared pool in
+// observe and are therefore allocation-free on the steady-state path
+// and safe for concurrent readers; Add must be serialized against them
+// by the caller (the server does so with a mutex, publishing frozen
+// Clones for query traffic).
+package stream
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/observe"
+)
+
+const wordBits = 64
+
+// Window is a sliding-window observation store over the most recent
+// intervals. It implements observe.Store, so the Correlation-complete
+// solver runs over it directly.
+type Window struct {
+	numPaths  int
+	capacity  int // max live intervals
+	ringWords int // words spanned by the ring: ⌈capacity/64⌉
+
+	// rows is the row-view ring: rows[s mod capacity] is the congested
+	// path set of the interval with sequence number s. Slots are reused
+	// across laps, so steady-state Add does not allocate.
+	rows []*bitset.Set
+
+	congCount []int // per path: live intervals observed congested
+
+	// cong[p] is the columnar mask of path p over ring positions,
+	// ragged like the Recorder's: trailing zero words are not stored,
+	// so a never-congested path costs nothing.
+	cong [][]uint64
+
+	count int    // live intervals, ≤ capacity
+	seq   uint64 // total intervals ever added
+}
+
+var _ observe.Store = (*Window)(nil)
+
+// NewWindow returns an empty window over numPaths paths retaining at
+// most capacity intervals.
+func NewWindow(numPaths, capacity int) *Window {
+	if numPaths < 0 {
+		panic("stream: negative path count")
+	}
+	if capacity <= 0 {
+		panic("stream: window capacity must be positive")
+	}
+	return &Window{
+		numPaths:  numPaths,
+		capacity:  capacity,
+		ringWords: (capacity + wordBits - 1) / wordBits,
+		rows:      make([]*bitset.Set, capacity),
+		congCount: make([]int, numPaths),
+		cong:      make([][]uint64, numPaths),
+	}
+}
+
+// ringBits is the number of bit positions in the ring.
+func (w *Window) ringBits() int { return w.ringWords * wordBits }
+
+// slotOf returns the ring bit position of the interval with sequence
+// number s.
+func (w *Window) slotOf(s uint64) int { return int(s % uint64(w.ringBits())) }
+
+// Add appends one interval's congested-path set, evicting the oldest
+// interval when the window is full. Indices outside the path universe
+// are dropped, matching observe.Recorder. The set is copied; steady
+// state (after the first lap of the ring) allocates nothing.
+func (w *Window) Add(congested *bitset.Set) {
+	if w.count == w.capacity {
+		w.evict()
+	}
+	row := w.rows[w.seq%uint64(w.capacity)]
+	if row == nil {
+		row = bitset.New(w.numPaths)
+		w.rows[w.seq%uint64(w.capacity)] = row
+	} else {
+		row.Clear()
+	}
+	slot := w.slotOf(w.seq)
+	wi, bit := slot/wordBits, uint64(1)<<uint(slot%wordBits)
+	congested.ForEach(func(p int) bool {
+		if p >= w.numPaths {
+			return true
+		}
+		row.Add(p)
+		w.congCount[p]++
+		m := w.cong[p]
+		for len(m) <= wi {
+			m = append(m, 0)
+		}
+		m[wi] |= bit
+		w.cong[p] = m
+		return true
+	})
+	w.count++
+	w.seq++
+}
+
+// evict removes the oldest interval: its bit is cleared in the mask of
+// every path congested in it (good paths never had the bit set), which
+// restores the dead-positions-are-zero invariant.
+func (w *Window) evict() {
+	s := w.seq - uint64(w.count)
+	slot := w.slotOf(s)
+	wi, bit := slot/wordBits, uint64(1)<<uint(slot%wordBits)
+	w.rows[s%uint64(w.capacity)].ForEach(func(p int) bool {
+		w.congCount[p]--
+		w.cong[p][wi] &^= bit
+		return true
+	})
+	w.count--
+}
+
+// T returns the number of live intervals (≤ Cap).
+func (w *Window) T() int { return w.count }
+
+// Cap returns the window capacity in intervals.
+func (w *Window) Cap() int { return w.capacity }
+
+// NumPaths returns the path universe size.
+func (w *Window) NumPaths() int { return w.numPaths }
+
+// Seq returns the total number of intervals ever added; the live window
+// covers sequence numbers [Seq−T, Seq).
+func (w *Window) Seq() uint64 { return w.seq }
+
+// CongestedFraction returns the fraction of live intervals in which
+// path p was observed congested.
+func (w *Window) CongestedFraction(p int) float64 {
+	if w.count == 0 {
+		return 0
+	}
+	return float64(w.congCount[p]) / float64(w.count)
+}
+
+// GoodCount returns the number of live intervals in which every path in
+// the set was good: T minus the popcount of the OR of the per-path
+// masks (dead ring positions are zero in every mask).
+func (w *Window) GoodCount(paths *bitset.Set) int {
+	if w.count == 0 {
+		return 0
+	}
+	sp := observe.GetScratch(w.ringWords)
+	sc := *sp
+	for i := range sc {
+		sc[i] = 0
+	}
+	paths.ForEach(func(p int) bool {
+		if p < w.numPaths {
+			for i, word := range w.cong[p] {
+				sc[i] |= word
+			}
+		}
+		return true
+	})
+	bad := 0
+	for _, word := range sc {
+		bad += bits.OnesCount64(word)
+	}
+	observe.PutScratch(sp)
+	return w.count - bad
+}
+
+// GoodFreq returns the empirical probability that all paths in the set
+// were simultaneously good within the window.
+func (w *Window) GoodFreq(paths *bitset.Set) float64 {
+	if w.count == 0 {
+		return 1
+	}
+	return float64(w.GoodCount(paths)) / float64(w.count)
+}
+
+// LogGoodFreq returns log P̂(∩ Y_p = 0) over the window, clamping a
+// zero count to half an observation exactly like observe.Recorder.
+func (w *Window) LogGoodFreq(paths *bitset.Set) (logp float64, clamped bool) {
+	if w.count == 0 {
+		return 0, false
+	}
+	c := w.GoodCount(paths)
+	if c == 0 {
+		return math.Log(0.5 / float64(w.count)), true
+	}
+	return math.Log(float64(c) / float64(w.count)), false
+}
+
+// AllCongestedCount returns the number of live intervals in which every
+// path in the set was simultaneously congested: the popcount of the AND
+// of the per-path masks restricted to live ring positions.
+func (w *Window) AllCongestedCount(paths *bitset.Set) int {
+	if paths.IsEmpty() {
+		return w.count
+	}
+	if w.count == 0 {
+		return 0
+	}
+	sp := observe.GetScratch(w.ringWords)
+	sc := *sp
+	w.liveMask(sc)
+	empty := false
+	paths.ForEach(func(p int) bool {
+		if p >= w.numPaths {
+			// A path outside the universe was never observed congested.
+			empty = true
+			return false
+		}
+		m := w.cong[p]
+		for i := range sc {
+			if i < len(m) {
+				sc[i] &= m[i]
+			} else {
+				sc[i] = 0
+			}
+		}
+		return true
+	})
+	n := 0
+	if !empty {
+		for _, word := range sc {
+			n += bits.OnesCount64(word)
+		}
+	}
+	observe.PutScratch(sp)
+	return n
+}
+
+// AllCongestedFreq is AllCongestedCount normalized by T.
+func (w *Window) AllCongestedFreq(paths *bitset.Set) float64 {
+	if w.count == 0 {
+		return 0
+	}
+	return float64(w.AllCongestedCount(paths)) / float64(w.count)
+}
+
+// AlwaysGoodPaths returns the paths whose congested fraction within the
+// window is ≤ tol; on an empty window all paths are vacuously good.
+func (w *Window) AlwaysGoodPaths(tol float64) *bitset.Set {
+	out := bitset.New(w.numPaths)
+	if w.count == 0 {
+		for p := 0; p < w.numPaths; p++ {
+			out.Add(p)
+		}
+		return out
+	}
+	for p := 0; p < w.numPaths; p++ {
+		if w.CongestedFraction(p) <= tol {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// liveMask fills sc (ringWords words) with a 1 at every live ring
+// position: the cyclic bit range of the window's count positions
+// starting at the oldest interval's slot.
+func (w *Window) liveMask(sc []uint64) {
+	for i := range sc {
+		sc[i] = 0
+	}
+	a := w.slotOf(w.seq - uint64(w.count))
+	if end := a + w.count; end <= w.ringBits() {
+		setBitRange(sc, a, end)
+	} else {
+		setBitRange(sc, a, w.ringBits())
+		setBitRange(sc, 0, end-w.ringBits())
+	}
+}
+
+// setBitRange sets bits [lo, hi) in sc.
+func setBitRange(sc []uint64, lo, hi int) {
+	if lo >= hi {
+		return
+	}
+	lw, hw := lo/wordBits, (hi-1)/wordBits
+	loMask := ^uint64(0) << uint(lo%wordBits)
+	hiMask := ^uint64(0) >> uint(wordBits-1-(hi-1)%wordBits)
+	if lw == hw {
+		sc[lw] |= loMask & hiMask
+		return
+	}
+	sc[lw] |= loMask
+	for i := lw + 1; i < hw; i++ {
+		sc[i] = ^uint64(0)
+	}
+	sc[hw] |= hiMask
+}
+
+// Clone returns an independent deep copy of the window. The server's
+// solver loop clones the live window under the ingest lock and computes
+// over the frozen copy, so queries and ingest never contend with the
+// solver.
+func (w *Window) Clone() *Window {
+	c := &Window{
+		numPaths:  w.numPaths,
+		capacity:  w.capacity,
+		ringWords: w.ringWords,
+		rows:      make([]*bitset.Set, len(w.rows)),
+		congCount: append([]int(nil), w.congCount...),
+		cong:      make([][]uint64, len(w.cong)),
+		count:     w.count,
+		seq:       w.seq,
+	}
+	for i, r := range w.rows {
+		if r != nil {
+			c.rows[i] = r.Clone()
+		}
+	}
+	for p, m := range w.cong {
+		if m != nil {
+			c.cong[p] = append([]uint64(nil), m...)
+		}
+	}
+	return c
+}

@@ -1,0 +1,264 @@
+package stream
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+	"repro/internal/observe"
+)
+
+// rebuild returns a fresh Recorder holding exactly the given intervals.
+func rebuild(numPaths int, intervals []*bitset.Set) *observe.Recorder {
+	r := observe.NewRecorder(numPaths)
+	for _, s := range intervals {
+		r.Add(s)
+	}
+	return r
+}
+
+// checkAgainst asserts that every query of w matches a fresh Recorder
+// built from the surviving intervals.
+func checkAgainst(t *testing.T, rng *rand.Rand, w *Window, numPaths int, history []*bitset.Set) bool {
+	t.Helper()
+	live := len(history)
+	if live > w.Cap() {
+		live = w.Cap()
+	}
+	ref := rebuild(numPaths, history[len(history)-live:])
+	if w.T() != ref.T() {
+		t.Logf("T = %d, want %d", w.T(), ref.T())
+		return false
+	}
+	for p := 0; p < numPaths; p++ {
+		if w.CongestedFraction(p) != ref.CongestedFraction(p) {
+			t.Logf("CongestedFraction(%d) = %v, want %v", p, w.CongestedFraction(p), ref.CongestedFraction(p))
+			return false
+		}
+	}
+	for q := 0; q < 15; q++ {
+		// Query sets include out-of-universe indices to exercise the
+		// clamping, exactly like the Recorder's own property test.
+		paths := bitset.New(numPaths + 3)
+		for p := 0; p < numPaths+3; p++ {
+			if rng.Intn(5) == 0 {
+				paths.Add(p)
+			}
+		}
+		if got, want := w.GoodCount(paths), ref.GoodCount(paths); got != want {
+			t.Logf("GoodCount(%s) = %d, want %d (T=%d cap=%d)", paths, got, want, w.T(), w.Cap())
+			return false
+		}
+		if got, want := w.AllCongestedCount(paths), ref.AllCongestedCount(paths); got != want {
+			t.Logf("AllCongestedCount(%s) = %d, want %d (T=%d cap=%d)", paths, got, want, w.T(), w.Cap())
+			return false
+		}
+	}
+	for _, tol := range []float64{0, 0.05, 0.3, 1} {
+		if !w.AlwaysGoodPaths(tol).Equal(ref.AlwaysGoodPaths(tol)) {
+			t.Logf("AlwaysGoodPaths(%v) = %s, want %s", tol, w.AlwaysGoodPaths(tol), ref.AlwaysGoodPaths(tol))
+			return false
+		}
+	}
+	return true
+}
+
+// The sliding window after N adds (and however many evictions those
+// imply) must be indistinguishable from a Recorder rebuilt from scratch
+// over the surviving intervals, across randomized window sizes, path
+// counts, and interval counts that straddle word boundaries and ring
+// wrap-around.
+func TestQuickWindowMatchesFreshRecorder(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numPaths := 1 + rng.Intn(70)
+		capacity := 1 + rng.Intn(140)
+		steps := rng.Intn(3*capacity + 20)
+		w := NewWindow(numPaths, capacity)
+		var history []*bitset.Set
+		for i := 0; i < steps; i++ {
+			s := bitset.New(numPaths + 3)
+			for p := 0; p < numPaths+3; p++ {
+				if rng.Intn(4) == 0 {
+					s.Add(p) // indices ≥ numPaths exercise the universe clamp
+				}
+			}
+			w.Add(s)
+			history = append(history, s)
+			// Spot-check a few intermediate states, always the final one.
+			if i == steps-1 || rng.Intn(40) == 0 {
+				if !checkAgainst(t, rng, w, numPaths, history) {
+					t.Logf("seed %d: mismatch after %d adds (cap %d, paths %d)", seed, i+1, capacity, numPaths)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWindowEviction(t *testing.T) {
+	w := NewWindow(3, 2)
+	w.Add(bitset.FromIndices(3, 0))
+	w.Add(bitset.FromIndices(3, 0, 1))
+	if w.T() != 2 || w.Seq() != 2 {
+		t.Fatalf("T=%d Seq=%d", w.T(), w.Seq())
+	}
+	// Path 0 congested in both live intervals.
+	if got := w.CongestedFraction(0); got != 1 {
+		t.Fatalf("CongestedFraction(0) = %v", got)
+	}
+	// Third add evicts the first interval.
+	w.Add(bitset.New(3))
+	if w.T() != 2 || w.Seq() != 3 {
+		t.Fatalf("after evict: T=%d Seq=%d", w.T(), w.Seq())
+	}
+	if got := w.CongestedFraction(0); got != 0.5 {
+		t.Fatalf("after evict: CongestedFraction(0) = %v", got)
+	}
+	// Window now holds {0,1} and {}: both paths good only in the last.
+	if got := w.GoodCount(bitset.FromIndices(3, 0, 1)); got != 1 {
+		t.Fatalf("GoodCount = %d", got)
+	}
+	if got := w.AllCongestedCount(bitset.FromIndices(3, 0, 1)); got != 1 {
+		t.Fatalf("AllCongestedCount = %d", got)
+	}
+}
+
+func TestWindowAddCopiesInput(t *testing.T) {
+	w := NewWindow(3, 4)
+	s := bitset.FromIndices(3, 0)
+	w.Add(s)
+	s.Add(1) // mutating the caller's set must not affect the window
+	if w.GoodCount(bitset.FromIndices(3, 1)) != 1 {
+		t.Fatal("Add did not copy its input")
+	}
+}
+
+func TestWindowEmpty(t *testing.T) {
+	w := NewWindow(2, 5)
+	if w.GoodFreq(bitset.FromIndices(2, 0)) != 1 {
+		t.Fatal("empty window GoodFreq should be 1")
+	}
+	if w.AllCongestedFreq(bitset.FromIndices(2, 0)) != 0 {
+		t.Fatal("empty window AllCongestedFreq should be 0")
+	}
+	if lp, clamped := w.LogGoodFreq(bitset.FromIndices(2, 0)); lp != 0 || clamped {
+		t.Fatal("empty window LogGoodFreq should be 0, unclamped")
+	}
+	if !w.AlwaysGoodPaths(0).Equal(bitset.FromIndices(2, 0, 1)) {
+		t.Fatal("all paths always good on empty window")
+	}
+}
+
+func TestWindowCloneIndependent(t *testing.T) {
+	w := NewWindow(4, 3)
+	for i := 0; i < 5; i++ {
+		w.Add(bitset.FromIndices(4, i%4))
+	}
+	c := w.Clone()
+	before := c.GoodCount(bitset.FromIndices(4, 0, 1))
+	w.Add(bitset.FromIndices(4, 0, 1, 2, 3))
+	w.Add(bitset.FromIndices(4, 0, 1, 2, 3))
+	if got := c.GoodCount(bitset.FromIndices(4, 0, 1)); got != before {
+		t.Fatalf("clone changed under mutation of the original: %d != %d", got, before)
+	}
+	if c.Seq() == w.Seq() {
+		t.Fatal("original did not advance")
+	}
+}
+
+// Steady-state adds (with eviction) and queries must not allocate: the
+// contract that keeps ingest throughput flat once the ring has wrapped.
+func TestWindowSteadyStateAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items at random under -race")
+	}
+	const numPaths, capacity = 64, 100 // capacity deliberately not a word multiple
+	rng := rand.New(rand.NewSource(11))
+	pool := make([]*bitset.Set, 16)
+	for i := range pool {
+		s := bitset.New(numPaths)
+		for p := 0; p < numPaths; p++ {
+			if rng.Intn(5) == 0 {
+				s.Add(p)
+			}
+		}
+		pool[i] = s
+	}
+	w := NewWindow(numPaths, capacity)
+	for i := 0; i < 3*capacity; i++ { // wrap the ring: all slots and masks warm
+		w.Add(pool[i%len(pool)])
+	}
+	paths := bitset.FromIndices(numPaths, 1, 17, 40, 63)
+	w.GoodCount(paths) // warm the shared scratch pool
+	i := 0
+	if avg := testing.AllocsPerRun(100, func() {
+		w.Add(pool[i%len(pool)])
+		i++
+		w.GoodCount(paths)
+		w.AllCongestedCount(paths)
+	}); avg != 0 {
+		t.Fatalf("steady-state add+query allocates %v times per run, want 0", avg)
+	}
+}
+
+// A frozen window must serve many concurrent readers: this is the
+// snapshot query path of the streaming server (run under -race in CI).
+func TestWindowConcurrentReaders(t *testing.T) {
+	const numPaths, capacity = 80, 90
+	rng := rand.New(rand.NewSource(5))
+	w := NewWindow(numPaths, capacity)
+	for i := 0; i < 2*capacity; i++ {
+		s := bitset.New(numPaths)
+		for p := 0; p < numPaths; p++ {
+			if rng.Intn(4) == 0 {
+				s.Add(p)
+			}
+		}
+		w.Add(s)
+	}
+	queries := make([]*bitset.Set, 8)
+	want := make([]int, len(queries))
+	wantAll := make([]int, len(queries))
+	for i := range queries {
+		q := bitset.New(numPaths)
+		for p := 0; p < numPaths; p++ {
+			if rng.Intn(6) == 0 {
+				q.Add(p)
+			}
+		}
+		queries[i] = q
+		want[i] = w.GoodCount(q)
+		wantAll[i] = w.AllCongestedCount(q)
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; rep < 200; rep++ {
+				i := (g + rep) % len(queries)
+				if got := w.GoodCount(queries[i]); got != want[i] {
+					errs <- "GoodCount raced"
+					return
+				}
+				if got := w.AllCongestedCount(queries[i]); got != wantAll[i] {
+					errs <- "AllCongestedCount raced"
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for msg := range errs {
+		t.Fatal(msg)
+	}
+}

@@ -50,6 +50,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/observe"
 	"repro/internal/probcalc"
+	"repro/internal/stream"
 	"repro/internal/topology"
 	"repro/internal/traceroute"
 )
@@ -105,6 +106,21 @@ type Recorder = observe.Recorder
 // NewRecorder returns an empty recorder for numPaths paths.
 func NewRecorder(numPaths int) *Recorder { return observe.NewRecorder(numPaths) }
 
+// ObservationStore is the read side shared by Recorder and
+// SlidingWindow; every probability-computation algorithm accepts it.
+type ObservationStore = observe.Store
+
+// SlidingWindow is a bounded observation store retaining only the most
+// recent intervals, the substrate of the streaming service (cmd/tomod).
+// Adding an interval past capacity evicts the oldest in O(words).
+type SlidingWindow = stream.Window
+
+// NewSlidingWindow returns an empty window over numPaths paths
+// retaining at most capacity intervals.
+func NewSlidingWindow(numPaths, capacity int) *SlidingWindow {
+	return stream.NewWindow(numPaths, capacity)
+}
+
 // ---------------------------------------------------------------------
 // Congestion Probability Computation (the paper's contribution)
 // ---------------------------------------------------------------------
@@ -122,9 +138,10 @@ func DefaultProbabilityConfig() ProbabilityConfig { return core.DefaultConfig() 
 type ProbabilityResult = core.Result
 
 // ComputeProbabilities runs the Correlation-complete algorithm
-// (Algorithms 1 and 2 of the paper) over the recorded observations.
-func ComputeProbabilities(top *Topology, rec *Recorder, cfg ProbabilityConfig) (*ProbabilityResult, error) {
-	return core.Compute(top, rec, cfg)
+// (Algorithms 1 and 2 of the paper) over the recorded observations —
+// a full-period Recorder or a live SlidingWindow.
+func ComputeProbabilities(top *Topology, obs ObservationStore, cfg ProbabilityConfig) (*ProbabilityResult, error) {
+	return core.Compute(top, obs, cfg)
 }
 
 // LinkProbabilities holds per-link congestion probability estimates
