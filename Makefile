@@ -4,16 +4,31 @@
 GO ?= go
 BENCH_DATE := $(shell date +%Y%m%d)
 BENCHTIME ?= 1s
+# bench-gate failure threshold: fail when any benchmark regresses by
+# more than this percentage over the committed baseline.
+BENCH_OVER ?= 25
 
-.PHONY: all build vet test bench bench-smoke bench-baseline bench-compare
+.PHONY: all build vet fmt-check test examples bench bench-smoke bench-baseline bench-compare bench-gate
 
-all: vet build test
+all: vet fmt-check build test
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# gofmt gate: fail when any file is not gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# Build and run every example program; API drift in examples/ breaks
+# this target (and CI) rather than rotting silently.
+examples:
+	$(GO) build ./examples/...
+	@for ex in quickstart inference-vs-probability disjoint-paths peer-monitoring; do \
+		echo "== examples/$$ex"; $(GO) run ./examples/$$ex >/dev/null || exit 1; \
+	done
 
 test:
 	$(GO) test ./...
@@ -38,3 +53,11 @@ bench-baseline:
 bench-compare:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > BENCH_compare.json
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_compare.json
+
+# The same comparison as a hard gate: exit non-zero when any benchmark
+# regresses more than BENCH_OVER over the committed baseline. Not part
+# of `all`/CI yet — run it on a quiet multi-core box (the baseline is
+# due for a re-baseline there first, see ROADMAP).
+bench-gate:
+	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > BENCH_compare.json
+	$(GO) run ./cmd/benchdiff -fail-over $(BENCH_OVER) BENCH_baseline.json BENCH_compare.json

@@ -10,6 +10,7 @@
 package tomography
 
 import (
+	"context"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -18,6 +19,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/experiment"
 	"repro/internal/linalg"
 	"repro/internal/netsim"
@@ -148,7 +150,7 @@ func BenchmarkAlgorithm1Scaling(b *testing.B) {
 			cfg := core.Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				if _, err := core.Compute(top, rec, cfg); err != nil {
+				if _, err := core.Compute(context.Background(), top, rec, cfg); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -181,7 +183,7 @@ func BenchmarkAblationSubsetSize(b *testing.B) {
 			cfg := core.Config{MaxSubsetSize: k, AlwaysGoodTol: 0.02}
 			var identified int
 			for i := 0; i < b.N; i++ {
-				res, err := core.Compute(top, rec, cfg)
+				res, err := core.Compute(context.Background(), top, rec, cfg)
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -366,10 +368,16 @@ func BenchmarkSnapshotQuery(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	s := server.New(top, server.Config{
+	s, err := server.New(top, server.Config{
 		WindowSize: 500,
-		Solver:     core.Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02},
+		SolverOpts: []estimator.Option{
+			estimator.WithMaxSubsetSize(2),
+			estimator.WithAlwaysGoodTol(0.02),
+		},
 	})
+	if err != nil {
+		b.Fatal(err)
+	}
 	rng := rand.New(rand.NewSource(1))
 	mc := netsim.DefaultConfig(netsim.RandomCongestion)
 	mc.PerfectE2E = true
@@ -380,7 +388,7 @@ func BenchmarkSnapshotQuery(b *testing.B) {
 	for t := 0; t < 700; t++ {
 		s.Ingest([]*bitset.Set{model.Interval(t, rng).CongestedPaths})
 	}
-	if snap := s.Recompute(); snap.Err != nil {
+	if snap := s.Recompute(context.Background()); snap.Err != nil {
 		b.Fatal(snap.Err)
 	}
 	handler := s.Handler()

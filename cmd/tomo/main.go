@@ -14,10 +14,12 @@
 //	-seed N                     master random seed (default 1)
 //	-tol F                      always-good tolerance (default 0.02)
 //	-maxsubset K                Correlation-complete subset-size knob (default 2)
-//	-workers N                  parallel trial workers; output is
-//	                            bit-identical to serial (default 1, -1 = all CPUs)
+//	-workers N                  parallel trial workers; output is bit-identical
+//	                            to serial (default 0 = all CPUs, 1 = serial)
 //	-concurrency N              solver workers inside each trial; output is
-//	                            bit-identical to serial (default 0, -1 = all CPUs)
+//	                            bit-identical to serial (default 0: all CPUs
+//	                            when trials are serial, else serial; 1 = serial,
+//	                            -1 = all CPUs)
 package main
 
 import (
@@ -34,8 +36,8 @@ func main() {
 	seed := flag.Int64("seed", 1, "master random seed")
 	tol := flag.Float64("tol", 0.02, "always-good congested-fraction tolerance")
 	maxSubset := flag.Int("maxsubset", 2, "Correlation-complete max subset size (the paper's resource knob)")
-	workers := flag.Int("workers", 1, "parallel trial workers (0/1 = serial, -1 = all CPUs); output is bit-identical to serial")
-	concurrency := flag.Int("concurrency", 0, "solver workers inside each trial (0/1 = serial, -1 = all CPUs); output is bit-identical to serial")
+	workers := flag.Int("workers", 0, "parallel trial workers (0/-1 = all CPUs, 1 = serial); output is bit-identical to serial")
+	concurrency := flag.Int("concurrency", 0, "solver workers inside each trial (0 = auto, 1 = serial, -1 = all CPUs); output is bit-identical to serial")
 	flag.Usage = usage
 	flag.Parse()
 	if flag.NArg() != 1 {

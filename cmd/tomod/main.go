@@ -1,22 +1,28 @@
 // Command tomod is the streaming tomography daemon: it ingests
 // per-interval path observations over HTTP, continuously recomputes the
-// Correlation-complete result over a sliding window, and answers
-// link-probability and congested-path queries from the latest solver
-// epoch.
+// configured estimator's result over a sliding window, and answers
+// link-probability, subset-probability and congested-path queries from
+// the latest solver epoch.
 //
 // Serve mode (default):
 //
-//	tomod -topology topo.json -listen :9900 -window 1000 -recompute 2s
+//	tomod -topology topo.json -listen :9900 -window 1000 -recompute 2s \
+//	      -algo correlation-complete
 //
 // The topology JSON is the format written by cmd/topogen and
 // topology.WriteJSON; alternatively -gen brite|sparse generates one on
 // startup (useful for demos and load tests).
 //
-// API:
+// API (every response in a versioned envelope with machine-readable
+// error codes; the estimate-backed endpoints — links and subsets —
+// accept ?algo= to select any registered estimator per request):
 //
 //	POST /v1/observations      {"intervals":[{"congested_paths":[3,17]},...]}
 //	GET  /v1/links/{id}        best estimate of P(link congested), with epoch
-//	GET  /v1/paths/congested   paths above ?min= congested fraction
+//	GET  /v1/subsets           correlation-subset good probabilities
+//	GET  /v1/subsets/{id}      one subset, with joint congestion probability
+//	GET  /v1/estimators        the estimator registry
+//	GET  /v1/paths/congested   paths above ?min= congested fraction (observation-level)
 //	GET  /v1/status            window fill, epoch, solver lag and stats
 //
 // Load-generator mode drives simulated netsim intervals at a running
@@ -39,7 +45,7 @@ import (
 	"syscall"
 	"time"
 
-	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/experiment"
 	"repro/internal/netsim"
 	"repro/internal/server"
@@ -56,7 +62,8 @@ func main() {
 		listen      = flag.String("listen", ":9900", "serve: HTTP listen address")
 		window      = flag.Int("window", 1000, "serve: sliding-window capacity in intervals")
 		recompute   = flag.Duration("recompute", 2*time.Second, "serve: solver recompute cadence")
-		concurrency = flag.Int("concurrency", 0, "serve: solver workers per epoch (0/1 = serial, -1 = all CPUs)")
+		algo        = flag.String("algo", estimator.CorrelationComplete, "serve: epoch estimator (see /v1/estimators)")
+		concurrency = flag.Int("concurrency", 0, "serve: solver workers per epoch (0/-1 = all CPUs, 1 = serial)")
 		maxSubset   = flag.Int("maxsubset", 2, "serve: Correlation-complete max subset size")
 		tol         = flag.Float64("tol", 0.02, "serve: always-good congested-fraction tolerance")
 
@@ -101,10 +108,11 @@ func main() {
 	cfg := server.Config{
 		WindowSize:     *window,
 		RecomputeEvery: *recompute,
-		Solver: core.Config{
-			MaxSubsetSize: *maxSubset,
-			AlwaysGoodTol: *tol,
-			Concurrency:   *concurrency,
+		Algo:           *algo,
+		SolverOpts: []estimator.Option{
+			estimator.WithMaxSubsetSize(*maxSubset),
+			estimator.WithAlwaysGoodTol(*tol),
+			estimator.WithConcurrency(*concurrency),
 		},
 	}
 	if err := serve(top, cfg, *listen); err != nil {
@@ -155,7 +163,10 @@ func loadTopology(path, gen, scaleName string, seed int64) (*topology.Topology, 
 // serve runs the streaming service until SIGINT/SIGTERM, then shuts
 // down gracefully: stop accepting connections, stop the solver loop.
 func serve(top *topology.Topology, cfg server.Config, listen string) error {
-	s := server.New(top, cfg)
+	s, err := server.New(top, cfg)
+	if err != nil {
+		return err
+	}
 	s.Start()
 	defer s.Close()
 
@@ -201,11 +212,14 @@ func runLoadGen(top *topology.Topology, cfg server.LoadConfig) error {
 		return fmt.Errorf("fetching final status: %w", err)
 	}
 	defer resp.Body.Close()
-	var status map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&status); err != nil {
+	var env server.Envelope
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
 		return fmt.Errorf("decoding final status: %w", err)
 	}
-	out, _ := json.MarshalIndent(status, "", "  ")
+	if env.Error != nil {
+		return fmt.Errorf("final status: %s: %s", env.Error.Code, env.Error.Message)
+	}
+	out, _ := json.MarshalIndent(json.RawMessage(env.Data), "", "  ")
 	fmt.Printf("server status: %s\n", out)
 	return nil
 }

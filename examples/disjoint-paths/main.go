@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -43,9 +44,12 @@ func main() {
 	for t := 0; t < intervals; t++ {
 		rec.Add(sim.Interval(t, rng).CongestedPaths)
 	}
-	pcfg := tomography.DefaultProbabilityConfig()
-	pcfg.AlwaysGoodTol = 0.02
-	res, err := tomography.ComputeProbabilities(top, rec, pcfg)
+	est, err := tomography.NewEstimator("correlation-complete")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := est.Estimate(context.Background(), top, rec,
+		tomography.WithAlwaysGoodTol(0.02))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +68,7 @@ func main() {
 					return true
 				}
 				pair := tomography.SetOf(top.NumLinks(), la, lb)
-				if p, ok := res.CongestedProb(pair); ok {
+				if p, ok := res.Detail.CongestedProb(pair); ok {
 					worst = maxf(worst, p)
 				} else {
 					// Fall back to the independent product.
@@ -120,8 +124,8 @@ func main() {
 	fmt.Println("correlated inside the same peer, which marginal probabilities alone cannot see.")
 }
 
-func linkProb(res *tomography.ProbabilityResult, top *tomography.Topology, e int) float64 {
-	p, _ := res.LinkCongestProbOrFallback(e)
+func linkProb(res *tomography.Estimate, top *tomography.Topology, e int) float64 {
+	p, _ := res.LinkCongestProb(e)
 	return p
 }
 

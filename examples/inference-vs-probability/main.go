@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -48,10 +49,11 @@ func main() {
 	}
 
 	// --- Boolean Inference: which links were congested *when*? ---
+	ctx := context.Background()
 	pcfg := tomography.DefaultProbabilityConfig()
 	pcfg.AlwaysGoodTol = 0.02
 	alg := tomography.NewBayesianCorrelation(pcfg)
-	if err := alg.Prepare(top, rec); err != nil {
+	if err := alg.Prepare(ctx, top, rec); err != nil {
 		log.Fatal(err)
 	}
 	var drSum, fprSum float64
@@ -74,7 +76,12 @@ func main() {
 	fmt.Println("  -> too inaccurate to attribute blame per interval (§4)")
 
 	// --- Probability Computation: how *often* is each link congested? ---
-	res, err := tomography.ComputeProbabilities(top, rec, pcfg)
+	// The same data, through the unified Estimator interface.
+	est, err := tomography.NewEstimator("correlation-complete")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := est.Estimate(ctx, top, rec, tomography.WithAlwaysGoodTol(0.02))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -85,7 +92,7 @@ func main() {
 		if !res.PotentiallyCongested.Contains(e) || top.LinkPaths(e).IsEmpty() {
 			continue
 		}
-		p, _ := res.LinkCongestProbOrFallback(e)
+		p, _ := res.LinkCongestProb(e)
 		aerr := math.Abs(p - sim.TrueLinkProb(e))
 		errSum += aerr
 		errN++

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -50,10 +51,14 @@ func main() {
 		rec.Add(sim.Interval(t, rng).CongestedPaths)
 	}
 
-	// 3. Compute congestion probabilities.
-	pcfg := tomography.DefaultProbabilityConfig()
-	pcfg.AlwaysGoodTol = 0.02
-	res, err := tomography.ComputeProbabilities(top, rec, pcfg)
+	// 3. Compute congestion probabilities through the unified
+	// estimator API (any registered algorithm would slot in here).
+	est, err := tomography.NewEstimator("correlation-complete")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := est.Estimate(context.Background(), top, rec,
+		tomography.WithAlwaysGoodTol(0.02))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -78,7 +83,7 @@ func main() {
 			r = &peerReport{as: as}
 			byAS[as] = r
 		}
-		p, _ := res.LinkCongestProbOrFallback(e)
+		p, _ := res.LinkCongestProb(e)
 		r.links++
 		r.meanProb += p
 		if p > r.worstProb {

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -54,7 +55,14 @@ func main() {
 		rec.Add(congPaths)
 	}
 
-	res, err := tomography.ComputeProbabilities(top, rec, tomography.DefaultProbabilityConfig())
+	// Every algorithm sits behind the same Estimator interface; pick
+	// one from the registry by name.
+	ctx := context.Background()
+	est, err := tomography.NewEstimator("correlation-complete")
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := est.Estimate(ctx, top, rec, tomography.WithMaxSubsetSize(2))
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,16 +71,18 @@ func main() {
 	names := []string{"e1", "e2", "e3", "e4"}
 	truth := []float64{p1, p23, p23, p4}
 	for e, name := range names {
-		g, ok := res.LinkGoodProb(e)
-		if !ok {
-			fmt.Printf("  %s: unidentifiable\n", name)
+		p, exact := res.LinkCongestProb(e)
+		if !exact {
+			fmt.Printf("  %s: unidentifiable (fallback estimate %.3f)\n", name, p)
 			continue
 		}
-		fmt.Printf("  P(%s congested) = %.3f  (%.2f)\n", name, 1-g, truth[e])
+		fmt.Printf("  P(%s congested) = %.3f  (%.2f)\n", name, p, truth[e])
 	}
 
+	// Joint subset probabilities — the paper's primary output — are on
+	// the Correlation-complete detail result.
 	pair := tomography.SetOf(top.NumLinks(), 1, 2)
-	joint, ok := res.CongestedProb(pair)
+	joint, ok := res.Detail.CongestedProb(pair)
 	if !ok {
 		log.Fatal("pair {e2,e3} should be identifiable in Case 1")
 	}
@@ -80,13 +90,20 @@ func main() {
 	fmt.Printf("  under Independence it would be ≈ %.3f — wrong by ≈%.2fx\n\n",
 		p23*p23, p23/(p23*p23))
 
-	// The Independence baseline on the same data.
-	indep, err := tomography.ComputeProbabilitiesIndependence(top, rec, tomography.IndependenceConfig{})
+	// The Independence baseline over the same data: same interface,
+	// same options, different registry name.
+	indepEst, err := tomography.NewEstimator("independence")
+	if err != nil {
+		log.Fatal(err)
+	}
+	indep, err := indepEst.Estimate(ctx, top, rec)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("Independence baseline (biased by the correlation):")
 	for e, name := range names {
-		fmt.Printf("  P(%s congested) = %.3f  (%.2f)\n", name, indep.Prob[e], truth[e])
+		fmt.Printf("  P(%s congested) = %.3f  (%.2f)\n", name, indep.LinkProb[e], truth[e])
 	}
+
+	fmt.Printf("\nAll registered estimators: %v\n", tomography.Estimators())
 }

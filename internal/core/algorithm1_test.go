@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -44,10 +45,10 @@ func buildRandomRun(t *testing.T, seed int64) (*topology.Topology, *observe.Reco
 func TestAlgorithm1SystemInvariants(t *testing.T) {
 	top, rec := buildRandomRun(t, 1)
 	b := newBuilder(top, rec, Config{MaxSubsetSize: 2, AlwaysGoodTol: 0})
-	b.enumerate()
-	b.seed()
+	b.enumerate(context.Background())
+	b.seed(context.Background())
 	seedRows := len(b.rows)
-	b.augment()
+	b.augment(context.Background())
 	if len(b.rows) < seedRows {
 		t.Fatal("augmentation removed rows")
 	}
@@ -83,7 +84,7 @@ func TestAlgorithm1SystemInvariants(t *testing.T) {
 func TestAugmentationIncreasesIdentifiability(t *testing.T) {
 	top, rec := buildRandomRun(t, 2)
 
-	full, err := Compute(top, rec, Config{MaxSubsetSize: 2})
+	full, err := Compute(context.Background(), top, rec, Config{MaxSubsetSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -99,9 +100,9 @@ func TestAugmentationIncreasesIdentifiability(t *testing.T) {
 	// Disable augmentation by capping the enumeration at one candidate
 	// per subset (the seeds themselves are always tried first).
 	b := newBuilder(top, rec, Config{MaxSubsetSize: 2})
-	b.enumerate()
-	b.seed()
-	res, err := b.solve()
+	b.enumerate(context.Background())
+	b.seed(context.Background())
+	res, err := b.solve(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -132,7 +133,7 @@ func TestEndToEndAccuracyPerfectObservation(t *testing.T) {
 	for i := 0; i < T; i++ {
 		rec.Add(model.Interval(i, rng).CongestedPaths)
 	}
-	res, err := Compute(top, rec, Config{MaxSubsetSize: 2})
+	res, err := Compute(context.Background(), top, rec, Config{MaxSubsetSize: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +163,7 @@ func TestAllCongestedObservations(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		rec.Add(all)
 	}
-	res, err := Compute(top, rec, Config{})
+	res, err := Compute(context.Background(), top, rec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,7 +186,7 @@ func TestAllGoodObservations(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		rec.Add(bitset.New(3))
 	}
-	res, err := Compute(top, rec, Config{})
+	res, err := Compute(context.Background(), top, rec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -203,11 +204,11 @@ func TestAllGoodObservations(t *testing.T) {
 // breaking the system invariants.
 func TestMaxEnumPathSetsCap(t *testing.T) {
 	top, rec := buildRandomRun(t, 4)
-	res, err := Compute(top, rec, Config{MaxSubsetSize: 2, MaxEnumPathSets: 4})
+	res, err := Compute(context.Background(), top, rec, Config{MaxSubsetSize: 2, MaxEnumPathSets: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
-	resFull, err := Compute(top, rec, Config{MaxSubsetSize: 2, MaxEnumPathSets: 512})
+	resFull, err := Compute(context.Background(), top, rec, Config{MaxSubsetSize: 2, MaxEnumPathSets: 512})
 	if err != nil {
 		t.Fatal(err)
 	}

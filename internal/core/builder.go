@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -53,12 +54,7 @@ func newBuilder(top *topology.Topology, rec observe.Store, cfg Config) *builder 
 	}
 	b.alwaysGoodPaths = rec.AlwaysGoodPaths(cfg.AlwaysGoodTol)
 	b.goodLinks = top.LinksOf(b.alwaysGoodPaths)
-	b.potLinks = bitset.New(top.NumLinks())
-	for e := 0; e < top.NumLinks(); e++ {
-		if !b.goodLinks.Contains(e) {
-			b.potLinks.Add(e)
-		}
-	}
+	b.potLinks = top.PotentiallyCongestedLinks(b.goodLinks)
 	return b
 }
 
@@ -127,7 +123,7 @@ func (b *builder) parallelFor(start, end int, fn func(i int)) {
 // correlation subsets of size ≤ MaxSubsetSize over covered links
 // (Algorithm 1's input list), enriched with every subset appearing in a
 // seed or single-path equation so those rows stay expressible.
-func (b *builder) enumerate() {
+func (b *builder) enumerate(ctx context.Context) error {
 	covered := bitset.New(b.top.NumLinks())
 	for e := 0; e < b.top.NumLinks(); e++ {
 		if !b.top.LinkPaths(e).IsEmpty() {
@@ -135,6 +131,9 @@ func (b *builder) enumerate() {
 		}
 	}
 	for ci, set := range b.top.CorrSets {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		var eligible []int
 		for _, li := range set {
 			if b.potLinks.Contains(li) && covered.Contains(li) {
@@ -183,6 +182,9 @@ func (b *builder) enumerate() {
 	// rowFor sweep that follows keeps registration order — and thus the
 	// whole run — deterministic.
 	for round, done := 0, 0; done < len(b.subsets) && round < 8; round++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		start := done
 		done = len(b.subsets)
 		b.parallelFor(start, done, b.computeSeedSet)
@@ -199,6 +201,7 @@ func (b *builder) enumerate() {
 		}
 	})
 	b.frozen = true
+	return ctx.Err()
 }
 
 // computeSeedSet fills subset i's isolation path set
@@ -243,7 +246,7 @@ func (b *builder) denseRow(cols []int) []float64 {
 
 // seed performs Algorithm 1 lines 1–7: one path set per subset, then
 // the initial null space.
-func (b *builder) seed() {
+func (b *builder) seed(ctx context.Context) error {
 	for i := range b.subsets {
 		s := &b.subsets[i]
 		if s.seedSet.IsEmpty() || b.usedKeys[s.seedSet.Key()] {
@@ -255,6 +258,9 @@ func (b *builder) seed() {
 		}
 		b.addPathSet(s.seedSet, cols)
 	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	m := linalg.NewMatrix(len(b.rows), len(b.subsets))
 	for ri, cols := range b.rows {
 		for _, c := range cols {
@@ -262,18 +268,24 @@ func (b *builder) seed() {
 		}
 	}
 	b.nullspace = linalg.NullSpaceBasis(m)
+	return nil
 }
 
 // augment performs Algorithm 1 lines 8–22: repeatedly find a path set
 // whose row leaves the current row space, preferring subsets whose
 // null-space row has the largest Hamming weight, and update the null
-// space with Algorithm 2 after each addition.
-func (b *builder) augment() {
+// space with Algorithm 2 after each addition. The candidate loop —
+// the hot path of large solves — checks ctx once per candidate, so
+// cancellation returns within one InRowSpace evaluation.
+func (b *builder) augment(ctx context.Context) error {
 	maxEnum := b.cfg.MaxEnumPathSets
 	if maxEnum <= 0 {
 		maxEnum = 128
 	}
 	for b.nullspace.Cols > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		found := false
 		order := sortSubsetsByNullWeight(b.nullspace, len(b.subsets))
 		for _, si := range order {
@@ -285,7 +297,7 @@ func (b *builder) augment() {
 			budget := maxEnum
 			enumerateSubsetsOfPaths(paths, func(chosen []int) bool {
 				budget--
-				if budget < 0 {
+				if budget < 0 || ctx.Err() != nil {
 					return false
 				}
 				p := bitset.FromIndices(b.top.NumPaths(), chosen...)
@@ -315,6 +327,7 @@ func (b *builder) augment() {
 			break // r = 0: no remaining path set increases the rank
 		}
 	}
+	return ctx.Err()
 }
 
 // enumerateSubsetsOfPaths yields the non-empty subsets of the given
@@ -365,8 +378,9 @@ func enumCombos(n, k int, fn func(idx []int)) {
 }
 
 // solve assembles the selected equations, resolves identifiability, and
-// least-squares-solves the log-domain system.
-func (b *builder) solve() (*Result, error) {
+// least-squares-solves the log-domain system, checking ctx between the
+// linear-algebra passes.
+func (b *builder) solve(ctx context.Context) (*Result, error) {
 	res := &Result{
 		index:                map[string]int{},
 		PathSets:             b.pathSets,
@@ -384,6 +398,9 @@ func (b *builder) solve() (*Result, error) {
 	if len(b.rows) == 0 {
 		res.Nullity = nCols
 		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 
 	// Unidentifiable columns: rows of the final null space that are not
@@ -421,6 +438,9 @@ func (b *builder) solve() (*Result, error) {
 		activeRows[i] = true
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		changed := false
 		for ri, cols := range b.rows {
 			if !activeRows[ri] {

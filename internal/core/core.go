@@ -32,6 +32,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -70,8 +71,8 @@ type Config struct {
 	// coverage and isolation-path-set computation of the enumeration
 	// phase (the dominant topology-query cost on large instances). The
 	// result is bit-identical to the serial path: workers write only
-	// their own subset's slot. 0 or 1 runs serially; negative uses
-	// GOMAXPROCS.
+	// their own subset's slot. 0 (the default) and negative use
+	// GOMAXPROCS; 1 is the explicit serial opt-out.
 	Concurrency int
 }
 
@@ -120,15 +121,30 @@ type Result struct {
 // observations. rec may be any observation store — an observe.Recorder
 // over a full monitoring period, or a stream.Window over the live
 // sliding window of the streaming service.
-func Compute(top *topology.Topology, rec observe.Store, cfg Config) (*Result, error) {
+//
+// ctx cancels a long solve: the enumeration, augmentation and solving
+// phases all check it between units of work and return ctx.Err()
+// promptly, which is how the streaming service abandons an epoch solve
+// that a newer window snapshot has superseded. A nil ctx means
+// context.Background().
+func Compute(ctx context.Context, top *topology.Topology, rec observe.Store, cfg Config) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rec.NumPaths() != top.NumPaths() {
 		return nil, fmt.Errorf("core: recorder has %d paths, topology has %d", rec.NumPaths(), top.NumPaths())
 	}
 	b := newBuilder(top, rec, cfg)
-	b.enumerate()
-	b.seed()
-	b.augment()
-	return b.solve()
+	if err := b.enumerate(ctx); err != nil {
+		return nil, err
+	}
+	if err := b.seed(ctx); err != nil {
+		return nil, err
+	}
+	if err := b.augment(ctx); err != nil {
+		return nil, err
+	}
+	return b.solve(ctx)
 }
 
 // SubsetGoodProb returns g(E) for the subset with exactly the given

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -49,7 +50,7 @@ func TestFig1Case1SeedPathSets(t *testing.T) {
 	//   {e2,e3} -> {p1,p2,p3}, {e4} -> {p3}.
 	top, rec := simulateFig1Case1(t, 0.3, 0.4, 0.2, 400, 1)
 	b := newBuilder(top, rec, Config{})
-	b.enumerate()
+	b.enumerate(context.Background())
 
 	want := map[string]string{
 		"{0}":    "{0, 1}",
@@ -73,8 +74,8 @@ func TestFig1Case1EquationsMatchFig2b(t *testing.T) {
 	// every row pairs path sets with the right correlation subsets.
 	top, rec := simulateFig1Case1(t, 0.3, 0.4, 0.2, 400, 2)
 	b := newBuilder(top, rec, Config{})
-	b.enumerate()
-	b.seed()
+	b.enumerate(context.Background())
+	b.seed(context.Background())
 
 	// Expected (path set -> subset names), from Fig. 2(b).
 	type eq struct{ paths, subs string }
@@ -124,7 +125,7 @@ func TestFig1Case1RecoversProbabilities(t *testing.T) {
 	// all five subset probabilities: the Fig. 2(b) system has full rank.
 	p1, p23, p4 := 0.3, 0.4, 0.2
 	top, rec := simulateFig1Case1(t, p1, p23, p4, 60000, 3)
-	res, err := Compute(top, rec, Config{})
+	res, err := Compute(context.Background(), top, rec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -186,7 +187,7 @@ func TestFig1Case2Unidentifiable(t *testing.T) {
 		}
 		rec.Add(congPaths)
 	}
-	res, err := Compute(top, rec, Config{})
+	res, err := Compute(context.Background(), top, rec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +219,7 @@ func TestAlwaysGoodPathsPruneSubsets(t *testing.T) {
 		rec.Add(congPaths)
 	}
 	b := newBuilder(top, rec, Config{})
-	b.enumerate()
+	b.enumerate(context.Background())
 	if got := b.potLinks.String(); got != "{0, 1}" {
 		t.Fatalf("potentially congested links = %s, want {0, 1}", got)
 	}
@@ -227,7 +228,7 @@ func TestAlwaysGoodPathsPruneSubsets(t *testing.T) {
 	}
 
 	// And the full run recovers both probabilities.
-	res, err := Compute(top, rec, Config{})
+	res, err := Compute(context.Background(), top, rec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -247,7 +248,7 @@ func TestAlwaysGoodPathsPruneSubsets(t *testing.T) {
 
 func TestMaxSubsetSizeBound(t *testing.T) {
 	top, rec := simulateFig1Case1(t, 0.3, 0.4, 0.2, 2000, 6)
-	res, err := Compute(top, rec, Config{MaxSubsetSize: 1})
+	res, err := Compute(context.Background(), top, rec, Config{MaxSubsetSize: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -263,7 +264,7 @@ func TestMaxSubsetSizeBound(t *testing.T) {
 
 func TestSubsetGoodProbOfAlwaysGoodIsOne(t *testing.T) {
 	top, rec := simulateFig1Case1(t, 0.3, 0.4, 0.2, 1000, 7)
-	res, err := Compute(top, rec, Config{})
+	res, err := Compute(context.Background(), top, rec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,7 +277,7 @@ func TestSubsetGoodProbOfAlwaysGoodIsOne(t *testing.T) {
 func TestComputeRejectsMismatchedRecorder(t *testing.T) {
 	top := topology.Fig1Case1()
 	rec := observe.NewRecorder(99)
-	if _, err := Compute(top, rec, Config{}); err == nil {
+	if _, err := Compute(context.Background(), top, rec, Config{}); err == nil {
 		t.Fatal("mismatched recorder accepted")
 	}
 }
@@ -285,7 +286,7 @@ func TestCongestedProbConsistency(t *testing.T) {
 	// P(e congested) computed via CongestedProb must equal
 	// 1 − LinkGoodProb(e).
 	top, rec := simulateFig1Case1(t, 0.3, 0.4, 0.2, 20000, 8)
-	res, err := Compute(top, rec, Config{})
+	res, err := Compute(context.Background(), top, rec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -324,7 +325,7 @@ func TestFallbackForUncoveredLink(t *testing.T) {
 	rec := observe.NewRecorder(1)
 	rec.Add(bitset.FromIndices(1, 0)) // p0 congested once
 	rec.Add(bitset.New(1))
-	res, err := Compute(top, rec, Config{})
+	res, err := Compute(context.Background(), top, rec, Config{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,12 +344,14 @@ func TestComputeConcurrencyDeterministic(t *testing.T) {
 	// workers only fill per-subset slots, and every ordering decision
 	// (registration, selection, solving) stays serial.
 	top, rec := simulateFig1Case1(t, 0.3, 0.4, 0.2, 800, 13)
-	serial, err := Compute(top, rec, Config{MaxSubsetSize: 2})
+	// Concurrency 1 is the explicit serial opt-out: 0 now defaults to
+	// GOMAXPROCS, so the baseline must pin the true serial path.
+	serial, err := Compute(context.Background(), top, rec, Config{MaxSubsetSize: 2, Concurrency: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{2, 4, -1} {
-		par, err := Compute(top, rec, Config{MaxSubsetSize: 2, Concurrency: workers})
+	for _, workers := range []int{0, 2, 4, -1} {
+		par, err := Compute(context.Background(), top, rec, Config{MaxSubsetSize: 2, Concurrency: workers})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -8,6 +8,7 @@ package experiment
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 
 	"repro/internal/brite"
 	"repro/internal/core"
@@ -94,14 +95,17 @@ type Config struct {
 	// rows out to. Every trial derives its RNG from the scenario index
 	// (rand.NewSource(Seed+trial)) and owns its simulator and recorder,
 	// so the output is bit-identical to the serial run regardless of
-	// scheduling. 0 or 1 runs serially; negative uses all CPUs.
+	// scheduling. 0 (the default) and negative use all CPUs; 1 is the
+	// explicit serial opt-out.
 	Workers int
 
 	// Concurrency is passed through to core.Config.Concurrency: the
 	// worker count inside each Correlation-complete run (bit-identical
-	// to serial). It multiplies with Workers, so leave it at 0 when
-	// fanning trials out across all CPUs. 0 or 1 runs serially;
-	// negative uses all CPUs.
+	// to serial). It multiplies with Workers, so when it is left at 0
+	// and trials fan out in parallel, each trial's solver runs serially
+	// instead of oversubscribing every CPU per trial; with a serial
+	// trial loop (Workers = 1) the 0 default resolves to all CPUs.
+	// 1 is the explicit serial opt-out; negative forces all CPUs.
 	Concurrency int
 }
 
@@ -184,7 +188,21 @@ func runSim(cfg Config, top *topology.Topology, scen netsim.Scenario, nonStation
 		coreCf: core.Config{
 			MaxSubsetSize: cfg.MaxSubsetSize,
 			AlwaysGoodTol: cfg.AlwaysGoodTol,
-			Concurrency:   cfg.Concurrency,
+			Concurrency:   cfg.solverConcurrency(),
 		},
 	}, nil
+}
+
+// solverConcurrency resolves the per-trial solver worker count: an
+// explicit setting wins; the 0 default becomes serial when the trial
+// loop itself is parallel (Workers != 1 means all CPUs are already
+// busy running trials) and all-CPUs when the trial loop is serial.
+func (c Config) solverConcurrency() int {
+	if c.Concurrency != 0 {
+		return c.Concurrency
+	}
+	if c.Workers != 1 {
+		return 1
+	}
+	return runtime.GOMAXPROCS(0)
 }

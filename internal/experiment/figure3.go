@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -43,7 +44,9 @@ func fig3Scenarios() []fig3Scenario {
 }
 
 // newInferenceAlgorithms instantiates the three algorithms under the
-// shared configuration.
+// shared configuration. BayesianCorrelation's inner solver concurrency
+// goes through the same resolution as every other per-trial solve so a
+// parallel trial fan-out does not oversubscribe the CPUs.
 func newInferenceAlgorithms(cfg Config) []inference.Algorithm {
 	return []inference.Algorithm{
 		inference.NewSparsity(),
@@ -54,6 +57,7 @@ func newInferenceAlgorithms(cfg Config) []inference.Algorithm {
 		inference.NewBayesianCorrelation(core.Config{
 			MaxSubsetSize: cfg.MaxSubsetSize,
 			AlwaysGoodTol: cfg.AlwaysGoodTol,
+			Concurrency:   cfg.solverConcurrency(),
 		}),
 	}
 }
@@ -93,7 +97,7 @@ func Figure3(cfg Config) ([]Fig3Row, error) {
 			FalsePositive: map[string]float64{},
 		}
 		for _, alg := range newInferenceAlgorithms(cfg) {
-			if err := alg.Prepare(run.top, run.rec); err != nil {
+			if err := alg.Prepare(context.Background(), run.top, run.rec); err != nil {
 				return fmt.Errorf("figure3 %s/%s: %w", sc.name, alg.Name(), err)
 			}
 			var dr, fpr metrics.Mean

@@ -1,19 +1,29 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/metrics"
 	"repro/internal/netsim"
-	"repro/internal/probcalc"
 )
 
 // Fig4AlgorithmNames lists the Probability Computation algorithms in
 // the paper's legend order.
 var Fig4AlgorithmNames = []string{"Independence", "Correlation-heuristic", "Correlation-complete"}
+
+// fig4Registry maps the paper's legend names onto estimator registry
+// names: the figure drivers select algorithms by name like every other
+// surface.
+var fig4Registry = map[string]string{
+	"Independence":          estimator.Independence,
+	"Correlation-heuristic": estimator.CorrelationHeuristic,
+	"Correlation-complete":  estimator.CorrelationComplete,
+}
 
 // fig4Scenarios are the three x-axis groups of Figures 4(a) and 4(b).
 // Per §5.4, the No-Stationarity behaviour is layered on top of each
@@ -40,46 +50,48 @@ type Fig4Row struct {
 // MeanErr returns the mean absolute error for one algorithm.
 func (r Fig4Row) MeanErr(alg string) float64 { return metrics.MeanOf(r.Errors[alg]) }
 
-// linkEstimates runs the three Probability Computation algorithms over
-// one simulated monitoring period and returns per-algorithm per-link
-// estimates of P(X_e = 1).
+// estimatorOptions maps the experiment configuration onto the shared
+// functional options every estimator accepts.
+func (c Config) estimatorOptions() []estimator.Option {
+	return []estimator.Option{
+		estimator.WithMaxSubsetSize(c.MaxSubsetSize),
+		estimator.WithAlwaysGoodTol(c.AlwaysGoodTol),
+		estimator.WithConcurrency(c.solverConcurrency()),
+		estimator.WithSeed(c.Seed),
+	}
+}
+
+// linkEstimates runs the three Probability Computation algorithms —
+// selected from the estimator registry by name — over one simulated
+// monitoring period and returns per-algorithm per-link estimates of
+// P(X_e = 1).
 func linkEstimates(cfg Config, run *simRun) (map[string][]float64, *bitset.Set, error) {
 	n := run.top.NumLinks()
 	out := map[string][]float64{}
+	opts := cfg.estimatorOptions()
 
-	indep, err := probcalc.Independence(run.top, run.rec, probcalc.IndependenceConfig{
-		AlwaysGoodTol: cfg.AlwaysGoodTol,
-		Seed:          cfg.Seed,
-	})
-	if err != nil {
-		return nil, nil, err
+	var pot *bitset.Set
+	for _, legend := range Fig4AlgorithmNames {
+		est, err := estimator.New(fig4Registry[legend])
+		if err != nil {
+			return nil, nil, err
+		}
+		res, err := est.Estimate(context.Background(), run.top, run.rec, opts...)
+		if err != nil {
+			return nil, nil, err
+		}
+		out[legend] = res.LinkProb
+		if legend == "Correlation-complete" {
+			pot = res.PotentiallyCongested
+		}
 	}
-	out["Independence"] = indep.Prob
-
-	heur, err := probcalc.CorrelationHeuristic(run.top, run.rec, probcalc.HeuristicConfig{
-		AlwaysGoodTol: cfg.AlwaysGoodTol,
-	})
-	if err != nil {
-		return nil, nil, err
-	}
-	out["Correlation-heuristic"] = heur.Prob
-
-	complete, err := core.Compute(run.top, run.rec, run.coreCf)
-	if err != nil {
-		return nil, nil, err
-	}
-	probs := make([]float64, n)
-	for e := 0; e < n; e++ {
-		probs[e], _ = complete.LinkCongestProbOrFallback(e)
-	}
-	out["Correlation-complete"] = probs
 
 	// Evaluation set: potentially congested links covered by at least
 	// one path (the links for which "computing the probability" is a
 	// meaningful ask; uncovered links carry no signal for any
 	// algorithm).
 	eval := bitset.New(n)
-	complete.PotentiallyCongested.ForEach(func(e int) bool {
+	pot.ForEach(func(e int) bool {
 		if !run.top.LinkPaths(e).IsEmpty() {
 			eval.Add(e)
 		}
@@ -180,7 +192,7 @@ func Figure4Subsets(cfg Config) ([]Fig4dCell, error) {
 		if err != nil {
 			return err
 		}
-		complete, err := core.Compute(run.top, run.rec, run.coreCf)
+		complete, err := core.Compute(context.Background(), run.top, run.rec, run.coreCf)
 		if err != nil {
 			return err
 		}

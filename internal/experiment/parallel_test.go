@@ -20,11 +20,12 @@ func tinyScale() Scale {
 // the serial engine for the same seed, for every worker count.
 func TestFigure3ParallelMatchesSerial(t *testing.T) {
 	cfg := DefaultConfig(tinyScale())
+	cfg.Workers = 1 // explicit serial opt-out (0 now defaults to all CPUs)
 	serial, err := Figure3(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, workers := range []int{2, 4, -1} {
+	for _, workers := range []int{0, 2, 4, -1} {
 		pcfg := cfg
 		pcfg.Workers = workers
 		par, err := Figure3(pcfg)
@@ -40,13 +41,14 @@ func TestFigure3ParallelMatchesSerial(t *testing.T) {
 
 func TestFigure4ParallelMatchesSerial(t *testing.T) {
 	cfg := DefaultConfig(tinyScale())
+	cfg.Workers = 1 // explicit serial opt-out
 	for _, kind := range []TopologyKind{Brite, Sparse} {
 		serial, err := Figure4(cfg, kind)
 		if err != nil {
 			t.Fatal(err)
 		}
 		pcfg := cfg
-		pcfg.Workers = 4
+		pcfg.Workers = 0 // the new default: all CPUs
 		par, err := Figure4(pcfg, kind)
 		if err != nil {
 			t.Fatal(err)
@@ -59,12 +61,13 @@ func TestFigure4ParallelMatchesSerial(t *testing.T) {
 
 func TestFigure4SubsetsParallelMatchesSerial(t *testing.T) {
 	cfg := DefaultConfig(tinyScale())
+	cfg.Workers = 1 // explicit serial opt-out
 	serial, err := Figure4Subsets(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	pcfg := cfg
-	pcfg.Workers = 2
+	pcfg.Workers = 0 // the new default: all CPUs
 	par, err := Figure4Subsets(pcfg)
 	if err != nil {
 		t.Fatal(err)

@@ -18,6 +18,7 @@
 package inference
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/bitset"
@@ -34,8 +35,9 @@ type Algorithm interface {
 	Name() string
 	// Prepare runs once over the recorded monitoring period (the
 	// Probability Computation step of the Bayesian algorithms; a no-op
-	// for Sparsity).
-	Prepare(top *topology.Topology, rec *observe.Recorder) error
+	// for Sparsity). rec may be any observation store — a Recorder or a
+	// live stream.Window; ctx cancels a long preparation.
+	Prepare(ctx context.Context, top *topology.Topology, rec observe.Store) error
 	// Infer returns the links inferred congested during an interval in
 	// which exactly the given paths were observed congested.
 	Infer(congestedPaths *bitset.Set) *bitset.Set
@@ -119,7 +121,7 @@ func NewSparsity() *Sparsity { return &Sparsity{} }
 func (s *Sparsity) Name() string { return "Sparsity" }
 
 // Prepare implements Algorithm; Sparsity needs no monitoring period.
-func (s *Sparsity) Prepare(top *topology.Topology, _ *observe.Recorder) error {
+func (s *Sparsity) Prepare(_ context.Context, top *topology.Topology, _ observe.Store) error {
 	s.setup.top = top
 	return nil
 }
@@ -164,9 +166,9 @@ func NewBayesianIndependence(cfg probcalc.IndependenceConfig) *BayesianIndepende
 func (b *BayesianIndependence) Name() string { return "Bayesian-Independence" }
 
 // Prepare implements Algorithm: the Probability Computation step.
-func (b *BayesianIndependence) Prepare(top *topology.Topology, rec *observe.Recorder) error {
+func (b *BayesianIndependence) Prepare(ctx context.Context, top *topology.Topology, rec observe.Store) error {
 	b.setup.top = top
-	res, err := probcalc.Independence(top, rec, b.cfg)
+	res, err := probcalc.Independence(ctx, top, rec, b.cfg)
 	if err != nil {
 		return err
 	}
@@ -226,9 +228,9 @@ func NewBayesianCorrelation(cfg core.Config) *BayesianCorrelation {
 func (b *BayesianCorrelation) Name() string { return "Bayesian-Correlation" }
 
 // Prepare implements Algorithm.
-func (b *BayesianCorrelation) Prepare(top *topology.Topology, rec *observe.Recorder) error {
+func (b *BayesianCorrelation) Prepare(ctx context.Context, top *topology.Topology, rec observe.Store) error {
 	b.setup.top = top
-	res, err := core.Compute(top, rec, b.cfg)
+	res, err := core.Compute(ctx, top, rec, b.cfg)
 	if err != nil {
 		return err
 	}

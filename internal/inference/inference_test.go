@@ -1,6 +1,7 @@
 package inference
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -17,7 +18,7 @@ func TestSparsityToyExample(t *testing.T) {
 	// (each participates in two congested paths).
 	top := topology.Fig1Case1()
 	s := NewSparsity()
-	if err := s.Prepare(top, observe.NewRecorder(top.NumPaths())); err != nil {
+	if err := s.Prepare(context.Background(), top, observe.NewRecorder(top.NumPaths())); err != nil {
 		t.Fatal(err)
 	}
 	got := s.Infer(bitset.FromIndices(3, 0, 1, 2))
@@ -31,7 +32,7 @@ func TestSparsityMissesEdgeCongestion(t *testing.T) {
 	// and Sparsity still picks {e1, e3}: one miss, one false blame.
 	top := topology.Fig1Case1()
 	s := NewSparsity()
-	_ = s.Prepare(top, observe.NewRecorder(top.NumPaths()))
+	_ = s.Prepare(context.Background(), top, observe.NewRecorder(top.NumPaths()))
 	inferred := s.Infer(bitset.FromIndices(3, 0, 1, 2))
 	actual := bitset.FromIndices(4, 1, 2)
 	dr, _ := metrics.DetectionRate(inferred, actual)
@@ -51,7 +52,7 @@ func TestExonerationBySeparability(t *testing.T) {
 		NewBayesianCorrelation(core.Config{}),
 	}
 	for _, a := range algs {
-		if err := a.Prepare(top, rec); err != nil {
+		if err := a.Prepare(context.Background(), top, rec); err != nil {
 			t.Fatalf("%s: %v", a.Name(), err)
 		}
 		// Only p1 congested: p2, p3 good exonerate e1, e3, e4.
@@ -91,11 +92,11 @@ func TestBayesianCorrelationBeatsIndependenceUnderCorrelation(t *testing.T) {
 	rec := recordCorrelated(top, 0.4, 3000, 2)
 
 	bi := NewBayesianIndependence(probcalc.IndependenceConfig{})
-	if err := bi.Prepare(top, rec); err != nil {
+	if err := bi.Prepare(context.Background(), top, rec); err != nil {
 		t.Fatal(err)
 	}
 	bc := NewBayesianCorrelation(core.Config{})
-	if err := bc.Prepare(top, rec); err != nil {
+	if err := bc.Prepare(context.Background(), top, rec); err != nil {
 		t.Fatal(err)
 	}
 
@@ -141,7 +142,7 @@ func TestBayesianIndependenceAccurateWhenIndependent(t *testing.T) {
 		states = append(states, state{links: cong, paths: congPaths})
 	}
 	bi := NewBayesianIndependence(probcalc.IndependenceConfig{})
-	if err := bi.Prepare(top, rec); err != nil {
+	if err := bi.Prepare(context.Background(), top, rec); err != nil {
 		t.Fatal(err)
 	}
 	var dr metrics.Mean
@@ -162,7 +163,7 @@ func TestInferEmptyObservation(t *testing.T) {
 		NewBayesianIndependence(probcalc.IndependenceConfig{}),
 		NewBayesianCorrelation(core.Config{}),
 	} {
-		if err := a.Prepare(top, recordCorrelated(top, 0.3, 200, 4)); err != nil {
+		if err := a.Prepare(context.Background(), top, recordCorrelated(top, 0.3, 200, 4)); err != nil {
 			t.Fatal(err)
 		}
 		if got := a.Infer(bitset.New(3)); !got.IsEmpty() {

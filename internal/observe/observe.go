@@ -58,7 +58,20 @@ type Store interface {
 	AlwaysGoodPaths(tol float64) *bitset.Set
 }
 
-var _ Store = (*Recorder)(nil)
+// IntervalSource is the optional row view of a Store: per-interval
+// access to the congested-path sets, indexed oldest-first in [0, T()).
+// The Boolean-inference estimators need it (they diagnose one interval
+// at a time); both Recorder and stream.Window implement it. The
+// returned sets must not be modified and are valid only until the next
+// write to the store.
+type IntervalSource interface {
+	CongestedAt(t int) *bitset.Set
+}
+
+var (
+	_ Store          = (*Recorder)(nil)
+	_ IntervalSource = (*Recorder)(nil)
+)
 
 // scratchPool holds the word buffers used by the mask queries. A pool
 // (rather than a buffer owned by each store) is what makes the queries

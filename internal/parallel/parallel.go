@@ -11,11 +11,12 @@ import (
 	"sync/atomic"
 )
 
-// workerCount resolves the worker knob: ≤ 0... specifically, negative
-// means GOMAXPROCS, and the count is clamped to the number of items so
-// surplus workers are never spawned.
+// workerCount resolves the worker knob: 0 (the zero value) and negative
+// both mean GOMAXPROCS — parallelism is the default, and 1 is the
+// explicit serial opt-out. The count is clamped to the number of items
+// so surplus workers are never spawned.
 func workerCount(workers, n int) int {
-	if workers < 0 {
+	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > n {
@@ -25,7 +26,8 @@ func workerCount(workers, n int) int {
 }
 
 // For runs fn(i) for every i in [start, end) on at most workers
-// goroutines. 0 or 1 workers degenerates to a plain serial loop.
+// goroutines. 1 worker degenerates to a plain serial loop; 0 or
+// negative uses all CPUs.
 func For(workers, start, end int, fn func(i int)) {
 	if workerCount(workers, end-start) <= 1 {
 		for i := start; i < end; i++ {
@@ -39,7 +41,8 @@ func For(workers, start, end int, fn func(i int)) {
 	})
 }
 
-// ForErr runs fn(i) for i in [0, n) on at most workers goroutines and
+// ForErr runs fn(i) for i in [0, n) on at most workers goroutines
+// (resolved like For: 0 or negative = all CPUs, 1 = serial) and
 // returns the error of the lowest failing index, matching the serial
 // loop's error precedence (an index below the first failure always ran
 // before it was dispatched, so its error is always collected). After

@@ -19,6 +19,7 @@
 package probcalc
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -59,8 +60,14 @@ type IndependenceConfig struct {
 }
 
 // Independence computes per-link congestion probabilities assuming link
-// independence (CLINK's Probability Computation step).
-func Independence(top *topology.Topology, rec *observe.Recorder, cfg IndependenceConfig) (*LinkResult, error) {
+// independence (CLINK's Probability Computation step). rec may be any
+// observation store — a Recorder over a full monitoring period or a
+// stream.Window over the live sliding window. ctx cancels a long run
+// (nil means context.Background()).
+func Independence(ctx context.Context, top *topology.Topology, rec observe.Store, cfg IndependenceConfig) (*LinkResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rec.NumPaths() != top.NumPaths() {
 		return nil, fmt.Errorf("probcalc: recorder/topology path mismatch")
 	}
@@ -71,13 +78,7 @@ func Independence(top *topology.Topology, rec *observe.Recorder, cfg Independenc
 	rng := rand.New(rand.NewSource(cfg.Seed))
 
 	alwaysGood := rec.AlwaysGoodPaths(cfg.AlwaysGoodTol)
-	goodLinks := top.LinksOf(alwaysGood)
-	pot := bitset.New(top.NumLinks())
-	for e := 0; e < top.NumLinks(); e++ {
-		if !goodLinks.Contains(e) {
-			pot.Add(e)
-		}
-	}
+	pot := top.PotentiallyCongestedLinks(top.LinksOf(alwaysGood))
 
 	// Column universe: potentially congested links covered by a path.
 	colOf := make([]int, top.NumLinks())
@@ -119,6 +120,9 @@ func Independence(top *topology.Topology, rec *observe.Recorder, cfg Independenc
 	}
 	// Path-pair equations per link (Fig. 2(a) style), sampled.
 	for _, e := range cols {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		ps := top.LinkPaths(e).Indices()
 		if len(ps) < 2 {
 			continue
@@ -144,6 +148,9 @@ func Independence(top *topology.Topology, rec *observe.Recorder, cfg Independenc
 		addRow(bitset.FromIndices(top.NumPaths(), i, j))
 	}
 
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	g, ident := solveLogSystem(rows, rhs, len(cols))
 	res := &LinkResult{
 		Prob:                 make([]float64, top.NumLinks()),
@@ -185,7 +192,13 @@ type HeuristicConfig struct {
 // chains are short and the heuristic is accurate; on sparse topologies
 // the redundant, poorly-conditioned equations make it markedly noisier
 // — the behaviour Fig. 4(b) reports.
-func CorrelationHeuristic(top *topology.Topology, rec *observe.Recorder, cfg HeuristicConfig) (*LinkResult, error) {
+//
+// rec may be any observation store (Recorder or stream.Window); ctx
+// cancels a long run (nil means context.Background()).
+func CorrelationHeuristic(ctx context.Context, top *topology.Topology, rec observe.Store, cfg HeuristicConfig) (*LinkResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if rec.NumPaths() != top.NumPaths() {
 		return nil, fmt.Errorf("probcalc: recorder/topology path mismatch")
 	}
@@ -194,13 +207,7 @@ func CorrelationHeuristic(top *topology.Topology, rec *observe.Recorder, cfg Heu
 		sweeps = 50
 	}
 	alwaysGood := rec.AlwaysGoodPaths(cfg.AlwaysGoodTol)
-	goodLinks := top.LinksOf(alwaysGood)
-	pot := bitset.New(top.NumLinks())
-	for e := 0; e < top.NumLinks(); e++ {
-		if !goodLinks.Contains(e) {
-			pot.Add(e)
-		}
-	}
+	pot := top.PotentiallyCongestedLinks(top.LinksOf(alwaysGood))
 
 	// Unknown universe: per-correlation-set intersections appearing in
 	// single-path and isolation equations, exactly like the core
@@ -266,6 +273,9 @@ func CorrelationHeuristic(top *topology.Topology, rec *observe.Recorder, cfg Heu
 	// Isolation equations per potentially congested link: paths through
 	// e that avoid the rest of e's correlation set.
 	for e := 0; e < top.NumLinks(); e++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !pot.Contains(e) || top.LinkPaths(e).IsEmpty() {
 			continue
 		}
@@ -299,6 +309,9 @@ func CorrelationHeuristic(top *topology.Topology, rec *observe.Recorder, cfg Heu
 	cnt := make([]int, len(subs))
 	const damping = 0.5 // undamped substitution oscillates on pair equations
 	for s := 0; s < sweeps; s++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		for i := range sum {
 			sum[i], cnt[i] = 0, 0
 		}
@@ -347,7 +360,7 @@ func CorrelationHeuristic(top *topology.Topology, rec *observe.Recorder, cfg Heu
 // fillLink applies the common per-link protocol: always-good links are
 // exactly 0; otherwise use the algorithm's estimate when identified,
 // else the shared observable fallback (core.FallbackLinkProb).
-func fillLink(res *LinkResult, top *topology.Topology, rec *observe.Recorder, pot *bitset.Set, e int, est func() (float64, bool)) {
+func fillLink(res *LinkResult, top *topology.Topology, rec observe.Store, pot *bitset.Set, e int, est func() (float64, bool)) {
 	if !pot.Contains(e) {
 		res.Prob[e], res.Exact[e] = 0, true
 		return

@@ -1,6 +1,7 @@
 package probcalc
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -54,7 +55,7 @@ func simulate(t *testing.T, p1, p23, p4 float64, correlated bool, T int, seed in
 func TestIndependenceRecoversIndependentLinks(t *testing.T) {
 	// When links really are independent, CLINK's step 1 is consistent.
 	top, rec := simulate(t, 0.3, 0.25, 0.2, false, 60000, 1)
-	res, err := Independence(top, rec, IndependenceConfig{})
+	res, err := Independence(context.Background(), top, rec, IndependenceConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestIndependenceBiasedUnderCorrelation(t *testing.T) {
 	// equations of Fig. 2(a) are wrong); the error must be visible.
 	p23 := 0.4
 	top, rec := simulate(t, 0.0, p23, 0.0, true, 60000, 2)
-	res, err := Independence(top, rec, IndependenceConfig{})
+	res, err := Independence(context.Background(), top, rec, IndependenceConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,7 +92,7 @@ func TestIndependenceBiasedUnderCorrelation(t *testing.T) {
 func TestCorrelationHeuristicHandlesCorrelation(t *testing.T) {
 	p1, p23, p4 := 0.3, 0.4, 0.2
 	top, rec := simulate(t, p1, p23, p4, true, 60000, 3)
-	res, err := CorrelationHeuristic(top, rec, HeuristicConfig{})
+	res, err := CorrelationHeuristic(context.Background(), top, rec, HeuristicConfig{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -117,8 +118,10 @@ func TestAlwaysGoodLinksZero(t *testing.T) {
 		rec.Add(congPaths)
 	}
 	for name, run := range map[string]func() (*LinkResult, error){
-		"independence": func() (*LinkResult, error) { return Independence(top, rec, IndependenceConfig{}) },
-		"heuristic":    func() (*LinkResult, error) { return CorrelationHeuristic(top, rec, HeuristicConfig{}) },
+		"independence": func() (*LinkResult, error) { return Independence(context.Background(), top, rec, IndependenceConfig{}) },
+		"heuristic": func() (*LinkResult, error) {
+			return CorrelationHeuristic(context.Background(), top, rec, HeuristicConfig{})
+		},
 	} {
 		res, err := run()
 		if err != nil {
@@ -143,8 +146,10 @@ func TestUncoveredLinkFallback(t *testing.T) {
 	rec.Add(bitset.FromIndices(1, 0))
 	rec.Add(bitset.New(1))
 	for name, run := range map[string]func() (*LinkResult, error){
-		"independence": func() (*LinkResult, error) { return Independence(top, rec, IndependenceConfig{}) },
-		"heuristic":    func() (*LinkResult, error) { return CorrelationHeuristic(top, rec, HeuristicConfig{}) },
+		"independence": func() (*LinkResult, error) { return Independence(context.Background(), top, rec, IndependenceConfig{}) },
+		"heuristic": func() (*LinkResult, error) {
+			return CorrelationHeuristic(context.Background(), top, rec, HeuristicConfig{})
+		},
 	} {
 		res, err := run()
 		if err != nil {
@@ -162,10 +167,10 @@ func TestUncoveredLinkFallback(t *testing.T) {
 func TestMismatchedRecorderRejected(t *testing.T) {
 	top := topology.Fig1Case1()
 	rec := observe.NewRecorder(7)
-	if _, err := Independence(top, rec, IndependenceConfig{}); err == nil {
+	if _, err := Independence(context.Background(), top, rec, IndependenceConfig{}); err == nil {
 		t.Fatal("Independence accepted mismatched recorder")
 	}
-	if _, err := CorrelationHeuristic(top, rec, HeuristicConfig{}); err == nil {
+	if _, err := CorrelationHeuristic(context.Background(), top, rec, HeuristicConfig{}); err == nil {
 		t.Fatal("CorrelationHeuristic accepted mismatched recorder")
 	}
 }

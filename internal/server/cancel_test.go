@@ -1,0 +1,137 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/estimator"
+	"repro/internal/experiment"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// bigTopology builds a Sparse overlay large enough that one epoch solve
+// at MaxSubsetSize 3 takes hundreds of milliseconds, so a mid-solve
+// cancellation is unambiguous.
+func bigTopology(t testing.TB) *topology.Topology {
+	t.Helper()
+	scale := experiment.Small()
+	scale.SparseNumAS = 160
+	scale.SparsePaths = 800
+	top, err := experiment.BuildTopology(experiment.Sparse, scale, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func ingestSimulated(t testing.TB, s *Server, top *topology.Topology, intervals int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	mc := netsim.DefaultConfig(netsim.RandomCongestion)
+	mc.PerfectE2E = true
+	model, err := netsim.NewModel(top, mc, intervals, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := make([]*bitset.Set, 0, intervals)
+	for ti := 0; ti < intervals; ti++ {
+		batch = append(batch, model.Interval(ti, rng).CongestedPaths)
+	}
+	s.Ingest(batch)
+}
+
+// A mid-solve context cancellation must return promptly with ctx.Err(),
+// leave the previously published snapshot current, and not consume an
+// epoch.
+func TestEpochSolveCancellation(t *testing.T) {
+	top := bigTopology(t)
+	s := newServer(t, top, Config{
+		WindowSize: 600,
+		SolverOpts: []estimator.Option{
+			estimator.WithMaxSubsetSize(3),
+			estimator.WithAlwaysGoodTol(0.02),
+			estimator.WithConcurrency(1),
+		},
+	})
+	defer s.Close()
+	ingestSimulated(t, s, top, 600)
+
+	// Reference epoch: the uncancelled solve, which also calibrates the
+	// cancellation timing to this machine.
+	start := time.Now()
+	first := s.Recompute(context.Background())
+	full := time.Since(start)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Epoch != 1 {
+		t.Fatalf("first epoch = %d, want 1", first.Epoch)
+	}
+	if full < 50*time.Millisecond {
+		t.Fatalf("solve finished in %v; topology too small to test mid-solve cancellation", full)
+	}
+
+	// Cancel a tenth of the way into a second solve.
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(full / 10)
+		cancel()
+	}()
+	start = time.Now()
+	snap := s.Recompute(ctx)
+	elapsed := time.Since(start)
+	if !errors.Is(snap.Err, context.Canceled) {
+		t.Fatalf("cancelled solve: err = %v, want context.Canceled", snap.Err)
+	}
+	if snap.Epoch != 0 {
+		t.Fatalf("cancelled solve consumed epoch %d", snap.Epoch)
+	}
+	if elapsed > full/2 {
+		t.Fatalf("cancelled solve returned after %v; full solve takes %v — not prompt", elapsed, full)
+	}
+	if got := s.Latest(); got != first {
+		t.Fatalf("cancelled solve replaced the published snapshot")
+	}
+
+	// The next solve publishes normally: epochs skip nothing.
+	second := s.Recompute(context.Background())
+	if second.Err != nil || second.Epoch != 2 {
+		t.Fatalf("post-cancellation epoch = %d (err %v), want 2", second.Epoch, second.Err)
+	}
+}
+
+// Close must abort an in-flight epoch solve through the server's
+// lifetime context rather than waiting it out.
+func TestCloseCancelsInflightSolve(t *testing.T) {
+	top := bigTopology(t)
+	s := newServer(t, top, Config{
+		WindowSize: 600,
+		SolverOpts: []estimator.Option{
+			estimator.WithMaxSubsetSize(3),
+			estimator.WithAlwaysGoodTol(0.02),
+			estimator.WithConcurrency(1),
+		},
+	})
+	ingestSimulated(t, s, top, 600)
+
+	done := make(chan *Snapshot, 1)
+	go func() { done <- s.Recompute(nil) }() // nil ctx = server lifetime
+	time.Sleep(20 * time.Millisecond)
+	s.Close()
+	select {
+	case snap := <-done:
+		if snap.Err == nil {
+			t.Skip("solve completed before Close on this machine; nothing to abort")
+		}
+		if !errors.Is(snap.Err, context.Canceled) {
+			t.Fatalf("err = %v, want context.Canceled", snap.Err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("solve did not abort on Close")
+	}
+}

@@ -1,18 +1,52 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"sort"
 	"strconv"
 
 	"repro/internal/bitset"
+	"repro/internal/estimator"
 )
 
 // maxIngestBody bounds one ingest request (64 MiB is ~ a day of
 // intervals on the paper-scale path universe).
 const maxIngestBody = 64 << 20
+
+// APIVersion tags every response envelope; clients should reject
+// versions they do not understand.
+const APIVersion = "v1"
+
+// Machine-readable error codes of the v1 API. They are part of the
+// wire contract: clients dispatch on Code, never on Message.
+const (
+	CodeBadRequest    = "bad_request"    // malformed body or query parameter
+	CodeUnknownAlgo   = "unknown_algo"   // ?algo= names no registered estimator
+	CodeUnknownLink   = "unknown_link"   // link id outside the universe
+	CodeUnknownSubset = "unknown_subset" // subset id outside the snapshot's universe
+	CodeNoSnapshot    = "no_snapshot"    // no epoch published yet
+	CodeSolveCanceled = "solve_canceled" // the request's solve was cancelled (client gone or shutdown)
+	CodeSolverFailed  = "solver_failed"  // the estimator returned an error
+	CodeInternal      = "internal_error" // server-side failure unrelated to the solve
+)
+
+// Envelope is the versioned wrapper of every v1 response: exactly one
+// of Data and Error is set.
+type Envelope struct {
+	APIVersion string          `json:"api_version"`
+	Data       json.RawMessage `json:"data,omitempty"`
+	Error      *APIError       `json:"error,omitempty"`
+}
+
+// APIError is the machine-readable error payload.
+type APIError struct {
+	Code    string `json:"code"`
+	Message string `json:"message"`
+}
 
 // Wire types of the JSON API.
 
@@ -34,17 +68,57 @@ type ObservationsResponse struct {
 }
 
 // LinkResponse is the answer of GET /v1/links/{id}: the best available
-// estimate of P(link congested) under the snapshot's epoch.
+// estimate of P(link congested) under the snapshot's epoch, by the
+// requested algorithm (?algo=, default the epoch solver).
 type LinkResponse struct {
 	Link        int     `json:"link"`
 	Name        string  `json:"name,omitempty"`
+	Algorithm   string  `json:"algorithm"`
 	CongestProb float64 `json:"congest_prob"`
 	// Exact reports whether the probability was identified by the
-	// solver (vs an observable fallback estimate).
+	// algorithm (vs an observable fallback estimate).
 	Exact   bool   `json:"exact"`
 	Epoch   uint64 `json:"epoch"`
 	WindowT int    `json:"window_intervals"`
 	SeqHigh uint64 `json:"seq_high"`
+}
+
+// SubsetResponse is one correlation subset's estimate: the probability
+// that all its links are simultaneously good (the paper's primary
+// output). GoodProb is omitted when the subset is unidentifiable.
+type SubsetResponse struct {
+	ID           int      `json:"id"`
+	Links        []int    `json:"links"`
+	CorrSet      int      `json:"corr_set"`
+	GoodProb     *float64 `json:"good_prob,omitempty"`
+	CongestProb  *float64 `json:"congest_prob,omitempty"`
+	Identifiable bool     `json:"identifiable"`
+}
+
+// SubsetsResponse is GET /v1/subsets: every correlation subset of the
+// snapshot's estimate, in stable ID order.
+type SubsetsResponse struct {
+	Epoch        uint64           `json:"epoch"`
+	Algorithm    string           `json:"algorithm"`
+	WindowT      int              `json:"window_intervals"`
+	SeqHigh      uint64           `json:"seq_high"`
+	Total        int              `json:"total"`
+	Identifiable int              `json:"identifiable"`
+	Subsets      []SubsetResponse `json:"subsets"`
+}
+
+// EstimatorInfo describes one registered estimator.
+type EstimatorInfo struct {
+	Name        string `json:"name"`
+	Description string `json:"description"`
+	// Default reports whether this is the server's epoch solver.
+	Default bool `json:"default"`
+}
+
+// EstimatorsResponse is GET /v1/estimators: the registry, sorted by
+// name.
+type EstimatorsResponse struct {
+	Estimators []EstimatorInfo `json:"estimators"`
 }
 
 // CongestedPath is one entry of GET /v1/paths/congested.
@@ -67,6 +141,7 @@ type CongestedPathsResponse struct {
 // StatusResponse is GET /v1/status: ingest/solver progress and lag.
 type StatusResponse struct {
 	Epoch       uint64 `json:"epoch"`
+	Algorithm   string `json:"algorithm"`
 	IngestedSeq uint64 `json:"ingested_seq"`
 	SnapshotSeq uint64 `json:"snapshot_seq"`
 	// LagIntervals is how many ingested intervals the published
@@ -85,32 +160,53 @@ type StatusResponse struct {
 	SolverError  string  `json:"solver_error,omitempty"`
 }
 
-// Handler returns the HTTP API: batched ingest, per-link and congested
-// path queries answered from the latest snapshot, and status.
+// Handler returns the versioned HTTP API: batched ingest; per-link,
+// subset-level and congested-path queries answered from the latest
+// snapshot; the estimator registry; and status. The estimate-backed
+// endpoints (/v1/links/{id}, /v1/subsets, /v1/subsets/{id}) accept
+// per-request estimator selection via ?algo=; /v1/paths/congested is
+// observation-level (raw window fractions, no estimator involved).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/observations", s.handleObservations)
 	mux.HandleFunc("GET /v1/links/{id}", s.handleLink)
+	mux.HandleFunc("GET /v1/subsets", s.handleSubsets)
+	mux.HandleFunc("GET /v1/subsets/{id}", s.handleSubset)
+	mux.HandleFunc("GET /v1/estimators", s.handleEstimators)
 	mux.HandleFunc("GET /v1/paths/congested", s.handleCongestedPaths)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	return mux
 }
 
-func writeJSON(w http.ResponseWriter, status int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(v)
+// writeData wraps v in the versioned envelope.
+func writeData(w http.ResponseWriter, status int, v any) {
+	raw, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, CodeInternal, "encoding response: %v", err)
+		return
+	}
+	writeEnvelope(w, status, Envelope{APIVersion: APIVersion, Data: raw})
 }
 
-func writeError(w http.ResponseWriter, status int, format string, args ...any) {
-	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+// writeError wraps a machine-readable error in the versioned envelope.
+func writeError(w http.ResponseWriter, status int, code, format string, args ...any) {
+	writeEnvelope(w, status, Envelope{
+		APIVersion: APIVersion,
+		Error:      &APIError{Code: code, Message: fmt.Sprintf(format, args...)},
+	})
+}
+
+func writeEnvelope(w http.ResponseWriter, status int, env Envelope) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(env)
 }
 
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	var req ObservationsRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
 	if err := dec.Decode(&req); err != nil {
-		writeError(w, http.StatusBadRequest, "decoding body: %v", err)
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding body: %v", err)
 		return
 	}
 	numPaths := s.top.NumPaths()
@@ -119,7 +215,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		set := bitset.New(numPaths)
 		for _, p := range iv.CongestedPaths {
 			if p < 0 || p >= numPaths {
-				writeError(w, http.StatusBadRequest,
+				writeError(w, http.StatusBadRequest, CodeBadRequest,
 					"interval %d: path %d outside universe [0,%d)", i, p, numPaths)
 				return
 			}
@@ -128,28 +224,59 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		batch[i] = set
 	}
 	seq := s.Ingest(batch)
-	writeJSON(w, http.StatusOK, ObservationsResponse{Accepted: len(batch), Seq: seq})
+	writeData(w, http.StatusOK, ObservationsResponse{Accepted: len(batch), Seq: seq})
+}
+
+// snapshotEstimate resolves the latest snapshot and the estimate for
+// the request's ?algo= selection, writing the appropriate error
+// envelope on failure.
+func (s *Server) snapshotEstimate(w http.ResponseWriter, r *http.Request) (*Snapshot, *estimator.Estimate, bool) {
+	snap := s.Latest()
+	if snap == nil {
+		writeError(w, http.StatusServiceUnavailable, CodeNoSnapshot, "no solver snapshot yet")
+		return nil, nil, false
+	}
+	algo := r.URL.Query().Get("algo")
+	est, err := snap.EstimateFor(r.Context(), algo)
+	if err != nil {
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			writeError(w, http.StatusServiceUnavailable, CodeSolveCanceled, "solve cancelled: %v", err)
+		case algo != "" && !registered(algo):
+			writeError(w, http.StatusBadRequest, CodeUnknownAlgo, "%v", err)
+		default:
+			writeError(w, http.StatusInternalServerError, CodeSolverFailed, "%v", err)
+		}
+		return nil, nil, false
+	}
+	return snap, est, true
+}
+
+// registered reports whether name is in the estimator registry.
+func registered(name string) bool {
+	_, err := estimator.New(name)
+	return err == nil
 }
 
 func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 	id, err := strconv.Atoi(r.PathValue("id"))
 	if err != nil {
-		writeError(w, http.StatusBadRequest, "link id %q is not an integer", r.PathValue("id"))
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "link id %q is not an integer", r.PathValue("id"))
 		return
 	}
 	if id < 0 || id >= s.top.NumLinks() {
-		writeError(w, http.StatusNotFound, "link %d outside universe [0,%d)", id, s.top.NumLinks())
+		writeError(w, http.StatusNotFound, CodeUnknownLink, "link %d outside universe [0,%d)", id, s.top.NumLinks())
 		return
 	}
-	snap := s.Latest()
-	if snap == nil || snap.Result == nil {
-		writeError(w, http.StatusServiceUnavailable, "no solver snapshot yet")
+	snap, est, ok := s.snapshotEstimate(w, r)
+	if !ok {
 		return
 	}
-	p, exact := snap.Result.LinkCongestProbOrFallback(id)
-	writeJSON(w, http.StatusOK, LinkResponse{
+	p, exact := est.LinkCongestProb(id)
+	writeData(w, http.StatusOK, LinkResponse{
 		Link:        id,
 		Name:        s.top.Links[id].Name,
+		Algorithm:   est.Algorithm,
 		CongestProb: p,
 		Exact:       exact,
 		Epoch:       snap.Epoch,
@@ -158,19 +285,98 @@ func (s *Server) handleLink(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// subsetResponse flattens one subset estimate for the wire; the good
+// probability is omitted (not NaN, which JSON cannot carry) when the
+// subset is unidentifiable. For estimates with joint-query detail, the
+// subset's congestion probability is included too.
+func subsetResponse(est *estimator.Estimate, sub estimator.SubsetEstimate) SubsetResponse {
+	out := SubsetResponse{
+		ID:           sub.ID,
+		Links:        sub.Links.Indices(),
+		CorrSet:      sub.CorrSet,
+		Identifiable: sub.Identifiable,
+	}
+	if sub.Identifiable {
+		g := sub.GoodProb
+		out.GoodProb = &g
+		if est.Detail != nil {
+			if c, ok := est.Detail.CongestedProb(sub.Links); ok {
+				out.CongestProb = &c
+			}
+		}
+	}
+	return out
+}
+
+func (s *Server) handleSubsets(w http.ResponseWriter, r *http.Request) {
+	snap, est, ok := s.snapshotEstimate(w, r)
+	if !ok {
+		return
+	}
+	resp := SubsetsResponse{
+		Epoch:     snap.Epoch,
+		Algorithm: est.Algorithm,
+		WindowT:   snap.T,
+		SeqHigh:   snap.SeqHigh,
+		Total:     len(est.Subsets),
+		Subsets:   make([]SubsetResponse, 0, len(est.Subsets)),
+	}
+	for _, sub := range est.Subsets {
+		if sub.Identifiable {
+			resp.Identifiable++
+		}
+		resp.Subsets = append(resp.Subsets, subsetResponse(est, sub))
+	}
+	writeData(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleSubset(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, CodeBadRequest, "subset id %q is not an integer", r.PathValue("id"))
+		return
+	}
+	snap, est, ok := s.snapshotEstimate(w, r)
+	if !ok {
+		return
+	}
+	if id < 0 || id >= len(est.Subsets) {
+		writeError(w, http.StatusNotFound, CodeUnknownSubset,
+			"subset %d outside universe [0,%d) of epoch %d", id, len(est.Subsets), snap.Epoch)
+		return
+	}
+	writeData(w, http.StatusOK, subsetResponse(est, est.Subsets[id]))
+}
+
+func (s *Server) handleEstimators(w http.ResponseWriter, r *http.Request) {
+	resp := EstimatorsResponse{}
+	for _, name := range estimator.Names() {
+		est, err := estimator.New(name)
+		if err != nil {
+			continue // unreachable: Names only lists registered estimators
+		}
+		resp.Estimators = append(resp.Estimators, EstimatorInfo{
+			Name:        name,
+			Description: est.Description(),
+			Default:     name == s.cfg.Algo,
+		})
+	}
+	writeData(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleCongestedPaths(w http.ResponseWriter, r *http.Request) {
 	threshold := 0.5
 	if v := r.URL.Query().Get("min"); v != "" {
 		f, err := strconv.ParseFloat(v, 64)
 		if err != nil || f < 0 || f > 1 {
-			writeError(w, http.StatusBadRequest, "min must be a number in [0,1], got %q", v)
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "min must be a number in [0,1], got %q", v)
 			return
 		}
 		threshold = f
 	}
 	snap := s.Latest()
 	if snap == nil {
-		writeError(w, http.StatusServiceUnavailable, "no solver snapshot yet")
+		writeError(w, http.StatusServiceUnavailable, CodeNoSnapshot, "no solver snapshot yet")
 		return
 	}
 	resp := CongestedPathsResponse{
@@ -195,7 +401,7 @@ func (s *Server) handleCongestedPaths(w http.ResponseWriter, r *http.Request) {
 		}
 		return resp.Paths[i].Path < resp.Paths[j].Path
 	})
-	writeJSON(w, http.StatusOK, resp)
+	writeData(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
@@ -204,6 +410,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	// IngestedSeq ≥ SnapshotSeq and the lag subtraction cannot wrap.
 	snap := s.Latest()
 	st := StatusResponse{
+		Algorithm:   s.cfg.Algo,
 		IngestedSeq: s.Seq(),
 		WindowCap:   s.cfg.WindowSize,
 		NumLinks:    s.top.NumLinks(),
@@ -218,12 +425,12 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		if snap.Err != nil {
 			st.SolverError = snap.Err.Error()
 		}
-		if res := snap.Result; res != nil {
-			st.Rank = res.Rank
-			st.Nullity = res.Nullity
-			st.Subsets = len(res.Subsets)
-			st.ClampedRows = res.ClampedRows
-			for _, sub := range res.Subsets {
+		if est := snap.Est; est != nil {
+			st.Rank = est.Rank
+			st.Nullity = est.Nullity
+			st.Subsets = len(est.Subsets)
+			st.ClampedRows = est.ClampedRows
+			for _, sub := range est.Subsets {
 				if sub.Identifiable {
 					st.Identifiable++
 				}
@@ -232,5 +439,5 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st.LagIntervals = st.IngestedSeq
 	}
-	writeJSON(w, http.StatusOK, st)
+	writeData(w, http.StatusOK, st)
 }

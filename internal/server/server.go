@@ -1,31 +1,37 @@
 // Package server implements the streaming tomography service: a
 // sliding-window observation store fed by batched ingest, an
-// epoch-versioned solver loop that recomputes the Correlation-complete
-// result over the live window on a fixed cadence, and the HTTP/JSON API
-// served by cmd/tomod.
+// epoch-versioned solver loop that recomputes the configured
+// estimator's result over the live window on a fixed cadence, and the
+// versioned HTTP/JSON API served by cmd/tomod.
 //
 // Concurrency contract (see DESIGN.md):
 //
 //   - Ingest serializes on one mutex guarding the live stream.Window;
 //     batches are applied atomically with respect to snapshots.
 //   - The solver loop clones the window under that mutex (cheap, O(state))
-//     and runs core.Compute on the frozen clone off-lock, so a slow
+//     and runs the estimator on the frozen clone off-lock, so a slow
 //     solve never blocks ingest.
-//   - Each solve publishes an immutable Snapshot — the core.Result, the
+//   - Each solve publishes an immutable Snapshot — the estimate, the
 //     frozen window it was computed over, and a monotonically increasing
 //     epoch — via an atomic pointer swap. Queries load the pointer once
 //     and answer entirely from that snapshot, so every response is
 //     internally consistent with exactly one epoch and queries never
 //     block ingest or the solver.
+//   - Epoch solves are cancellable: shutdown cancels the in-flight
+//     solve, and a solve whose frozen window has been entirely evicted
+//     by newer ingest (superseded) is abandoned rather than published.
+//     Cancelled solves return ctx.Err() promptly and never publish.
 package server
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/bitset"
-	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/stream"
 	"repro/internal/topology"
 )
@@ -40,9 +46,15 @@ type Config struct {
 	// new observations since the last epoch is skipped.
 	RecomputeEvery time.Duration
 
-	// Solver tunes the Correlation-complete run of each epoch,
-	// including its Concurrency knob.
-	Solver core.Config
+	// Algo selects the epoch solver from the estimator registry
+	// (default estimator.CorrelationComplete). Queries may still select
+	// other algorithms per request with ?algo=.
+	Algo string
+
+	// SolverOpts tunes every estimate the server computes — epoch
+	// solves and per-request ?algo= runs alike. Invalid options are
+	// reported by New, before the service starts.
+	SolverOpts []estimator.Option
 }
 
 // withDefaults fills the zero values.
@@ -53,22 +65,30 @@ func (c Config) withDefaults() Config {
 	if c.RecomputeEvery <= 0 {
 		c.RecomputeEvery = 2 * time.Second
 	}
+	if c.Algo == "" {
+		c.Algo = estimator.CorrelationComplete
+	}
 	return c
 }
 
-// Snapshot is one epoch of solver output. It is immutable once
-// published: Result and Window are never mutated again, so any number
-// of queries may read them concurrently.
+// Snapshot is one epoch of solver output. The published fields are
+// immutable: Est and Window are never mutated again, so any number of
+// queries may read them concurrently. Estimates for other algorithms
+// over the same frozen window are computed lazily per request and
+// cached on the snapshot.
 type Snapshot struct {
-	// Epoch increases by one per solve; queries report it so clients
-	// can correlate answers.
+	// Epoch increases by one per published solve; queries report it so
+	// clients can correlate answers. 0 on an unpublished (cancelled)
+	// snapshot.
 	Epoch uint64
 
-	// Result is the Correlation-complete output over Window; nil when
-	// Err is non-nil.
-	Result *core.Result
+	// Algo is the registry name of the epoch solver.
+	Algo string
 
-	// Window is the frozen clone of the live window the result was
+	// Est is the epoch estimate over Window; nil when Err is non-nil.
+	Est *estimator.Estimate
+
+	// Window is the frozen clone of the live window the estimate was
 	// computed over.
 	Window *stream.Window
 
@@ -82,14 +102,94 @@ type Snapshot struct {
 	ComputedAt  time.Time
 	ComputeTime time.Duration
 
-	// Err is the solver error, if the solve failed.
+	// Err is the solver error, if the solve failed; ctx.Err() when the
+	// solve was cancelled (shutdown or supersession), in which case the
+	// snapshot was not published.
 	Err error
+
+	top  *topology.Topology
+	opts []estimator.Option
+
+	// lifetime is the server's lifetime context: per-request solves run
+	// under it (not the request's context), so a slow solve outlives an
+	// impatient client, completes once, and serves every later request
+	// from the cache. Shutdown still aborts it.
+	lifetime context.Context
+
+	// mu guards byAlgo, the lazy per-request estimate cache. Each
+	// algorithm gets its own cell so a slow solve for one algorithm
+	// never blocks cache hits (or solves) for another.
+	mu     sync.Mutex
+	byAlgo map[string]*algoCell
+}
+
+// algoCell is one algorithm's slot in the snapshot's lazy cache. The
+// solve starts once (once) and runs detached from any single request;
+// done closes when est/err are final.
+type algoCell struct {
+	once sync.Once
+	done chan struct{}
+	est  *estimator.Estimate
+	err  error
+}
+
+// EstimateFor returns this snapshot's estimate for the named algorithm
+// ("" means the epoch solver's). Estimates for other algorithms are
+// computed over the frozen window on first request and cached, so every
+// algorithm answers about the same epoch. The solve itself runs under
+// the server's lifetime context; the request's ctx only bounds how long
+// this caller waits for it — an abandoned request does not waste the
+// solve, which completes and serves the next caller from the cache.
+func (s *Snapshot) EstimateFor(ctx context.Context, algo string) (*estimator.Estimate, error) {
+	if algo == "" || algo == s.Algo {
+		if s.Err != nil {
+			return nil, s.Err
+		}
+		return s.Est, nil
+	}
+	est, err := estimator.New(algo)
+	if err != nil {
+		return nil, err
+	}
+	// A request that is already dead neither starts nor waits for a
+	// solve; this also keeps the cancelled-solve error deterministic.
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	cell := s.byAlgo[algo]
+	if cell == nil {
+		cell = &algoCell{}
+		s.byAlgo[algo] = cell
+	}
+	s.mu.Unlock()
+	cell.once.Do(func() {
+		cell.done = make(chan struct{})
+		go func() {
+			defer close(cell.done)
+			cell.est, cell.err = est.Estimate(s.lifetime, s.top, s.Window, s.opts...)
+		}()
+	})
+	// Prefer a finished solve over a dead request context: both may be
+	// ready at once and select would pick randomly.
+	select {
+	case <-cell.done:
+		return cell.est, cell.err
+	default:
+	}
+	select {
+	case <-cell.done:
+		return cell.est, cell.err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // Server is the streaming tomography service.
 type Server struct {
 	top *topology.Topology
 	cfg Config
+	est estimator.Estimator // the epoch solver, resolved from cfg.Algo
 
 	mu  sync.Mutex // guards win (ingest and snapshot cloning)
 	win *stream.Window
@@ -98,26 +198,47 @@ type Server struct {
 	epoch     atomic.Uint64
 	snap      atomic.Pointer[Snapshot]
 
+	// baseCtx is the lifetime context of the service: Close cancels it,
+	// which aborts any in-flight epoch solve promptly.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
 	stop      chan struct{}
 	wg        sync.WaitGroup
 	startOnce sync.Once
 	closeOnce sync.Once
 }
 
-// New assembles a server over the topology. Call Start to launch the
-// recompute loop and Close to stop it.
-func New(top *topology.Topology, cfg Config) *Server {
+// New assembles a server over the topology, resolving the configured
+// estimator and validating the solver options eagerly so a bad
+// configuration fails here rather than on the first epoch. Call Start
+// to launch the recompute loop and Close to stop it.
+func New(top *topology.Topology, cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
-	return &Server{
-		top:  top,
-		cfg:  cfg,
-		win:  stream.NewWindow(top.NumPaths(), cfg.WindowSize),
-		stop: make(chan struct{}),
+	est, err := estimator.New(cfg.Algo)
+	if err != nil {
+		return nil, err
 	}
+	if _, err := estimator.Apply(cfg.SolverOpts...); err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		top:        top,
+		cfg:        cfg,
+		est:        est,
+		win:        stream.NewWindow(top.NumPaths(), cfg.WindowSize),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		stop:       make(chan struct{}),
+	}, nil
 }
 
 // Topology returns the topology the server monitors.
 func (s *Server) Topology() *topology.Topology { return s.top }
+
+// Algo returns the registry name of the configured epoch solver.
+func (s *Server) Algo() string { return s.cfg.Algo }
 
 // Start launches the background recompute loop.
 func (s *Server) Start() {
@@ -127,9 +248,13 @@ func (s *Server) Start() {
 	})
 }
 
-// Close stops the recompute loop and waits for it to exit.
+// Close stops the recompute loop, cancelling any in-flight epoch solve,
+// and waits for the loop to exit.
 func (s *Server) Close() {
-	s.closeOnce.Do(func() { close(s.stop) })
+	s.closeOnce.Do(func() {
+		s.baseCancel()
+		close(s.stop)
+	})
 	s.wg.Wait()
 }
 
@@ -157,38 +282,60 @@ func (s *Server) Seq() uint64 {
 // the first solve completes.
 func (s *Server) Latest() *Snapshot { return s.snap.Load() }
 
-// Recompute clones the live window, runs the solver over the frozen
-// clone, publishes the new snapshot, and returns it. It is what the
-// background loop calls each tick; tests and the daemon's shutdown path
-// call it directly for a synchronous epoch.
-func (s *Server) Recompute() *Snapshot {
+// Recompute clones the live window, runs the configured estimator over
+// the frozen clone, publishes the new snapshot, and returns it. It is
+// what the background loop calls each tick; tests and the daemon's
+// shutdown path call it directly for a synchronous epoch.
+//
+// ctx cancels the solve mid-flight: the returned snapshot then carries
+// ctx.Err() (wrapped) in Err, is NOT published, and does not consume an
+// epoch — the previously published snapshot stays current. A nil ctx
+// means the server's lifetime context.
+func (s *Server) Recompute(ctx context.Context) *Snapshot {
+	if ctx == nil {
+		ctx = s.baseCtx
+	}
 	s.computeMu.Lock()
 	defer s.computeMu.Unlock()
 	s.mu.Lock()
 	w := s.win.Clone()
 	s.mu.Unlock()
 	start := time.Now()
-	res, err := core.Compute(s.top, w, s.cfg.Solver)
+	est, err := s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...)
 	snap := &Snapshot{
-		Epoch:       s.epoch.Add(1),
-		Result:      res,
+		Algo:        s.cfg.Algo,
+		Est:         est,
 		Window:      w,
 		SeqHigh:     w.Seq(),
 		T:           w.T(),
 		ComputedAt:  time.Now(),
 		ComputeTime: time.Since(start),
 		Err:         err,
+		top:         s.top,
+		opts:        s.cfg.SolverOpts,
+		lifetime:    s.baseCtx,
+		byAlgo:      map[string]*algoCell{},
 	}
+	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+		return snap // cancelled: do not publish, do not consume an epoch
+	}
+	snap.Epoch = s.epoch.Add(1)
 	s.snap.Store(snap)
 	return snap
 }
 
 // run is the solver loop: one potential epoch per tick, skipped when
-// nothing was ingested since the last one.
+// nothing was ingested since the last one. Solves normally run under
+// supersession supervision; after a superseded cancellation the next
+// solve runs unsupervised (shutdown can still abort it), guaranteeing
+// forward progress — when ingest permanently outruns the solver, every
+// other solve still completes and publishes, so queries see a bounded-
+// stale snapshot instead of starving on 503s.
 func (s *Server) run() {
 	defer s.wg.Done()
 	ticker := time.NewTicker(s.cfg.RecomputeEvery)
 	defer ticker.Stop()
+	superseded := false
 	for {
 		select {
 		case <-s.stop:
@@ -197,7 +344,52 @@ func (s *Server) run() {
 			if last := s.snap.Load(); last != nil && last.SeqHigh == s.Seq() {
 				continue // window unchanged since the last epoch
 			}
-			s.Recompute()
+			if superseded {
+				s.Recompute(s.baseCtx) // backstop: run to completion
+				superseded = false
+				continue
+			}
+			superseded = s.recomputeSupervised()
+		}
+	}
+}
+
+// recomputeSupervised runs one epoch solve under supervision,
+// cancelling it early in two cases: the server is closing, or the solve
+// has been superseded — ingest has advanced a full window capacity past
+// the solve's base, so the frozen clone being solved shares no interval
+// with the live window and its result could only describe evicted data.
+// A superseded solve is abandoned (never published); the return value
+// reports whether that happened so the loop can back-stop the next one.
+func (s *Server) recomputeSupervised() (superseded bool) {
+	base := s.Seq()
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		s.Recompute(ctx)
+	}()
+	pollEvery := s.cfg.RecomputeEvery / 4
+	if pollEvery < 10*time.Millisecond {
+		pollEvery = 10 * time.Millisecond
+	}
+	poll := time.NewTicker(pollEvery)
+	defer poll.Stop()
+	for {
+		select {
+		case <-done:
+			return false
+		case <-s.stop:
+			cancel()
+			<-done
+			return false
+		case <-poll.C:
+			if s.Seq() >= base+uint64(s.cfg.WindowSize) {
+				cancel() // superseded: the solved window is fully evicted
+				<-done
+				return true
+			}
 		}
 	}
 }

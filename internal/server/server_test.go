@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/bitset"
 	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/experiment"
 	"repro/internal/netsim"
 	"repro/internal/observe"
@@ -35,8 +36,25 @@ func testTopology(t testing.TB) *topology.Topology {
 	return top
 }
 
+func solverOpts() []estimator.Option {
+	return []estimator.Option{
+		estimator.WithMaxSubsetSize(2),
+		estimator.WithAlwaysGoodTol(0.02),
+	}
+}
+
 func solverConfig() core.Config {
 	return core.Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02}
+}
+
+// newServer is New with a fatal error check.
+func newServer(t testing.TB, top *topology.Topology, cfg Config) *Server {
+	t.Helper()
+	s, err := New(top, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
 }
 
 // fetchJSON fetches url and decodes the body into v, returning the
@@ -48,8 +66,15 @@ func fetchJSON(client *http.Client, url string, v any) (int, error) {
 	}
 	defer resp.Body.Close()
 	if v != nil && resp.StatusCode == http.StatusOK {
-		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
-			return resp.StatusCode, fmt.Errorf("GET %s: decoding: %w", url, err)
+		var env Envelope
+		if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+			return resp.StatusCode, fmt.Errorf("GET %s: decoding envelope: %w", url, err)
+		}
+		if env.APIVersion != APIVersion {
+			return resp.StatusCode, fmt.Errorf("GET %s: api_version %q", url, env.APIVersion)
+		}
+		if err := json.Unmarshal(env.Data, v); err != nil {
+			return resp.StatusCode, fmt.Errorf("GET %s: decoding data: %w", url, err)
 		}
 	}
 	return resp.StatusCode, nil
@@ -76,10 +101,10 @@ func getJSON(t testing.TB, client *http.Client, url string, v any) int {
 func TestEndToEndStreaming(t *testing.T) {
 	const totalIntervals, windowSize = 10000, 2000
 	top := testTopology(t)
-	s := New(top, Config{
+	s := newServer(t, top, Config{
 		WindowSize:     windowSize,
 		RecomputeEvery: 20 * time.Millisecond,
-		Solver:         solverConfig(),
+		SolverOpts:     solverOpts(),
 	})
 	s.Start()
 	defer s.Close()
@@ -191,7 +216,7 @@ func TestEndToEndStreaming(t *testing.T) {
 	}
 
 	// Final synchronous epoch over the fully ingested window.
-	snap := s.Recompute()
+	snap := s.Recompute(nil)
 	if snap.Err != nil {
 		t.Fatalf("solver: %v", snap.Err)
 	}
@@ -204,13 +229,13 @@ func TestEndToEndStreaming(t *testing.T) {
 
 	// Epoch determinism: recomputing with no new data must publish a
 	// bit-identical result.
-	snap2 := s.Recompute()
+	snap2 := s.Recompute(nil)
 	if snap2.Epoch <= snap.Epoch {
 		t.Fatalf("epoch did not advance: %d then %d", snap.Epoch, snap2.Epoch)
 	}
 	for e := 0; e < top.NumLinks(); e++ {
-		p1, x1 := snap.Result.LinkCongestProbOrFallback(e)
-		p2, x2 := snap2.Result.LinkCongestProbOrFallback(e)
+		p1, x1 := snap.Est.LinkCongestProb(e)
+		p2, x2 := snap2.Est.LinkCongestProb(e)
 		if p1 != p2 || x1 != x2 {
 			t.Fatalf("link %d: quiescent epochs disagree: (%v,%v) vs (%v,%v)", e, p1, x1, p2, x2)
 		}
@@ -232,13 +257,13 @@ func TestEndToEndStreaming(t *testing.T) {
 			rec.Add(obs.CongestedPaths)
 		}
 	}
-	ref, err := core.Compute(top, rec, solverConfig())
+	ref, err := core.Compute(context.Background(), top, rec, solverConfig())
 	if err != nil {
 		t.Fatal(err)
 	}
 	for e := 0; e < top.NumLinks(); e++ {
 		want, wantExact := ref.LinkCongestProbOrFallback(e)
-		got, gotExact := snap.Result.LinkCongestProbOrFallback(e)
+		got, gotExact := snap.Est.LinkCongestProb(e)
 		if got != want || gotExact != wantExact {
 			t.Fatalf("link %d: streamed window (%v,%v) != offline replay (%v,%v)",
 				e, got, gotExact, want, wantExact)
@@ -248,7 +273,7 @@ func TestEndToEndStreaming(t *testing.T) {
 
 func TestIngestValidation(t *testing.T) {
 	top := testTopology(t)
-	s := New(top, Config{Solver: solverConfig()})
+	s := newServer(t, top, Config{SolverOpts: solverOpts()})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -283,7 +308,7 @@ func TestIngestValidation(t *testing.T) {
 
 func TestQueryEndpoints(t *testing.T) {
 	top := testTopology(t)
-	s := New(top, Config{WindowSize: 100, Solver: solverConfig()})
+	s := newServer(t, top, Config{WindowSize: 100, SolverOpts: solverOpts()})
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 
@@ -321,7 +346,7 @@ func TestQueryEndpoints(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	snap := s.Recompute()
+	snap := s.Recompute(nil)
 	if snap.Err != nil {
 		t.Fatal(snap.Err)
 	}
@@ -360,10 +385,10 @@ func TestQueryEndpoints(t *testing.T) {
 // skip ticks with nothing new.
 func TestRecomputeLoop(t *testing.T) {
 	top := testTopology(t)
-	s := New(top, Config{
+	s := newServer(t, top, Config{
 		WindowSize:     200,
 		RecomputeEvery: 5 * time.Millisecond,
-		Solver:         solverConfig(),
+		SolverOpts:     solverOpts(),
 	})
 	s.Start()
 	defer s.Close()

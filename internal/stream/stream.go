@@ -61,7 +61,10 @@ type Window struct {
 	seq   uint64 // total intervals ever added
 }
 
-var _ observe.Store = (*Window)(nil)
+var (
+	_ observe.Store          = (*Window)(nil)
+	_ observe.IntervalSource = (*Window)(nil)
+)
 
 // NewWindow returns an empty window over numPaths paths retaining at
 // most capacity intervals.
@@ -151,6 +154,18 @@ func (w *Window) NumPaths() int { return w.numPaths }
 // Seq returns the total number of intervals ever added; the live window
 // covers sequence numbers [Seq−T, Seq).
 func (w *Window) Seq() uint64 { return w.seq }
+
+// CongestedAt returns the congested-path set of the t-th live interval,
+// oldest first (t in [0, T())). The result must not be modified and is
+// valid only until the next Add, which may reuse the row's storage; the
+// server only calls this on frozen clones.
+func (w *Window) CongestedAt(t int) *bitset.Set {
+	if t < 0 || t >= w.count {
+		panic("stream: CongestedAt index out of window")
+	}
+	s := w.seq - uint64(w.count) + uint64(t)
+	return w.rows[s%uint64(w.capacity)]
+}
 
 // CongestedFraction returns the fraction of live intervals in which
 // path p was observed congested.

@@ -61,13 +61,24 @@ type Topology struct {
 }
 
 // New assembles a topology and builds its indices. It panics on
-// structurally invalid input; use Validate for a checked build.
+// structurally invalid input; use NewChecked for an error-returning
+// build.
 func New(links []Link, paths []Path, corrSets [][]int) *Topology {
-	t := &Topology{Links: links, Paths: paths, CorrSets: corrSets}
-	if err := t.Build(); err != nil {
+	t, err := NewChecked(links, paths, corrSets)
+	if err != nil {
 		panic(err)
 	}
 	return t
+}
+
+// NewChecked assembles a topology and builds its indices, reporting
+// structurally invalid input as an error instead of panicking.
+func NewChecked(links []Link, paths []Path, corrSets [][]int) (*Topology, error) {
+	t := &Topology{Links: links, Paths: paths, CorrSets: corrSets}
+	if err := t.Build(); err != nil {
+		return nil, err
+	}
+	return t, nil
 }
 
 // Build (re)derives the coverage indices and validates the structure.
@@ -180,6 +191,20 @@ func (t *Topology) LinksOf(paths *bitset.Set) *bitset.Set {
 		out.UnionWith(t.pathLinks[pi])
 		return true
 	})
+	return out
+}
+
+// PotentiallyCongestedLinks returns the complement of goodLinks (the
+// links traversed by an always-good path, from LinksOf): §5.2's
+// potentially congested set, the shared evaluation universe of every
+// estimator.
+func (t *Topology) PotentiallyCongestedLinks(goodLinks *bitset.Set) *bitset.Set {
+	out := bitset.New(len(t.Links))
+	for e := 0; e < len(t.Links); e++ {
+		if !goodLinks.Contains(e) {
+			out.Add(e)
+		}
+	}
 	return out
 }
 

@@ -7,15 +7,11 @@
 //   - the Boolean network-tomography model: AS-level topologies with
 //     links, end-to-end paths, coverage functions and correlation sets
 //     (one per AS by default);
-//   - the paper's primary contribution, the Correlation-complete
-//     Congestion Probability Computation algorithm (Algorithms 1 and 2),
-//     which computes, for each correlation subset of links, the
-//     probability that all its links are congested — accurately, under
-//     only the Separability, E2E-Monitoring and Correlation-Sets
-//     assumptions;
-//   - the baselines it is evaluated against: the Independence
-//     probability computation (CLINK's step 1) and the
-//     Correlation-heuristic, plus the three Boolean Inference
+//   - a unified Estimator interface over every algorithm of the paper,
+//     selected by registry name: the Correlation-complete Congestion
+//     Probability Computation algorithm (the paper's contribution,
+//     Algorithms 1 and 2), the Independence and Correlation-heuristic
+//     baselines, and adapters over the three Boolean Inference
 //     algorithms (Sparsity, Bayesian-Independence,
 //     Bayesian-Correlation) whose limitations motivate the paper;
 //   - the experimental substrate: BRITE-style dense topology
@@ -26,26 +22,40 @@
 // # Quick start
 //
 // Monitor a network by recording, per measurement interval, which paths
-// were congested; then compute link-congestion probabilities:
+// were congested; then run any estimator from the registry over the
+// observations:
 //
 //	top := tomography.Fig1Case1() // or your own topology
 //	rec := tomography.NewRecorder(top.NumPaths())
 //	for each interval {
 //	    rec.Add(congestedPaths) // a bitset of path IDs
 //	}
-//	res, err := tomography.ComputeProbabilities(top, rec, tomography.DefaultProbabilityConfig())
-//	p, ok := res.LinkGoodProb(linkID)
+//	est, err := tomography.NewEstimator("correlation-complete")
+//	res, err := est.Estimate(ctx, top, rec,
+//	    tomography.WithMaxSubsetSize(2),
+//	    tomography.WithAlwaysGoodTol(0.02))
+//	p, exact := res.LinkCongestProb(linkID)
 //
-// See examples/ for complete programs and cmd/tomo for the harness that
-// regenerates every figure and table of the paper.
+// Every estimator accepts any ObservationStore — a full-period Recorder
+// or a live SlidingWindow — and the same functional options; the
+// context cancels a long solve. tomography.Estimators() lists the
+// registry. Joint subset probabilities (the paper's primary output) are
+// on res.Subsets and, for Correlation-complete, res.Detail.
+//
+// See examples/ for complete programs, cmd/tomo for the harness that
+// regenerates every figure and table of the paper, and cmd/tomod for
+// the streaming daemon exposing the same registry over HTTP. MIGRATION.md
+// maps the pre-registry API onto this one.
 package tomography
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/bitset"
 	"repro/internal/brite"
 	"repro/internal/core"
+	"repro/internal/estimator"
 	"repro/internal/inference"
 	"repro/internal/netsim"
 	"repro/internal/observe"
@@ -78,10 +88,18 @@ func NewSet(n int) *Set { return bitset.New(n) }
 // SetOf returns a set over [0, n) containing the given indices.
 func SetOf(n int, indices ...int) *Set { return bitset.FromIndices(n, indices...) }
 
-// NewTopology assembles a topology; it panics on invalid input.
-// corrSets may be nil (every link becomes its own correlation set); use
-// CorrelationSetsByAS for the paper's one-set-per-AS policy.
-func NewTopology(links []Link, paths []Path, corrSets [][]int) *Topology {
+// NewTopology assembles a topology, reporting structurally invalid
+// input (dangling link references, loops, overlapping correlation sets)
+// as an error. corrSets may be nil (every link becomes its own
+// correlation set); use CorrelationSetsByAS for the paper's
+// one-set-per-AS policy.
+func NewTopology(links []Link, paths []Path, corrSets [][]int) (*Topology, error) {
+	return topology.NewChecked(links, paths, corrSets)
+}
+
+// MustNewTopology is NewTopology panicking on invalid input, for
+// hand-written literal topologies.
+func MustNewTopology(links []Link, paths []Path, corrSets [][]int) *Topology {
 	return topology.New(links, paths, corrSets)
 }
 
@@ -107,7 +125,7 @@ type Recorder = observe.Recorder
 func NewRecorder(numPaths int) *Recorder { return observe.NewRecorder(numPaths) }
 
 // ObservationStore is the read side shared by Recorder and
-// SlidingWindow; every probability-computation algorithm accepts it.
+// SlidingWindow; every estimator accepts it.
 type ObservationStore = observe.Store
 
 // SlidingWindow is a bounded observation store retaining only the most
@@ -122,7 +140,68 @@ func NewSlidingWindow(numPaths, capacity int) *SlidingWindow {
 }
 
 // ---------------------------------------------------------------------
-// Congestion Probability Computation (the paper's contribution)
+// The unified Estimator interface
+// ---------------------------------------------------------------------
+
+// Estimator is one congestion-probability estimation algorithm: it runs
+// over a topology and any observation store, tuned by functional
+// options, cancellable through the context. Obtain one from
+// NewEstimator; implementations are stateless and safe for concurrent
+// use.
+type Estimator = estimator.Estimator
+
+// Estimate is the unified output of every estimator: per-link
+// congestion probabilities, plus subset-level probabilities and solver
+// diagnostics for the algorithms that produce them.
+type Estimate = estimator.Estimate
+
+// SubsetEstimate is the estimated probability that all links of one
+// correlation subset are simultaneously good.
+type SubsetEstimate = estimator.SubsetEstimate
+
+// Option tunes an estimator run; options validate eagerly and surface
+// bad values as errors from Estimate, never as panics.
+type Option = estimator.Option
+
+// Estimators lists the registered estimator names, sorted:
+// "bayesian-correlation", "bayesian-independence",
+// "correlation-complete", "correlation-heuristic", "independence",
+// "sparsity".
+func Estimators() []string { return estimator.Names() }
+
+// NewEstimator returns the estimator registered under name; the error
+// of an unknown name lists the known ones.
+func NewEstimator(name string) (Estimator, error) { return estimator.New(name) }
+
+// The functional options shared by every estimator; each algorithm
+// reads the knobs relevant to it and ignores the rest.
+var (
+	// WithMaxSubsetSize bounds the enumerated correlation-subset size
+	// (the paper's resource knob, §4). 0 means unbounded.
+	WithMaxSubsetSize = estimator.WithMaxSubsetSize
+	// WithAlwaysGoodTol sets the congested-fraction tolerance under
+	// which a path counts as always good, in [0, 1).
+	WithAlwaysGoodTol = estimator.WithAlwaysGoodTol
+	// WithMaxEnumPathSets caps the per-subset candidate enumeration of
+	// the Correlation-complete augmentation loop.
+	WithMaxEnumPathSets = estimator.WithMaxEnumPathSets
+	// WithConcurrency bounds solver workers: 0/-1 = all CPUs, 1 =
+	// serial; results are bit-identical at every setting.
+	WithConcurrency = estimator.WithConcurrency
+	// WithPairsPerLink sizes the Independence baseline's per-link
+	// path-pair sampling.
+	WithPairsPerLink = estimator.WithPairsPerLink
+	// WithGlobalPairs sizes the Independence baseline's global
+	// path-pair sampling (-1 disables).
+	WithGlobalPairs = estimator.WithGlobalPairs
+	// WithSweeps sets the Correlation-heuristic substitution sweeps.
+	WithSweeps = estimator.WithSweeps
+	// WithSeed seeds the estimators that sample.
+	WithSeed = estimator.WithSeed
+)
+
+// ---------------------------------------------------------------------
+// Congestion Probability Computation (direct, pre-registry forms)
 // ---------------------------------------------------------------------
 
 // ProbabilityConfig tunes the Correlation-complete algorithm; the
@@ -134,14 +213,20 @@ type ProbabilityConfig = core.Config
 func DefaultProbabilityConfig() ProbabilityConfig { return core.DefaultConfig() }
 
 // ProbabilityResult is the output of Correlation-complete: per-subset
-// good probabilities with identifiability flags.
+// good probabilities with identifiability flags and joint-probability
+// queries. The "correlation-complete" estimator carries it as
+// Estimate.Detail.
 type ProbabilityResult = core.Result
 
 // ComputeProbabilities runs the Correlation-complete algorithm
 // (Algorithms 1 and 2 of the paper) over the recorded observations —
 // a full-period Recorder or a live SlidingWindow.
+//
+// Deprecated: use NewEstimator("correlation-complete") and Estimate,
+// which add context cancellation and the unified result shape; this
+// wrapper remains for one release (see MIGRATION.md).
 func ComputeProbabilities(top *Topology, obs ObservationStore, cfg ProbabilityConfig) (*ProbabilityResult, error) {
-	return core.Compute(top, obs, cfg)
+	return core.Compute(context.Background(), top, obs, cfg)
 }
 
 // LinkProbabilities holds per-link congestion probability estimates
@@ -153,8 +238,11 @@ type IndependenceConfig = probcalc.IndependenceConfig
 
 // ComputeProbabilitiesIndependence runs the Independence baseline
 // (CLINK's Probability Computation step [11]).
-func ComputeProbabilitiesIndependence(top *Topology, rec *Recorder, cfg IndependenceConfig) (*LinkProbabilities, error) {
-	return probcalc.Independence(top, rec, cfg)
+//
+// Deprecated: use NewEstimator("independence") and Estimate; this
+// wrapper remains for one release (see MIGRATION.md).
+func ComputeProbabilitiesIndependence(top *Topology, obs ObservationStore, cfg IndependenceConfig) (*LinkProbabilities, error) {
+	return probcalc.Independence(context.Background(), top, obs, cfg)
 }
 
 // HeuristicConfig tunes the Correlation-heuristic baseline.
@@ -162,8 +250,11 @@ type HeuristicConfig = probcalc.HeuristicConfig
 
 // ComputeProbabilitiesHeuristic runs the Correlation-heuristic baseline
 // of [9].
-func ComputeProbabilitiesHeuristic(top *Topology, rec *Recorder, cfg HeuristicConfig) (*LinkProbabilities, error) {
-	return probcalc.CorrelationHeuristic(top, rec, cfg)
+//
+// Deprecated: use NewEstimator("correlation-heuristic") and Estimate;
+// this wrapper remains for one release (see MIGRATION.md).
+func ComputeProbabilitiesHeuristic(top *Topology, obs ObservationStore, cfg HeuristicConfig) (*LinkProbabilities, error) {
+	return probcalc.CorrelationHeuristic(context.Background(), top, obs, cfg)
 }
 
 // ---------------------------------------------------------------------
@@ -171,7 +262,10 @@ func ComputeProbabilitiesHeuristic(top *Topology, rec *Recorder, cfg HeuristicCo
 // ---------------------------------------------------------------------
 
 // InferenceAlgorithm diagnoses the congested links of one interval from
-// the congested paths.
+// the congested paths. The same algorithms are reachable through the
+// Estimator registry ("sparsity", "bayesian-independence",
+// "bayesian-correlation"), where their per-interval diagnoses are
+// aggregated into per-link blame frequencies.
 type InferenceAlgorithm = inference.Algorithm
 
 // NewSparsity returns the Sparsity (Tomo) inference algorithm [6, 8].

@@ -1,6 +1,7 @@
 package tomography
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -94,7 +95,7 @@ func TestFacadeSimulationAndInference(t *testing.T) {
 			return c
 		}()),
 	} {
-		if err := alg.Prepare(top, rec); err != nil {
+		if err := alg.Prepare(context.Background(), top, rec); err != nil {
 			t.Fatalf("%s: %v", alg.Name(), err)
 		}
 		inferred := alg.Infer(lastObs.CongestedPaths)
@@ -112,14 +113,87 @@ func TestFacadeSimulationAndInference(t *testing.T) {
 	}
 }
 
+// TestFacadeEstimatorRegistry drives the unified API end to end: every
+// registered estimator runs over the same recorded period through the
+// facade, honoring options and context.
+func TestFacadeEstimatorRegistry(t *testing.T) {
+	top := Fig1Case1()
+	rec := NewRecorder(top.NumPaths())
+	rng := rand.New(rand.NewSource(4))
+	for i := 0; i < 1000; i++ {
+		cong := NewSet(top.NumLinks())
+		if rng.Float64() < 0.4 {
+			cong.Add(1)
+			cong.Add(2)
+		}
+		congPaths := NewSet(top.NumPaths())
+		for p := 0; p < top.NumPaths(); p++ {
+			if top.PathLinks(p).Intersects(cong) {
+				congPaths.Add(p)
+			}
+		}
+		rec.Add(congPaths)
+	}
+	names := Estimators()
+	if len(names) != 6 {
+		t.Fatalf("registry has %d estimators: %v", len(names), names)
+	}
+	for _, name := range names {
+		est, err := NewEstimator(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := est.Estimate(context.Background(), top, rec,
+			WithMaxSubsetSize(2), WithConcurrency(1))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Algorithm != name || len(res.LinkProb) != top.NumLinks() {
+			t.Fatalf("%s: malformed estimate", name)
+		}
+		for e, p := range res.LinkProb {
+			if math.IsNaN(p) || p < 0 || p > 1 {
+				t.Fatalf("%s: link %d prob %v", name, e, p)
+			}
+		}
+	}
+	if _, err := NewEstimator("nope"); err == nil {
+		t.Fatal("unknown estimator accepted")
+	}
+	// Options validate eagerly through the facade too.
+	est, _ := NewEstimator("correlation-complete")
+	if _, err := est.Estimate(context.Background(), top, rec, WithMaxSubsetSize(-1)); err == nil {
+		t.Fatal("invalid option accepted")
+	}
+	// The correlation-complete estimate still answers joint queries.
+	res, err := est.Estimate(context.Background(), top, rec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if joint, ok := res.Detail.CongestedProb(SetOf(top.NumLinks(), 1, 2)); !ok || math.Abs(joint-0.4) > 0.05 {
+		t.Fatalf("joint = %v ok=%v, want ≈0.4", joint, ok)
+	}
+}
+
 func TestCorrelationSetsByASFacade(t *testing.T) {
 	links := []Link{{ID: 0, AS: 1}, {ID: 1, AS: 1}, {ID: 2, AS: 2}}
 	sets := CorrelationSetsByAS(links)
 	if len(sets) != 2 || len(sets[0]) != 2 {
 		t.Fatalf("sets = %v", sets)
 	}
-	top := NewTopology(links, []Path{{ID: 0, Links: []int{0, 1, 2}}}, sets)
+	top, err := NewTopology(links, []Path{{ID: 0, Links: []int{0, 1, 2}}}, sets)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if top.CorrSetOf(1) != 0 {
 		t.Fatal("correlation set lookup wrong")
+	}
+	// Invalid input surfaces as an error, not a panic.
+	if _, err := NewTopology(links, []Path{{ID: 0, Links: []int{99}}}, sets); err == nil {
+		t.Fatal("dangling link reference accepted")
+	}
+	// The panicking form remains for literal topologies.
+	if MustNewTopology(links, []Path{{ID: 0, Links: []int{0, 1, 2}}}, sets) == nil {
+		t.Fatal("MustNewTopology returned nil")
 	}
 }
