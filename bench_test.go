@@ -26,6 +26,7 @@ import (
 	"repro/internal/observe"
 	"repro/internal/server"
 	"repro/internal/stream"
+	"repro/internal/topology"
 )
 
 func benchCfg() experiment.Config {
@@ -352,6 +353,71 @@ func BenchmarkStreamIngest(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			w.AllCongestedCount(paths)
+		}
+	})
+}
+
+// BenchmarkShardedEpochSolve measures one streaming epoch of the
+// sharded solver over a multi-shard topology — every shard block solved
+// and merged — comparing the from-scratch path (fresh solver, no
+// carried-forward plans) against the warm-started path (retained
+// solver, always-good set stable across epochs). The warm path is the
+// steady state of tomod's per-shard loops; the gap is the structural
+// work — enumeration, augmentation, identifiability, QR factorization —
+// that the carried-forward plan avoids. Results are bit-identical
+// either way (TestMetamorphicWarmShardSolves).
+func BenchmarkShardedEpochSolve(b *testing.B) {
+	top, err := experiment.BuildTopology(experiment.Sparse, experiment.Small(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	part := topology.NewPartition(top)
+	if part.NumShards() < 2 {
+		b.Fatalf("topology has %d shards, want ≥ 2", part.NumShards())
+	}
+	win := stream.NewSharded(top.NumPaths(), 1000, part.PathShards(), part.NumShards())
+	rng := rand.New(rand.NewSource(1))
+	mc := netsim.DefaultConfig(netsim.RandomCongestion)
+	mc.PerfectE2E = true
+	model, err := netsim.NewModel(top, mc, 1200, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for t := 0; t < 1200; t++ {
+		win.Add(model.Interval(t, rng).CongestedPaths)
+	}
+	opts := []estimator.Option{estimator.WithMaxSubsetSize(2), estimator.WithAlwaysGoodTol(0.02)}
+	epoch := func(b *testing.B, sv *estimator.ShardedSolver) {
+		blocks := make([]*core.Result, sv.NumShards())
+		for s := range blocks {
+			res, _, err := sv.SolveShard(context.Background(), s, win.Shard(s))
+			if err != nil {
+				b.Fatal(err)
+			}
+			blocks[s] = res
+		}
+		if est := sv.Merge(blocks, win); len(est.LinkProb) != top.NumLinks() {
+			b.Fatal("malformed merged estimate")
+		}
+	}
+	b.Run("from-scratch", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sv, err := estimator.NewShardedSolver(top, opts...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			epoch(b, sv)
+		}
+	})
+	b.Run("warm-started", func(b *testing.B) {
+		sv, err := estimator.NewShardedSolver(top, opts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		epoch(b, sv) // cold epoch builds every shard's plan
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			epoch(b, sv)
 		}
 	})
 }

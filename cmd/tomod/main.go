@@ -13,6 +13,15 @@
 // topology.WriteJSON; alternatively -gen brite|sparse generates one on
 // startup (useful for demos and load tests).
 //
+// With -algo correlation-complete-sharded the daemon shards by
+// correlation-set partition: ingest routes each interval into one ring
+// per shard, one solver goroutine per shard recomputes its block on
+// independent epochs (warm-starting the null space and factorization
+// while the shard's always-good set is stable), and queries are
+// answered from a merged snapshot. /v1/status then carries a per-shard
+// "shards" array (epoch, seq_high, lag_intervals, warm,
+// last_compute_ms).
+//
 // API (every response in a versioned envelope with machine-readable
 // error codes; the estimate-backed endpoints — links and subsets —
 // accept ?algo= to select any registered estimator per request):
@@ -23,7 +32,7 @@
 //	GET  /v1/subsets/{id}      one subset, with joint congestion probability
 //	GET  /v1/estimators        the estimator registry
 //	GET  /v1/paths/congested   paths above ?min= congested fraction (observation-level)
-//	GET  /v1/status            window fill, epoch, solver lag and stats
+//	GET  /v1/status            window fill, epoch, solver lag and stats (+ per-shard state)
 //
 // Load-generator mode drives simulated netsim intervals at a running
 // daemon (the topology must be the same file/generation):

@@ -102,7 +102,11 @@ func TestAugmentationIncreasesIdentifiability(t *testing.T) {
 	b := newBuilder(top, rec, Config{MaxSubsetSize: 2})
 	b.enumerate(context.Background())
 	b.seed(context.Background())
-	res, err := b.solve(context.Background())
+	plan, err := b.plan(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := plan.solveEpoch(context.Background(), rec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,7 +2,6 @@ package core
 
 import (
 	"context"
-	"math"
 	"sort"
 
 	"repro/internal/bitset"
@@ -21,6 +20,13 @@ type builder struct {
 	alwaysGoodPaths *bitset.Set
 	goodLinks       *bitset.Set // links on an always-good path
 	potLinks        *bitset.Set // potentially congested links
+
+	// corrSets is the correlation-set universe of this run: the
+	// restriction from cfg.RestrictCorrSets, or every set. When
+	// restricted, restrictPaths holds the shard's paths (nil otherwise)
+	// and alwaysGoodPaths/goodLinks/potLinks are confined to the shard.
+	corrSets      []int
+	restrictPaths *bitset.Set
 
 	// The unknown universe Ê: potentially congested correlation
 	// subsets, each identified by its bitset key.
@@ -53,8 +59,31 @@ func newBuilder(top *topology.Topology, rec observe.Store, cfg Config) *builder 
 		usedKeys: map[string]bool{},
 	}
 	b.alwaysGoodPaths = rec.AlwaysGoodPaths(cfg.AlwaysGoodTol)
+	if cfg.RestrictCorrSets == nil {
+		b.corrSets = make([]int, len(top.CorrSets))
+		for i := range b.corrSets {
+			b.corrSets[i] = i
+		}
+		b.goodLinks = top.LinksOf(b.alwaysGoodPaths)
+		b.potLinks = top.PotentiallyCongestedLinks(b.goodLinks)
+		return b
+	}
+	// Restricted run: confine the universe to the shard's links and the
+	// paths covering them. Links of the shard are covered only by shard
+	// paths (the restriction is closed under path coverage), so the
+	// shard's good/potentially-congested links come out exactly as in an
+	// unrestricted run.
+	b.corrSets = cfg.RestrictCorrSets
+	shardLinks := bitset.New(top.NumLinks())
+	for _, c := range b.corrSets {
+		for _, li := range top.CorrSetLinks(c) {
+			shardLinks.Add(li)
+		}
+	}
+	b.restrictPaths = top.PathsOf(shardLinks)
+	b.alwaysGoodPaths = b.alwaysGoodPaths.Intersect(b.restrictPaths)
 	b.goodLinks = top.LinksOf(b.alwaysGoodPaths)
-	b.potLinks = top.PotentiallyCongestedLinks(b.goodLinks)
+	b.potLinks = top.PotentiallyCongestedLinks(b.goodLinks).Intersect(shardLinks)
 	return b
 }
 
@@ -130,7 +159,8 @@ func (b *builder) enumerate(ctx context.Context) error {
 			covered.Add(e)
 		}
 	}
-	for ci, set := range b.top.CorrSets {
+	for _, ci := range b.corrSets {
+		set := b.top.CorrSets[ci]
 		if err := ctx.Err(); err != nil {
 			return err
 		}
@@ -162,6 +192,9 @@ func (b *builder) enumerate(ctx context.Context) error {
 	if !b.cfg.DisableSinglePathRegistration {
 		one := bitset.New(b.top.NumPaths())
 		for p := 0; p < b.top.NumPaths(); p++ {
+			if b.restrictPaths != nil && !b.restrictPaths.Contains(p) {
+				continue // another shard's path
+			}
 			if b.alwaysGoodPaths.Contains(p) {
 				continue
 			}
@@ -373,153 +406,6 @@ func enumCombos(n, k int, fn func(idx []int)) {
 		idx[i]++
 		for j := i + 1; j < k; j++ {
 			idx[j] = idx[j-1] + 1
-		}
-	}
-}
-
-// solve assembles the selected equations, resolves identifiability, and
-// least-squares-solves the log-domain system, checking ctx between the
-// linear-algebra passes.
-func (b *builder) solve(ctx context.Context) (*Result, error) {
-	res := &Result{
-		index:                map[string]int{},
-		PathSets:             b.pathSets,
-		PotentiallyCongested: b.potLinks,
-		AlwaysGoodLinks:      b.goodLinks,
-		top:                  b.top,
-		rec:                  b.rec,
-	}
-	nCols := len(b.subsets)
-	res.Subsets = make([]SubsetResult, nCols)
-	for i, s := range b.subsets {
-		res.Subsets[i] = SubsetResult{Links: s.links, CorrSet: s.corrSet, GoodProb: math.NaN()}
-		res.index[s.links.Key()] = i
-	}
-	if len(b.rows) == 0 {
-		res.Nullity = nCols
-		return res, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-
-	// Unidentifiable columns: rows of the final null space that are not
-	// (numerically) zero. The null space is recomputed fresh here: the
-	// incrementally maintained basis (Algorithm 2) is exact enough to
-	// drive the selection loop, but hundreds of rank-one updates leave
-	// numerical dirt that would falsely mark identifiable columns.
-	finalM := linalg.NewMatrix(len(b.rows), nCols)
-	for ri, cols := range b.rows {
-		for _, c := range cols {
-			finalM.Set(ri, c, 1)
-		}
-	}
-	ns0 := linalg.NullSpaceBasis(finalM)
-	identifiable := make([]bool, nCols)
-	for i := 0; i < nCols; i++ {
-		identifiable[i] = true
-	}
-	if ns0.Cols > 0 {
-		for i := 0; i < nCols; i++ {
-			for j := 0; j < ns0.Cols; j++ {
-				if math.Abs(ns0.At(i, j)) > 1e-7 {
-					identifiable[i] = false
-					break
-				}
-			}
-		}
-	}
-
-	// Iteratively drop unidentifiable columns and the rows that mention
-	// them, re-deriving identifiability on the reduced system until it
-	// has full column rank.
-	activeRows := make([]bool, len(b.rows))
-	for i := range activeRows {
-		activeRows[i] = true
-	}
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		changed := false
-		for ri, cols := range b.rows {
-			if !activeRows[ri] {
-				continue
-			}
-			for _, c := range cols {
-				if !identifiable[c] {
-					activeRows[ri] = false
-					changed = true
-					break
-				}
-			}
-		}
-		// Build the reduced system.
-		var colMap []int
-		colIdx := make([]int, nCols)
-		for c := 0; c < nCols; c++ {
-			colIdx[c] = -1
-			if identifiable[c] {
-				colIdx[c] = len(colMap)
-				colMap = append(colMap, c)
-			}
-		}
-		var mRows [][]float64
-		var rhs []float64
-		clamped := 0
-		for ri, cols := range b.rows {
-			if !activeRows[ri] {
-				continue
-			}
-			row := make([]float64, len(colMap))
-			for _, c := range cols {
-				row[colIdx[c]] = 1
-			}
-			lp, cl := b.rec.LogGoodFreq(b.pathSets[ri])
-			if cl {
-				clamped++
-			}
-			mRows = append(mRows, row)
-			rhs = append(rhs, lp)
-		}
-		res.ClampedRows = clamped
-		if len(colMap) == 0 {
-			res.Rank = 0
-			res.Nullity = nCols
-			return res, nil
-		}
-		if len(mRows) >= len(colMap) {
-			// FromRows copies mRows, so the in-place factorization may
-			// destroy its result; the rank-deficient fallback below
-			// rebuilds from mRows.
-			x, err := linalg.SolveLeastSquaresInPlace(linalg.FromRows(mRows), rhs)
-			if err == nil {
-				res.Rank = len(colMap)
-				res.Nullity = nCols - len(colMap)
-				for k, c := range colMap {
-					g := math.Exp(x[k])
-					res.Subsets[c].GoodProb = clamp01(g)
-					res.Subsets[c].Identifiable = true
-				}
-				return res, nil
-			}
-		}
-		// Rank fell after dropping rows (or the system is
-		// under-determined): recompute identifiability on the reduced
-		// system and iterate.
-		ns := linalg.NullSpaceBasis(linalg.FromRows(mRows))
-		for k, c := range colMap {
-			for j := 0; j < ns.Cols; j++ {
-				if math.Abs(ns.At(k, j)) > 1e-7 {
-					identifiable[c] = false
-					changed = true
-					break
-				}
-			}
-		}
-		if !changed {
-			// Should not happen: a full-column-rank system must solve.
-			return nil, linalg.ErrRankDeficient
 		}
 	}
 }

@@ -32,8 +32,6 @@
 package core
 
 import (
-	"context"
-	"fmt"
 	"math"
 	"sort"
 
@@ -74,6 +72,15 @@ type Config struct {
 	// their own subset's slot. 0 (the default) and negative use
 	// GOMAXPROCS; 1 is the explicit serial opt-out.
 	Concurrency int
+
+	// RestrictCorrSets restricts the solve to the listed correlation
+	// sets (ascending indices) and the paths covering their links —
+	// one shard of a topology.Partition. The restriction must be closed
+	// under path coverage (no path may straddle the boundary), which is
+	// exactly what a partition shard guarantees; the solved equations
+	// and subset probabilities are then the shard's block of the full
+	// system. nil means the whole topology.
+	RestrictCorrSets []int
 }
 
 // DefaultConfig returns the configuration used by the experiments:
@@ -115,36 +122,6 @@ type Result struct {
 
 	top *topology.Topology
 	rec observe.Store
-}
-
-// Compute runs the Correlation-complete algorithm over the recorded
-// observations. rec may be any observation store — an observe.Recorder
-// over a full monitoring period, or a stream.Window over the live
-// sliding window of the streaming service.
-//
-// ctx cancels a long solve: the enumeration, augmentation and solving
-// phases all check it between units of work and return ctx.Err()
-// promptly, which is how the streaming service abandons an epoch solve
-// that a newer window snapshot has superseded. A nil ctx means
-// context.Background().
-func Compute(ctx context.Context, top *topology.Topology, rec observe.Store, cfg Config) (*Result, error) {
-	if ctx == nil {
-		ctx = context.Background()
-	}
-	if rec.NumPaths() != top.NumPaths() {
-		return nil, fmt.Errorf("core: recorder has %d paths, topology has %d", rec.NumPaths(), top.NumPaths())
-	}
-	b := newBuilder(top, rec, cfg)
-	if err := b.enumerate(ctx); err != nil {
-		return nil, err
-	}
-	if err := b.seed(ctx); err != nil {
-		return nil, err
-	}
-	if err := b.augment(ctx); err != nil {
-		return nil, err
-	}
-	return b.solve(ctx)
 }
 
 // SubsetGoodProb returns g(E) for the subset with exactly the given

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/bitset"
+	"repro/internal/linalg"
+	"repro/internal/observe"
+	"repro/internal/topology"
+)
+
+// Plan is the structural state of a Correlation-complete solve, carried
+// across epochs by the streaming service's warm-start path. Everything
+// the enumeration, seeding and augmentation phases derive — the unknown
+// universe Ê, the selected path sets P̂, the null space, the
+// identifiability verdicts and the QR factorization of the reduced
+// system — is a pure function of (topology, config, always-good path
+// set): the observations only enter through the right-hand sides of the
+// final least-squares solve. So while a shard's always-good set is
+// stable from one epoch to the next, the whole structural phase can be
+// skipped and the carried-forward factorization re-solved against fresh
+// frequencies; the moment the always-good set (or topology, or config)
+// changes, the plan invalidates and the from-scratch path runs.
+//
+// A Plan is owned by one solver loop: it is not safe for concurrent
+// use (ComputePlanned reuses its scratch buffers).
+type Plan struct {
+	top *topology.Topology
+	cfg Config
+
+	// goodKey identifies the always-good path set (restricted to the
+	// plan's correlation-set restriction) the structure was derived
+	// from; a mismatch invalidates the plan.
+	goodKey string
+
+	// Structural output of the builder.
+	subsets   []subsetEntry
+	index     map[string]int
+	pathSets  []*bitset.Set
+	rows      [][]int
+	potLinks  *bitset.Set
+	goodLinks *bitset.Set
+	restrict  *bitset.Set // paths of the restriction; nil when unrestricted
+
+	// Solve plan: the surviving equations and unknowns after the
+	// iterative identifiability reduction, and the retained QR
+	// factorization of the reduced 0/1 system.
+	activeRows []bool
+	colMap     []int
+	qr         *linalg.QR // nil when no column survived
+
+	// rhs is the per-epoch right-hand-side scratch.
+	rhs []float64
+}
+
+// Compute runs the Correlation-complete algorithm over the recorded
+// observations. rec may be any observation store — an observe.Recorder
+// over a full monitoring period, or a stream.Window over the live
+// sliding window of the streaming service.
+//
+// ctx cancels a long solve: the enumeration, augmentation and solving
+// phases all check it between units of work and return ctx.Err()
+// promptly, which is how the streaming service abandons an epoch solve
+// that a newer window snapshot has superseded. A nil ctx means
+// context.Background().
+//
+// Compute is ComputePlanned without a carried-forward plan.
+func Compute(ctx context.Context, top *topology.Topology, rec observe.Store, cfg Config) (*Result, error) {
+	res, _, err := ComputePlanned(ctx, top, rec, cfg, nil)
+	return res, err
+}
+
+// ComputePlanned is Compute with warm starts: it returns the result
+// together with the plan that produced it. When prev is still valid for
+// this epoch — same topology, same config, and an unchanged always-good
+// path set — the structural phases (enumeration, seeding, augmentation,
+// identifiability, factorization) are skipped entirely and prev's
+// factorization and null-space verdicts are carried forward; the
+// returned plan is then prev itself, which is how callers observe that
+// the warm path ran. Otherwise the from-scratch path runs and a fresh
+// plan is returned. Warm and cold paths share the final solve code, so
+// their results are bit-identical by construction.
+func ComputePlanned(ctx context.Context, top *topology.Topology, rec observe.Store, cfg Config, prev *Plan) (*Result, *Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if rec.NumPaths() != top.NumPaths() {
+		return nil, nil, fmt.Errorf("core: recorder has %d paths, topology has %d", rec.NumPaths(), top.NumPaths())
+	}
+	if prev != nil && prev.valid(top, rec, cfg) {
+		res, err := prev.solveEpoch(ctx, rec)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, prev, nil
+	}
+	b := newBuilder(top, rec, cfg)
+	if err := b.enumerate(ctx); err != nil {
+		return nil, nil, err
+	}
+	if err := b.seed(ctx); err != nil {
+		return nil, nil, err
+	}
+	if err := b.augment(ctx); err != nil {
+		return nil, nil, err
+	}
+	plan, err := b.plan(ctx)
+	if err != nil {
+		return nil, nil, err
+	}
+	res, err := plan.solveEpoch(ctx, rec)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, plan, nil
+}
+
+// valid reports whether the plan's structural state still applies:
+// same topology and config, and the store's always-good path set
+// (within the plan's restriction) is unchanged since the plan was
+// built.
+func (pl *Plan) valid(top *topology.Topology, rec observe.Store, cfg Config) bool {
+	if pl.top != top || !configsEqual(pl.cfg, cfg) {
+		return false
+	}
+	good := rec.AlwaysGoodPaths(cfg.AlwaysGoodTol)
+	if pl.restrict != nil {
+		good = good.Intersect(pl.restrict)
+	}
+	return good.Key() == pl.goodKey
+}
+
+// configsEqual compares two solver configurations field by field
+// (RestrictCorrSets element-wise).
+func configsEqual(a, b Config) bool {
+	if a.MaxSubsetSize != b.MaxSubsetSize ||
+		a.AlwaysGoodTol != b.AlwaysGoodTol ||
+		a.MaxEnumPathSets != b.MaxEnumPathSets ||
+		a.DisableSinglePathRegistration != b.DisableSinglePathRegistration ||
+		a.Concurrency != b.Concurrency ||
+		len(a.RestrictCorrSets) != len(b.RestrictCorrSets) {
+		return false
+	}
+	for i, c := range a.RestrictCorrSets {
+		if b.RestrictCorrSets[i] != c {
+			return false
+		}
+	}
+	return true
+}
+
+// plan runs the structural half of the original solve phase: resolve
+// identifiability by iteratively dropping unidentifiable columns and
+// the rows that mention them, then factor the reduced 0/1 system once.
+// The factorization and the surviving row/column selection are retained
+// on the plan; only the right-hand sides remain per-epoch work.
+func (b *builder) plan(ctx context.Context) (*Plan, error) {
+	pl := &Plan{
+		top:       b.top,
+		cfg:       b.cfg,
+		goodKey:   b.alwaysGoodPaths.Key(),
+		subsets:   b.subsets,
+		index:     b.index,
+		pathSets:  b.pathSets,
+		rows:      b.rows,
+		potLinks:  b.potLinks,
+		goodLinks: b.goodLinks,
+		restrict:  b.restrictPaths,
+	}
+	nCols := len(b.subsets)
+	if len(b.rows) == 0 {
+		return pl, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	// Unidentifiable columns: rows of the final null space that are not
+	// (numerically) zero. The null space is recomputed fresh here: the
+	// incrementally maintained basis (Algorithm 2) is exact enough to
+	// drive the selection loop, but hundreds of rank-one updates leave
+	// numerical dirt that would falsely mark identifiable columns.
+	finalM := linalg.NewMatrix(len(b.rows), nCols)
+	for ri, cols := range b.rows {
+		for _, c := range cols {
+			finalM.Set(ri, c, 1)
+		}
+	}
+	ns0 := linalg.NullSpaceBasis(finalM)
+	identifiable := make([]bool, nCols)
+	for i := 0; i < nCols; i++ {
+		identifiable[i] = true
+	}
+	if ns0.Cols > 0 {
+		for i := 0; i < nCols; i++ {
+			for j := 0; j < ns0.Cols; j++ {
+				if math.Abs(ns0.At(i, j)) > 1e-7 {
+					identifiable[i] = false
+					break
+				}
+			}
+		}
+	}
+
+	// Iteratively drop unidentifiable columns and the rows that mention
+	// them, re-deriving identifiability on the reduced system until it
+	// has full column rank.
+	activeRows := make([]bool, len(b.rows))
+	for i := range activeRows {
+		activeRows[i] = true
+	}
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		changed := false
+		for ri, cols := range b.rows {
+			if !activeRows[ri] {
+				continue
+			}
+			for _, c := range cols {
+				if !identifiable[c] {
+					activeRows[ri] = false
+					changed = true
+					break
+				}
+			}
+		}
+		// Build the reduced system.
+		var colMap []int
+		colIdx := make([]int, nCols)
+		for c := 0; c < nCols; c++ {
+			colIdx[c] = -1
+			if identifiable[c] {
+				colIdx[c] = len(colMap)
+				colMap = append(colMap, c)
+			}
+		}
+		var mRows [][]float64
+		for ri, cols := range b.rows {
+			if !activeRows[ri] {
+				continue
+			}
+			row := make([]float64, len(colMap))
+			for _, c := range cols {
+				row[colIdx[c]] = 1
+			}
+			mRows = append(mRows, row)
+		}
+		pl.activeRows = activeRows
+		if len(colMap) == 0 {
+			pl.colMap = nil
+			return pl, nil
+		}
+		if len(mRows) >= len(colMap) {
+			// FromRows copies mRows, so the in-place factorization may
+			// destroy its result; the rank-deficient fallback below
+			// rebuilds from mRows.
+			f := linalg.FactorInPlace(linalg.FromRows(mRows))
+			if f.FullColumnRank() {
+				pl.colMap = colMap
+				pl.qr = f
+				return pl, nil
+			}
+		}
+		// Rank fell after dropping rows (or the system is
+		// under-determined): recompute identifiability on the reduced
+		// system and iterate.
+		ns := linalg.NullSpaceBasis(linalg.FromRows(mRows))
+		for k, c := range colMap {
+			for j := 0; j < ns.Cols; j++ {
+				if math.Abs(ns.At(k, j)) > 1e-7 {
+					identifiable[c] = false
+					changed = true
+					break
+				}
+			}
+		}
+		if !changed {
+			// Should not happen: a full-column-rank system must solve.
+			return nil, linalg.ErrRankDeficient
+		}
+	}
+}
+
+// MergeResults assembles per-shard restricted Results (one per
+// topology.Partition shard, in shard order) into a single Result over
+// the whole topology. The correlation-set partition makes the merge
+// mechanical: shards share no correlation set, so the subset universes
+// are disjoint and concatenate, and every joint query (SubsetGoodProb,
+// CongestedProb, the per-link fallback chain) factors per correlation
+// set and therefore resolves entirely within one shard's block. The
+// global always-good/potentially-congested link sets are re-derived
+// from rec with the given tolerance, exactly as an unrestricted run
+// would. nil entries (shards without a result yet) contribute nothing.
+func MergeResults(top *topology.Topology, rec observe.Store, shards []*Result, alwaysGoodTol float64) *Result {
+	merged := &Result{
+		index: map[string]int{},
+		top:   top,
+		rec:   rec,
+	}
+	merged.AlwaysGoodLinks = top.LinksOf(rec.AlwaysGoodPaths(alwaysGoodTol))
+	merged.PotentiallyCongested = top.PotentiallyCongestedLinks(merged.AlwaysGoodLinks)
+	for _, r := range shards {
+		if r == nil {
+			continue
+		}
+		base := len(merged.Subsets)
+		merged.Subsets = append(merged.Subsets, r.Subsets...)
+		for i, s := range r.Subsets {
+			merged.index[s.Links.Key()] = base + i
+		}
+		merged.PathSets = append(merged.PathSets, r.PathSets...)
+		merged.Rank += r.Rank
+		merged.Nullity += r.Nullity
+		merged.ClampedRows += r.ClampedRows
+	}
+	return merged
+}
+
+// solveEpoch runs the data half of a solve against the plan: fresh
+// empirical frequencies for the surviving equations, one least-squares
+// solve over the retained factorization. It is the shared tail of the
+// warm and cold paths.
+func (pl *Plan) solveEpoch(ctx context.Context, rec observe.Store) (*Result, error) {
+	res := &Result{
+		index:                pl.index,
+		PathSets:             pl.pathSets,
+		PotentiallyCongested: pl.potLinks,
+		AlwaysGoodLinks:      pl.goodLinks,
+		top:                  pl.top,
+		rec:                  rec,
+	}
+	nCols := len(pl.subsets)
+	res.Subsets = make([]SubsetResult, nCols)
+	for i, s := range pl.subsets {
+		res.Subsets[i] = SubsetResult{Links: s.links, CorrSet: s.corrSet, GoodProb: math.NaN()}
+	}
+	if len(pl.rows) == 0 {
+		res.Nullity = nCols
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rhs := pl.rhs[:0]
+	clamped := 0
+	for ri := range pl.rows {
+		if !pl.activeRows[ri] {
+			continue
+		}
+		lp, cl := rec.LogGoodFreq(pl.pathSets[ri])
+		if cl {
+			clamped++
+		}
+		rhs = append(rhs, lp)
+	}
+	pl.rhs = rhs
+	res.ClampedRows = clamped
+	if len(pl.colMap) == 0 {
+		res.Rank = 0
+		res.Nullity = nCols
+		return res, nil
+	}
+	x, err := pl.qr.SolveLeastSquares(rhs)
+	if err != nil {
+		return nil, err // unreachable: full column rank was verified at plan time
+	}
+	res.Rank = len(pl.colMap)
+	res.Nullity = nCols - len(pl.colMap)
+	for k, c := range pl.colMap {
+		g := math.Exp(x[k])
+		res.Subsets[c].GoodProb = clamp01(g)
+		res.Subsets[c].Identifiable = true
+	}
+	return res, nil
+}

@@ -1,0 +1,305 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/observe"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// resultsEqual asserts two results are bit-identical in every published
+// field.
+func resultsEqual(t *testing.T, label string, a, b *Result) {
+	t.Helper()
+	if len(a.Subsets) != len(b.Subsets) {
+		t.Fatalf("%s: %d vs %d subsets", label, len(a.Subsets), len(b.Subsets))
+	}
+	for i := range a.Subsets {
+		sa, sb := a.Subsets[i], b.Subsets[i]
+		if !sa.Links.Equal(sb.Links) || sa.CorrSet != sb.CorrSet || sa.Identifiable != sb.Identifiable {
+			t.Fatalf("%s: subset %d structure mismatch", label, i)
+		}
+		if sa.Identifiable && sa.GoodProb != sb.GoodProb {
+			t.Fatalf("%s: subset %d GoodProb %v != %v", label, i, sa.GoodProb, sb.GoodProb)
+		}
+	}
+	if a.Rank != b.Rank || a.Nullity != b.Nullity || a.ClampedRows != b.ClampedRows {
+		t.Fatalf("%s: rank/nullity/clamped (%d,%d,%d) vs (%d,%d,%d)",
+			label, a.Rank, a.Nullity, a.ClampedRows, b.Rank, b.Nullity, b.ClampedRows)
+	}
+	if !a.PotentiallyCongested.Equal(b.PotentiallyCongested) || !a.AlwaysGoodLinks.Equal(b.AlwaysGoodLinks) {
+		t.Fatalf("%s: link partitions differ", label)
+	}
+	if len(a.PathSets) != len(b.PathSets) {
+		t.Fatalf("%s: %d vs %d path sets", label, len(a.PathSets), len(b.PathSets))
+	}
+	for i := range a.PathSets {
+		if !a.PathSets[i].Equal(b.PathSets[i]) {
+			t.Fatalf("%s: path set %d differs", label, i)
+		}
+	}
+}
+
+// fig1Window streams correlated congestion over the Fig. 1 topology
+// into a sliding window; congestible selects which links may congest.
+func fig1Window(top *topology.Topology, capacity, intervals int, seed int64, congestible *bitset.Set) *stream.Window {
+	w := stream.NewWindow(top.NumPaths(), capacity)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < intervals; i++ {
+		cong := bitset.New(top.NumLinks())
+		if congestible.Contains(0) && rng.Float64() < 0.3 {
+			cong.Add(0)
+		}
+		if congestible.Contains(1) && rng.Float64() < 0.4 { // correlated pair {e2, e3}
+			cong.Add(1)
+			cong.Add(2)
+		}
+		if congestible.Contains(3) && rng.Float64() < 0.2 {
+			cong.Add(3)
+		}
+		congPaths := bitset.New(top.NumPaths())
+		for p := 0; p < top.NumPaths(); p++ {
+			if top.PathLinks(p).Intersects(cong) {
+				congPaths.Add(p)
+			}
+		}
+		w.Add(congPaths)
+	}
+	return w
+}
+
+// A warm-started solve over a shifted window must be bit-identical to a
+// from-scratch solve over the same window, epoch after epoch, as long
+// as the always-good path set stays put.
+func TestPlanWarmSolveMatchesCold(t *testing.T) {
+	top := topology.Fig1Case1()
+	cfg := Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02}
+	congestible := bitset.FromIndices(top.NumLinks(), 0, 1, 2, 3)
+	w := fig1Window(top, 500, 600, 1, congestible)
+
+	res, plan, err := ComputePlanned(context.Background(), top, w, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("cold solve returned no plan")
+	}
+	cold0, err := Compute(context.Background(), top, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "epoch 0 planned vs Compute", res, cold0)
+
+	rng := rand.New(rand.NewSource(99))
+	warmEpochs := 0
+	for epoch := 1; epoch <= 8; epoch++ {
+		// Shift the window: more correlated congestion, same always-good
+		// set (every link keeps congesting somewhere in the window).
+		for i := 0; i < 120; i++ {
+			cong := bitset.New(top.NumLinks())
+			if rng.Float64() < 0.35 {
+				cong.Add(1)
+				cong.Add(2)
+			}
+			if rng.Float64() < 0.25 {
+				cong.Add(0)
+			}
+			if rng.Float64() < 0.15 {
+				cong.Add(3)
+			}
+			congPaths := bitset.New(top.NumPaths())
+			for p := 0; p < top.NumPaths(); p++ {
+				if top.PathLinks(p).Intersects(cong) {
+					congPaths.Add(p)
+				}
+			}
+			w.Add(congPaths)
+		}
+		warm, nextPlan, err := ComputePlanned(context.Background(), top, w, cfg, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold, err := Compute(context.Background(), top, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, "warm vs cold", warm, cold)
+		if nextPlan == plan {
+			warmEpochs++
+		}
+		plan = nextPlan
+	}
+	if warmEpochs == 0 {
+		t.Fatal("no epoch reused the plan: the warm path never ran")
+	}
+}
+
+// Changing the always-good path set must invalidate the plan (a fresh
+// structural build), and a stale plan must never leak stale structure
+// into the result.
+func TestPlanInvalidatedByAlwaysGoodChange(t *testing.T) {
+	top := topology.Fig1Case1()
+	cfg := Config{MaxSubsetSize: 2}
+	// Phase 1: only e1 congests — p3 = {e4, e3} stays always good.
+	w := fig1Window(top, 400, 400, 5, bitset.FromIndices(top.NumLinks(), 0))
+	_, plan, err := ComputePlanned(context.Background(), top, w, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan == nil {
+		t.Fatal("no plan")
+	}
+	// Phase 2: e4 starts congesting too — p3 loses its always-good
+	// status, so the carried-forward structure no longer applies.
+	for i := 0; i < 400; i++ {
+		w.Add(fig1Window(top, 1, 1, int64(100+i), bitset.FromIndices(top.NumLinks(), 0, 3)).CongestedAt(0))
+	}
+	res, nextPlan, err := ComputePlanned(context.Background(), top, w, cfg, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nextPlan == plan {
+		t.Fatal("plan survived an always-good change")
+	}
+	cold, err := Compute(context.Background(), top, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsEqual(t, "rebuilt vs cold", res, cold)
+
+	// A different config must also invalidate.
+	_, p2, err := ComputePlanned(context.Background(), top, w, Config{MaxSubsetSize: 1}, nextPlan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p2 == nextPlan {
+		t.Fatal("plan survived a config change")
+	}
+}
+
+// A restricted solve over one partition shard must reproduce exactly
+// the shard's slice of the full system: same subsets in the same
+// relative order, same probabilities, same identifiability.
+func TestRestrictedSolveMatchesShardSlice(t *testing.T) {
+	// Two disjoint copies of Fig. 1 glued into one topology.
+	base := topology.Fig1Case1()
+	n, m := base.NumLinks(), base.NumPaths()
+	var links []topology.Link
+	var paths []topology.Path
+	var corrSets [][]int
+	for copyi := 0; copyi < 2; copyi++ {
+		lo := copyi * n
+		for _, l := range base.Links {
+			links = append(links, topology.Link{ID: lo + l.ID, AS: copyi*10 + l.AS})
+		}
+		for _, p := range base.Paths {
+			shifted := make([]int, len(p.Links))
+			for i, li := range p.Links {
+				shifted[i] = lo + li
+			}
+			paths = append(paths, topology.Path{ID: copyi*m + p.ID, Links: shifted})
+		}
+		for _, cs := range base.CorrSets {
+			shifted := make([]int, len(cs))
+			for i, li := range cs {
+				shifted[i] = lo + li
+			}
+			corrSets = append(corrSets, shifted)
+		}
+	}
+	top, err := topology.NewChecked(links, paths, corrSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	part := topology.NewPartition(top)
+	if part.NumShards() != 2 {
+		t.Fatalf("glued topology has %d shards, want 2", part.NumShards())
+	}
+
+	// Stream congestion that touches both halves.
+	rec := observe.NewRecorder(top.NumPaths())
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 800; i++ {
+		cong := bitset.New(top.NumLinks())
+		for copyi := 0; copyi < 2; copyi++ {
+			lo := copyi * n
+			if rng.Float64() < 0.35 {
+				cong.Add(lo + 1)
+				cong.Add(lo + 2)
+			}
+			if rng.Float64() < 0.2 {
+				cong.Add(lo)
+			}
+		}
+		congPaths := bitset.New(top.NumPaths())
+		for p := 0; p < top.NumPaths(); p++ {
+			if top.PathLinks(p).Intersects(cong) {
+				congPaths.Add(p)
+			}
+		}
+		rec.Add(congPaths)
+	}
+
+	cfg := Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02}
+	full, err := Compute(context.Background(), top, rec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < part.NumShards(); s++ {
+		restricted := cfg
+		restricted.RestrictCorrSets = part.ShardCorrSets(s)
+		shard, err := Compute(context.Background(), top, rec, restricted)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Every shard subset must appear in the full result with the
+		// same probability and identifiability.
+		for _, sub := range shard.Subsets {
+			g, ok := full.SubsetGoodProb(sub.Links)
+			if sub.Identifiable {
+				if !ok || g != sub.GoodProb {
+					t.Fatalf("shard %d subset %s: restricted %v vs full (%v,%v)", s, sub.Links, sub.GoodProb, g, ok)
+				}
+			} else if ok {
+				t.Fatalf("shard %d subset %s identifiable only in full run", s, sub.Links)
+			}
+		}
+		// And per-link estimates over the shard's links must agree.
+		part.ShardLinks(s).ForEach(func(e int) bool {
+			pf, xf := full.LinkCongestProbOrFallback(e)
+			ps, xs := shard.LinkCongestProbOrFallback(e)
+			if pf != ps || xf != xs {
+				t.Fatalf("shard %d link %d: restricted (%v,%v) vs full (%v,%v)", s, e, ps, xs, pf, xf)
+			}
+			return true
+		})
+	}
+	// Merging the shard blocks reproduces the full run's totals.
+	blocks := make([]*Result, part.NumShards())
+	for s := range blocks {
+		restricted := cfg
+		restricted.RestrictCorrSets = part.ShardCorrSets(s)
+		if blocks[s], err = Compute(context.Background(), top, rec, restricted); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged := MergeResults(top, rec, blocks, cfg.AlwaysGoodTol)
+	if merged.Rank != full.Rank || merged.Nullity != full.Nullity || merged.ClampedRows != full.ClampedRows {
+		t.Fatalf("merged totals (%d,%d,%d) vs full (%d,%d,%d)",
+			merged.Rank, merged.Nullity, merged.ClampedRows, full.Rank, full.Nullity, full.ClampedRows)
+	}
+	if !merged.PotentiallyCongested.Equal(full.PotentiallyCongested) {
+		t.Fatal("merged potentially-congested set differs from full run")
+	}
+	for e := 0; e < top.NumLinks(); e++ {
+		pm, xm := merged.LinkCongestProbOrFallback(e)
+		pf, xf := full.LinkCongestProbOrFallback(e)
+		if pm != pf || xm != xf {
+			t.Fatalf("link %d: merged (%v,%v) vs full (%v,%v)", e, pm, xm, pf, xf)
+		}
+	}
+}

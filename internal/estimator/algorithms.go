@@ -106,8 +106,14 @@ func (correlationComplete) Estimate(ctx context.Context, top *topology.Topology,
 	if err != nil {
 		return nil, err
 	}
+	return estimateFromResult(CorrelationComplete, top, res), nil
+}
+
+// estimateFromResult flattens a Correlation-complete result (a full run
+// or a merge of per-shard blocks) into the unified estimate shape.
+func estimateFromResult(name string, top *topology.Topology, res *core.Result) *Estimate {
 	est := &Estimate{
-		Algorithm:            CorrelationComplete,
+		Algorithm:            name,
 		LinkProb:             make([]float64, top.NumLinks()),
 		LinkExact:            make([]bool, top.NumLinks()),
 		PotentiallyCongested: res.PotentiallyCongested,
@@ -129,7 +135,7 @@ func (correlationComplete) Estimate(ctx context.Context, top *topology.Topology,
 			Identifiable: sub.Identifiable,
 		}
 	}
-	return est, nil
+	return est
 }
 
 // ---------------------------------------------------------------------

@@ -104,6 +104,7 @@ func TestRegistry(t *testing.T) {
 		estimator.BayesianCorrelation,
 		estimator.BayesianIndependence,
 		estimator.CorrelationComplete,
+		estimator.CorrelationCompleteSharded,
 		estimator.CorrelationHeuristic,
 		estimator.Independence,
 		estimator.Sparsity,

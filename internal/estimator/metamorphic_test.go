@@ -1,0 +1,138 @@
+package estimator_test
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/estimator"
+	"repro/internal/experiment"
+	"repro/internal/netsim"
+	"repro/internal/observe"
+)
+
+// metamorphicOpts is the shared option list of the cross-algorithm
+// suite; Seed pins the sampling estimators so reruns are comparable.
+func metamorphicOpts() []estimator.Option {
+	return []estimator.Option{
+		estimator.WithMaxSubsetSize(2),
+		estimator.WithAlwaysGoodTol(0.02),
+		estimator.WithConcurrency(1),
+		estimator.WithSeed(11),
+	}
+}
+
+// metamorphicFixtures draws randomized topologies of both families
+// (the generation path of cmd/topogen) with simulated monitoring
+// periods across scenarios.
+func metamorphicFixtures(t *testing.T) []fixture {
+	t.Helper()
+	var out []fixture
+	scenarios := []netsim.Scenario{netsim.RandomCongestion, netsim.ConcentratedCongestion, netsim.NoIndependence}
+	for _, kind := range []experiment.TopologyKind{experiment.Brite, experiment.Sparse} {
+		for seed := int64(1); seed <= 3; seed++ {
+			fx := kindFixture(t, kind, seed, scenarios[seed%int64(len(scenarios))])
+			fx.name = fmt.Sprintf("%s-%d", fx.name, seed)
+			out = append(out, fx)
+		}
+	}
+	return out
+}
+
+// Every registry estimator must agree on the always-good set: the
+// potentially congested links are derived from the observations alone
+// (§5.2), before any algorithm-specific inference, so disagreement
+// means an estimator is not honoring the shared definition.
+func TestMetamorphicAlwaysGoodAgreement(t *testing.T) {
+	for _, fx := range metamorphicFixtures(t) {
+		var refName string
+		var ref *estimator.Estimate
+		for _, name := range estimator.Names() {
+			est, err := estimator.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := est.Estimate(context.Background(), fx.top, fx.rec, metamorphicOpts()...)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fx.name, name, err)
+			}
+			if ref == nil {
+				refName, ref = name, res
+				continue
+			}
+			if !res.PotentiallyCongested.Equal(ref.PotentiallyCongested) {
+				t.Fatalf("%s: %s and %s disagree on the always-good set:\n%s\nvs\n%s",
+					fx.name, name, refName, res.PotentiallyCongested, ref.PotentiallyCongested)
+			}
+		}
+	}
+}
+
+// Permuting the observation order must leave every estimator's output
+// bit-identical: the algorithms consume only windowed joint statistics
+// (and per-interval diagnoses aggregated order-independently), never
+// the arrival order.
+func TestMetamorphicObservationOrderInvariance(t *testing.T) {
+	for _, fx := range metamorphicFixtures(t) {
+		perm := rand.New(rand.NewSource(17)).Perm(fx.rec.T())
+		shuffled := observe.NewRecorder(fx.top.NumPaths())
+		for _, ti := range perm {
+			shuffled.Add(fx.rec.CongestedAt(ti))
+		}
+		for _, name := range estimator.Names() {
+			est, err := estimator.New(name)
+			if err != nil {
+				t.Fatal(err)
+			}
+			a, err := est.Estimate(context.Background(), fx.top, fx.rec, metamorphicOpts()...)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", fx.name, name, err)
+			}
+			b, err := est.Estimate(context.Background(), fx.top, shuffled, metamorphicOpts()...)
+			if err != nil {
+				t.Fatalf("%s/%s (shuffled): %v", fx.name, name, err)
+			}
+			assertEstimatesMatch(t, fx.name+"/"+name+" permuted", a, b)
+		}
+	}
+}
+
+// Warm-started shard solves must be bit-identical to from-scratch
+// solves on every randomized topology: solve twice with a retained
+// ShardedSolver (the second pass reuses every shard's plan) and once
+// with the stateless registry estimator, and require all three to
+// match.
+func TestMetamorphicWarmShardSolves(t *testing.T) {
+	for _, fx := range metamorphicFixtures(t) {
+		sv, err := estimator.NewShardedSolver(fx.top, metamorphicOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		solve := func() *estimator.Estimate {
+			blocks := make([]*core.Result, sv.NumShards())
+			for s := range blocks {
+				res, _, err := sv.SolveShard(context.Background(), s, fx.rec)
+				if err != nil {
+					t.Fatalf("%s shard %d: %v", fx.name, s, err)
+				}
+				blocks[s] = res
+			}
+			return sv.Merge(blocks, fx.rec)
+		}
+		coldEst := solve()
+		warmEst := solve() // identical store: every shard must warm-start
+		assertEstimatesMatch(t, fx.name+" warm vs cold", coldEst, warmEst)
+
+		registry, err := estimator.New(estimator.CorrelationCompleteSharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := registry.Estimate(context.Background(), fx.top, fx.rec, metamorphicOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEstimatesMatch(t, fx.name+" solver vs registry", warmEst, ref)
+	}
+}

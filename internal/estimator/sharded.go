@@ -1,0 +1,144 @@
+package estimator
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/observe"
+	"repro/internal/topology"
+)
+
+// CorrelationCompleteSharded is the registry name of the sharded
+// Correlation-complete estimator.
+const CorrelationCompleteSharded = "correlation-complete-sharded"
+
+func init() {
+	register(correlationCompleteSharded{})
+}
+
+// correlationCompleteSharded is the stateless registry form: each call
+// partitions the topology, solves every shard from scratch, and merges.
+// The streaming server keeps a ShardedSolver instead, which adds
+// warm-started per-shard plans across epochs; both produce identical
+// estimates.
+type correlationCompleteSharded struct{}
+
+func (correlationCompleteSharded) Name() string { return CorrelationCompleteSharded }
+
+func (correlationCompleteSharded) Description() string {
+	return "Correlation-complete solved independently per correlation-set shard (the connected components of the correlation-set/path incidence) and merged; identical output, block-wise cost"
+}
+
+func (correlationCompleteSharded) Estimate(ctx context.Context, top *topology.Topology, obs observe.Store, opts ...Option) (*Estimate, error) {
+	sv, err := NewShardedSolver(top, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := checkUniverse(CorrelationCompleteSharded, top, obs); err != nil {
+		return nil, err
+	}
+	results := make([]*core.Result, sv.NumShards())
+	for s := range results {
+		res, _, err := sv.SolveShard(ctx, s, obs)
+		if err != nil {
+			return nil, err
+		}
+		results[s] = res
+	}
+	return sv.Merge(results, obs), nil
+}
+
+// ShardedSolver drives per-shard Correlation-complete solves over a
+// fixed topology, carrying each shard's structural plan (enumeration,
+// selected path sets, null space, QR factorization) from epoch to
+// epoch. While a shard's always-good path set is unchanged, its solve
+// skips the structural phases entirely and re-solves the retained
+// factorization against fresh frequencies; a change invalidates only
+// that shard's plan. This is the engine behind both the
+// "correlation-complete-sharded" registry estimator (which discards the
+// solver after one estimate) and the streaming server's per-shard
+// solver loops (which retain it).
+//
+// Distinct shards may be solved from distinct goroutines concurrently;
+// calls for the same shard must be serialized by the caller.
+type ShardedSolver struct {
+	top      *topology.Topology
+	part     *topology.Partition
+	settings Settings
+	plans    []*core.Plan
+}
+
+// NewShardedSolver partitions the topology and validates the options.
+func NewShardedSolver(top *topology.Topology, opts ...Option) (*ShardedSolver, error) {
+	s, err := Apply(opts...)
+	if err != nil {
+		return nil, err
+	}
+	part := topology.NewPartition(top)
+	return &ShardedSolver{
+		top:      top,
+		part:     part,
+		settings: s,
+		plans:    make([]*core.Plan, max(part.NumShards(), 1)),
+	}, nil
+}
+
+// Partition returns the correlation-set partition the solver shards by.
+func (sv *ShardedSolver) Partition() *topology.Partition { return sv.part }
+
+// NumShards returns the number of independent solves per epoch (at
+// least 1: a topology with no shardable structure degrades to one
+// unrestricted solve).
+func (sv *ShardedSolver) NumShards() int { return max(sv.part.NumShards(), 1) }
+
+// ShardSize returns one shard's slice of the universe: its path and
+// link counts (the whole universe when the partition is degenerate).
+func (sv *ShardedSolver) ShardSize(shard int) (paths, links int) {
+	if shard < sv.part.NumShards() {
+		return sv.part.ShardPaths(shard).Count(), sv.part.ShardLinks(shard).Count()
+	}
+	return sv.top.NumPaths(), sv.top.NumLinks()
+}
+
+// shardConfig returns the core configuration of one shard's solve: the
+// shared settings, restricted to the shard's correlation sets when
+// there is more than one shard. With a single shard the solve runs
+// unrestricted and is the plain Correlation-complete computation,
+// bit for bit.
+func (sv *ShardedSolver) shardConfig(shard int) core.Config {
+	cfg := sv.settings.coreConfig()
+	if sv.part.NumShards() > 1 {
+		cfg.RestrictCorrSets = sv.part.ShardCorrSets(shard)
+	}
+	return cfg
+}
+
+// SolveShard computes shard's block of the system over obs, warm-
+// starting from the shard's previous plan when its always-good path set
+// is unchanged. obs may be the full observation store or just the
+// shard's own ring of a stream.Sharded — the solve only reads the
+// shard's paths, whose statistics are identical in both. warm reports
+// whether the carried-forward plan was used.
+func (sv *ShardedSolver) SolveShard(ctx context.Context, shard int, obs observe.Store) (res *core.Result, warm bool, err error) {
+	if shard < 0 || shard >= len(sv.plans) {
+		return nil, false, fmt.Errorf("estimator: shard %d outside [0,%d)", shard, len(sv.plans))
+	}
+	prev := sv.plans[shard]
+	res, plan, err := core.ComputePlanned(ctx, sv.top, obs, sv.shardConfig(shard), prev)
+	if err != nil {
+		return nil, false, err
+	}
+	sv.plans[shard] = plan
+	return res, prev != nil && plan == prev, nil
+}
+
+// Merge assembles the per-shard results (in shard order; nil entries
+// are skipped) into one Estimate over obs. The merged core.Result keeps
+// every joint query working — the correlation-set partition guarantees
+// each factors within a single shard's block — so the estimate carries
+// full Detail exactly like the unsharded estimator's.
+func (sv *ShardedSolver) Merge(results []*core.Result, obs observe.Store) *Estimate {
+	merged := core.MergeResults(sv.top, obs, results, sv.settings.AlwaysGoodTol)
+	return estimateFromResult(CorrelationCompleteSharded, sv.top, merged)
+}

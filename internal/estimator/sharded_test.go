@@ -1,0 +1,211 @@
+package estimator_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+
+	"repro/internal/estimator"
+	"repro/internal/experiment"
+	"repro/internal/netsim"
+	"repro/internal/observe"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// subsetMap flattens an estimate's subsets keyed by link set, so
+// estimates whose subset IDs are ordered differently (the merged
+// sharded layout groups by shard) can still be compared value-for-value.
+func subsetMap(t *testing.T, est *estimator.Estimate) map[string]estimator.SubsetEstimate {
+	t.Helper()
+	out := make(map[string]estimator.SubsetEstimate, len(est.Subsets))
+	for _, sub := range est.Subsets {
+		key := sub.Links.Key()
+		if _, dup := out[key]; dup {
+			t.Fatalf("duplicate subset %s", sub.Links)
+		}
+		out[key] = sub
+	}
+	return out
+}
+
+// assertEstimatesMatch asserts two estimates are bit-identical in every
+// per-link and per-subset value (subset order may differ).
+func assertEstimatesMatch(t *testing.T, label string, a, b *estimator.Estimate) {
+	t.Helper()
+	for e := range a.LinkProb {
+		if a.LinkProb[e] != b.LinkProb[e] || a.LinkExact[e] != b.LinkExact[e] {
+			t.Fatalf("%s: link %d: (%v,%v) vs (%v,%v)",
+				label, e, a.LinkProb[e], a.LinkExact[e], b.LinkProb[e], b.LinkExact[e])
+		}
+	}
+	if !a.PotentiallyCongested.Equal(b.PotentiallyCongested) {
+		t.Fatalf("%s: potentially-congested sets differ", label)
+	}
+	if a.Rank != b.Rank || a.Nullity != b.Nullity || a.ClampedRows != b.ClampedRows {
+		t.Fatalf("%s: rank/nullity/clamped (%d,%d,%d) vs (%d,%d,%d)",
+			label, a.Rank, a.Nullity, a.ClampedRows, b.Rank, b.Nullity, b.ClampedRows)
+	}
+	sa, sb := subsetMap(t, a), subsetMap(t, b)
+	if len(sa) != len(sb) {
+		t.Fatalf("%s: %d vs %d subsets", label, len(sa), len(sb))
+	}
+	for key, subA := range sa {
+		subB, ok := sb[key]
+		if !ok {
+			t.Fatalf("%s: subset %s missing from second estimate", label, subA.Links)
+		}
+		if subA.Identifiable != subB.Identifiable || subA.CorrSet != subB.CorrSet {
+			t.Fatalf("%s: subset %s flags differ", label, subA.Links)
+		}
+		if subA.Identifiable && subA.GoodProb != subB.GoodProb {
+			t.Fatalf("%s: subset %s GoodProb %v vs %v", label, subA.Links, subA.GoodProb, subB.GoodProb)
+		}
+	}
+}
+
+// kindFixture simulates a monitoring period over a generated topology
+// (the same generation path cmd/topogen uses).
+func kindFixture(t *testing.T, kind experiment.TopologyKind, seed int64, scenario netsim.Scenario) fixture {
+	t.Helper()
+	scale := experiment.Small()
+	top, err := experiment.BuildTopology(kind, scale, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	mc := netsim.DefaultConfig(scenario)
+	mc.PerfectE2E = true
+	model, err := netsim.NewModel(top, mc, 300, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := observe.NewRecorder(top.NumPaths())
+	for ti := 0; ti < 300; ti++ {
+		rec.Add(model.Interval(ti, rng).CongestedPaths)
+	}
+	return fixture{name: kind.String(), top: top, rec: rec}
+}
+
+// The acceptance pin: correlation-complete-sharded must be bit-identical
+// to correlation-complete on the Fig. 1 topologies, a Brite scenario,
+// and on genuinely multi-shard topologies (Brite seed 4 and Sparse
+// seed 1 partition into two shards at this scale).
+func TestShardedBitIdenticalToPlain(t *testing.T) {
+	fixtures := []fixture{
+		fig1Fixture("fig1-case1", topology.Fig1Case1()),
+		fig1Fixture("fig1-case2", topology.Fig1Case2()),
+		kindFixture(t, experiment.Brite, 1, netsim.RandomCongestion),
+		kindFixture(t, experiment.Brite, 4, netsim.RandomCongestion),
+		kindFixture(t, experiment.Sparse, 1, netsim.RandomCongestion),
+	}
+	multiShard := 0
+	for _, fx := range fixtures {
+		if topology.NewPartition(fx.top).NumShards() > 1 {
+			multiShard++
+		}
+		plain, err := estimator.New(estimator.CorrelationComplete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sharded, err := estimator.New(estimator.CorrelationCompleteSharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts := []estimator.Option{estimator.WithMaxSubsetSize(2), estimator.WithAlwaysGoodTol(0.02)}
+		a, err := plain.Estimate(context.Background(), fx.top, fx.rec, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", fx.name, err)
+		}
+		b, err := sharded.Estimate(context.Background(), fx.top, fx.rec, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", fx.name, err)
+		}
+		assertEstimatesMatch(t, fx.name, a, b)
+		// Joint queries must survive the merge: every identifiable
+		// subset's congestion probability agrees with the plain Detail.
+		if b.Detail == nil {
+			t.Fatalf("%s: merged estimate lost Detail", fx.name)
+		}
+		for _, sub := range b.Subsets {
+			if !sub.Identifiable {
+				continue
+			}
+			cp, ok := b.Detail.CongestedProb(sub.Links)
+			cpWant, okWant := a.Detail.CongestedProb(sub.Links)
+			if ok != okWant || (ok && cp != cpWant) {
+				t.Fatalf("%s: CongestedProb(%s) = (%v,%v), plain (%v,%v)", fx.name, sub.Links, cp, ok, cpWant, okWant)
+			}
+		}
+	}
+	if multiShard == 0 {
+		t.Fatal("no fixture exercised a multi-shard partition")
+	}
+}
+
+// A retained ShardedSolver solving shard rings epoch after epoch (warm)
+// must keep producing estimates bit-identical to the stateless registry
+// estimator run from scratch over the same data.
+func TestShardedSolverWarmMatchesRegistry(t *testing.T) {
+	fx := kindFixture(t, experiment.Sparse, 1, netsim.RandomCongestion)
+	part := topology.NewPartition(fx.top)
+	if part.NumShards() < 2 {
+		t.Fatalf("fixture has %d shards, want ≥ 2", part.NumShards())
+	}
+	opts := []estimator.Option{estimator.WithMaxSubsetSize(2), estimator.WithAlwaysGoodTol(0.02)}
+	sv, err := estimator.NewShardedSolver(fx.top, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold, err := estimator.New(estimator.CorrelationCompleteSharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stream the recorded intervals into a partitioned window and solve
+	// an epoch every 60 intervals, each shard from its own ring; verify
+	// each merged estimate against the stateless estimator run from
+	// scratch over a fresh Recorder holding exactly the surviving
+	// intervals.
+	const capacity = 200
+	win := stream.NewSharded(fx.top.NumPaths(), capacity, part.PathShards(), part.NumShards())
+	warmEpochs := 0
+	for ti := 0; ti < fx.rec.T(); ti++ {
+		win.Add(fx.rec.CongestedAt(ti))
+		if (ti+1)%60 != 0 {
+			continue
+		}
+		blocks := make([]*core.Result, sv.NumShards())
+		warm := false
+		for s := range blocks {
+			res, w, err := sv.SolveShard(context.Background(), s, win.Shard(s))
+			if err != nil {
+				t.Fatal(err)
+			}
+			blocks[s] = res
+			warm = warm || w
+		}
+		if warm {
+			warmEpochs++
+		}
+		got := sv.Merge(blocks, win)
+		ref := observe.NewRecorder(fx.top.NumPaths())
+		lo := 0
+		if ti+1 > capacity {
+			lo = ti + 1 - capacity
+		}
+		for k := lo; k <= ti; k++ {
+			ref.Add(fx.rec.CongestedAt(k))
+		}
+		want, err := cold.Estimate(context.Background(), fx.top, ref, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertEstimatesMatch(t, "warm epoch", got, want)
+	}
+	if warmEpochs == 0 {
+		t.Fatal("no epoch warm-started: the carried-forward plans never applied")
+	}
+}

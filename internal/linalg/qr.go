@@ -98,6 +98,24 @@ func (f *QR) Rank() int {
 	return r
 }
 
+// FullColumnRank reports whether every column of A carries a
+// non-negligible R diagonal entry — the condition under which
+// SolveLeastSquares yields the unique minimizer. The warm-start plan of
+// the Correlation-complete solver checks it once at factorization time
+// and then reuses the factorization across epochs.
+func (f *QR) FullColumnRank() bool {
+	if f.m < f.n {
+		return false
+	}
+	tol := f.rankTol()
+	for k := 0; k < f.n; k++ {
+		if math.Abs(f.rdiag[k]) <= tol {
+			return false
+		}
+	}
+	return true
+}
+
 // applyQT overwrites b (length m) with Qᵀ·b.
 func (f *QR) applyQT(b []float64) {
 	for k := 0; k < min(f.m, f.n); k++ {
@@ -121,14 +139,8 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 	if len(b) != f.m {
 		panic("linalg: SolveLeastSquares dimension mismatch")
 	}
-	if f.m < f.n {
+	if !f.FullColumnRank() {
 		return nil, ErrRankDeficient
-	}
-	tol := f.rankTol()
-	for k := 0; k < f.n; k++ {
-		if math.Abs(f.rdiag[k]) <= tol {
-			return nil, ErrRankDeficient
-		}
 	}
 	qtb := make([]float64, f.m)
 	copy(qtb, b)

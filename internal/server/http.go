@@ -138,6 +138,22 @@ type CongestedPathsResponse struct {
 	Paths     []CongestedPath `json:"paths"`
 }
 
+// ShardStatus is one shard solver's live state in GET /v1/status
+// (sharded mode only): its independent epoch counter, the ingest
+// sequence its last solve covered, how far ingest has run ahead of it,
+// and whether the solve warm-started from the carried-forward plan.
+type ShardStatus struct {
+	Shard        int     `json:"shard"`
+	Epoch        uint64  `json:"epoch"`
+	SeqHigh      uint64  `json:"seq_high"`
+	LagIntervals uint64  `json:"lag_intervals"`
+	Warm         bool    `json:"warm"`
+	ComputeMs    float64 `json:"last_compute_ms"`
+	Paths        int     `json:"paths"`
+	Links        int     `json:"links"`
+	Error        string  `json:"error,omitempty"`
+}
+
 // StatusResponse is GET /v1/status: ingest/solver progress and lag.
 type StatusResponse struct {
 	Epoch       uint64 `json:"epoch"`
@@ -158,6 +174,10 @@ type StatusResponse struct {
 	Identifiable int     `json:"identifiable_subsets"`
 	ClampedRows  int     `json:"clamped_rows"`
 	SolverError  string  `json:"solver_error,omitempty"`
+
+	// Shards lists each shard solver's independent epoch and lag;
+	// present only in sharded mode.
+	Shards []ShardStatus `json:"shards,omitempty"`
 }
 
 // Handler returns the versioned HTTP API: batched ingest; per-link,
@@ -439,5 +459,37 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st.LagIntervals = st.IngestedSeq
 	}
+	if s.sharded != nil {
+		st.Shards = s.shardStatuses(st.IngestedSeq)
+	}
 	writeData(w, http.StatusOK, st)
+}
+
+// shardStatuses reads the live per-shard solver states. ingested is the
+// ingest sequence already reported in the same response; a shard that
+// published between the two reads is clamped to zero lag rather than
+// allowed to wrap.
+func (s *Server) shardStatuses(ingested uint64) []ShardStatus {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+	out := make([]ShardStatus, len(s.shardStates))
+	for i := range s.shardStates {
+		info := s.shardInfoLocked(i)
+		out[i] = ShardStatus{
+			Shard:     info.Shard,
+			Epoch:     info.Epoch,
+			SeqHigh:   info.SeqHigh,
+			Warm:      info.Warm,
+			ComputeMs: float64(info.ComputeTime.Microseconds()) / 1000,
+			Paths:     info.Paths,
+			Links:     info.Links,
+		}
+		if ingested >= info.SeqHigh {
+			out[i].LagIntervals = ingested - info.SeqHigh
+		}
+		if err := s.shardStates[i].err; err != nil {
+			out[i].Error = err.Error()
+		}
+	}
+	return out
 }

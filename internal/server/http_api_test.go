@@ -74,6 +74,7 @@ func TestEstimatorsEndpointGolden(t *testing.T) {
 		"bayesian-correlation",
 		"bayesian-independence",
 		"correlation-complete",
+		"correlation-complete-sharded",
 		"correlation-heuristic",
 		"independence",
 		"sparsity",

@@ -21,6 +21,19 @@
 //     solve, and a solve whose frozen window has been entirely evicted
 //     by newer ingest (superseded) is abandoned rather than published.
 //     Cancelled solves return ctx.Err() promptly and never publish.
+//
+// Sharded mode (Algo = "correlation-complete-sharded") replaces the
+// single solver loop with one goroutine per correlation-set shard (see
+// topology.Partition): ingest routes each interval into one ring per
+// shard (stream.Sharded), each shard loop clones and solves only its
+// own ring — warm-starting the structural plan while its always-good
+// set is stable — and every shard epoch publishes a fresh merged
+// snapshot assembled from the latest per-shard blocks. A congestion
+// burst confined to one shard therefore re-derives one block's
+// structure while the others keep re-solving their carried-forward
+// factorizations; per-shard epochs and lag are exposed on /v1/status.
+// Shard solves are not supersession-supervised (warm solves are far
+// faster than a window turnover); shutdown still cancels them.
 package server
 
 import (
@@ -31,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/bitset"
+	"repro/internal/core"
 	"repro/internal/estimator"
 	"repro/internal/stream"
 	"repro/internal/topology"
@@ -88,9 +102,16 @@ type Snapshot struct {
 	// Est is the epoch estimate over Window; nil when Err is non-nil.
 	Est *estimator.Estimate
 
-	// Window is the frozen clone of the live window the estimate was
-	// computed over.
-	Window *stream.Window
+	// Window is the frozen clone of the live store the estimate was
+	// computed over (a single ring, or a stream.Sharded in sharded
+	// mode). In sharded mode it is cloned at publish time and may be
+	// slightly newer than the per-shard blocks merged into Est; a
+	// quiescent Recompute resolves every shard from one clone.
+	Window stream.Store
+
+	// Shards describes the per-shard blocks merged into Est; nil
+	// outside sharded mode.
+	Shards []ShardInfo
 
 	// SeqHigh is the sequence number of the newest interval included:
 	// the window covers [SeqHigh−T, SeqHigh).
@@ -185,14 +206,58 @@ func (s *Snapshot) EstimateFor(ctx context.Context, algo string) (*estimator.Est
 	}
 }
 
+// ShardInfo describes one shard's contribution to a merged snapshot.
+type ShardInfo struct {
+	Shard int
+
+	// Epoch is the shard's own epoch counter (independent per shard).
+	Epoch uint64
+
+	// SeqHigh is the ingest sequence the shard's block was solved at;
+	// T the live intervals of its ring at that point.
+	SeqHigh uint64
+	T       int
+
+	// Warm reports whether the structural plan was carried forward from
+	// the shard's previous epoch (see core.ComputePlanned).
+	Warm bool
+
+	ComputeTime time.Duration
+
+	// Paths and Links are the shard's slice of the universe.
+	Paths, Links int
+}
+
+// shardState is one shard's solver state. mu serializes the shard's
+// solves (the background loop and synchronous Recompute); the published
+// fields below it are guarded by the server's publishMu.
+type shardState struct {
+	mu sync.Mutex
+
+	res         *core.Result
+	seqHigh     uint64
+	t           int
+	epoch       uint64
+	warm        bool
+	computeTime time.Duration
+	err         error
+}
+
 // Server is the streaming tomography service.
 type Server struct {
 	top *topology.Topology
 	cfg Config
 	est estimator.Estimator // the epoch solver, resolved from cfg.Algo
 
+	// Sharded mode: the warm-start solver, the partitioned window
+	// (aliasing win) and one state per shard. All nil/empty otherwise.
+	sharded     *estimator.ShardedSolver
+	shardedWin  *stream.Sharded
+	shardStates []*shardState
+	publishMu   sync.Mutex // guards shardStates' published fields + snapshot assembly
+
 	mu  sync.Mutex // guards win (ingest and snapshot cloning)
-	win *stream.Window
+	win stream.Store
 
 	computeMu sync.Mutex // serializes solver runs
 	epoch     atomic.Uint64
@@ -223,16 +288,37 @@ func New(top *topology.Topology, cfg Config) (*Server, error) {
 		return nil, err
 	}
 	ctx, cancel := context.WithCancel(context.Background())
-	return &Server{
+	s := &Server{
 		top:        top,
 		cfg:        cfg,
 		est:        est,
-		win:        stream.NewWindow(top.NumPaths(), cfg.WindowSize),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		stop:       make(chan struct{}),
-	}, nil
+	}
+	if cfg.Algo == estimator.CorrelationCompleteSharded {
+		sv, err := estimator.NewShardedSolver(top, cfg.SolverOpts...)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		part := sv.Partition()
+		s.sharded = sv
+		s.shardedWin = stream.NewSharded(top.NumPaths(), cfg.WindowSize, part.PathShards(), part.NumShards())
+		s.win = s.shardedWin
+		s.shardStates = make([]*shardState, sv.NumShards())
+		for i := range s.shardStates {
+			s.shardStates[i] = &shardState{}
+		}
+	} else {
+		s.win = stream.NewWindow(top.NumPaths(), cfg.WindowSize)
+	}
+	return s, nil
 }
+
+// NumShards returns the number of independent shard solvers (0 outside
+// sharded mode).
+func (s *Server) NumShards() int { return len(s.shardStates) }
 
 // Topology returns the topology the server monitors.
 func (s *Server) Topology() *topology.Topology { return s.top }
@@ -240,9 +326,17 @@ func (s *Server) Topology() *topology.Topology { return s.top }
 // Algo returns the registry name of the configured epoch solver.
 func (s *Server) Algo() string { return s.cfg.Algo }
 
-// Start launches the background recompute loop.
+// Start launches the background recompute loop — one solver goroutine
+// per shard in sharded mode, a single supervised loop otherwise.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
+		if s.sharded != nil {
+			for sid := range s.shardStates {
+				s.wg.Add(1)
+				go s.runShard(sid)
+			}
+			return
+		}
 		s.wg.Add(1)
 		go s.run()
 	})
@@ -295,10 +389,13 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 	if ctx == nil {
 		ctx = s.baseCtx
 	}
+	if s.sharded != nil {
+		return s.recomputeSharded(ctx)
+	}
 	s.computeMu.Lock()
 	defer s.computeMu.Unlock()
 	s.mu.Lock()
-	w := s.win.Clone()
+	w := s.win.CloneStore()
 	s.mu.Unlock()
 	start := time.Now()
 	est, err := s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...)
@@ -322,6 +419,227 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 	snap.Epoch = s.epoch.Add(1)
 	s.snap.Store(snap)
 	return snap
+}
+
+// recomputeSharded is Recompute for sharded mode: one synchronous epoch
+// of every shard from a single frozen clone, then one merged publish.
+// Because every block is solved at the same sequence, the published
+// estimate equals an offline replay of the surviving window — the
+// determinism the e2e tests pin. Cancellation follows the plain path's
+// contract: the returned snapshot carries ctx.Err(), is not published,
+// and consumes no epoch.
+func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
+	s.computeMu.Lock()
+	defer s.computeMu.Unlock()
+	s.mu.Lock()
+	full := s.shardedWin.Clone()
+	s.mu.Unlock()
+	start := time.Now()
+	results := make([]*core.Result, len(s.shardStates))
+	warms := make([]bool, len(s.shardStates))
+	durs := make([]time.Duration, len(s.shardStates))
+	for sid, st := range s.shardStates {
+		st.mu.Lock()
+		shardStart := time.Now()
+		res, warm, err := s.sharded.SolveShard(ctx, sid, full.Shard(sid))
+		durs[sid] = time.Since(shardStart)
+		st.mu.Unlock()
+		if err != nil {
+			snap := &Snapshot{
+				Algo:        s.cfg.Algo,
+				Window:      full,
+				SeqHigh:     full.Seq(),
+				T:           full.T(),
+				ComputedAt:  time.Now(),
+				ComputeTime: time.Since(start),
+				Err:         err,
+				top:         s.top,
+				opts:        s.cfg.SolverOpts,
+				lifetime:    s.baseCtx,
+				byAlgo:      map[string]*algoCell{},
+			}
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				return snap // cancelled: do not publish, do not consume an epoch
+			}
+			s.publishMu.Lock()
+			snap.Epoch = s.epoch.Add(1)
+			s.publishMu.Unlock()
+			s.storeSnapshotGuarded(snap)
+			return snap
+		}
+		results[sid] = res
+		warms[sid] = warm
+	}
+	// Publish every shard's block, unless a background shard epoch has
+	// already published a newer one (then its state — and its block —
+	// win); merge the surviving blocks off-lock like publishMerged.
+	s.publishMu.Lock()
+	blocks := make([]*core.Result, len(s.shardStates))
+	shards := make([]ShardInfo, len(s.shardStates))
+	for sid, st := range s.shardStates {
+		if full.Seq() >= st.seqHigh {
+			st.res, st.seqHigh, st.t, st.warm, st.err = results[sid], full.Seq(), full.T(), warms[sid], nil
+			st.epoch++
+			st.computeTime = durs[sid]
+		}
+		blocks[sid] = st.res
+		shards[sid] = s.shardInfoLocked(sid)
+	}
+	epoch := s.epoch.Add(1)
+	s.publishMu.Unlock()
+	est := s.sharded.Merge(blocks, full)
+	snap := &Snapshot{
+		Epoch:       epoch,
+		Algo:        s.cfg.Algo,
+		Est:         est,
+		Window:      full,
+		SeqHigh:     full.Seq(),
+		T:           full.T(),
+		Shards:      shards,
+		ComputedAt:  time.Now(),
+		ComputeTime: time.Since(start),
+		top:         s.top,
+		opts:        s.cfg.SolverOpts,
+		lifetime:    s.baseCtx,
+		byAlgo:      map[string]*algoCell{},
+	}
+	s.storeSnapshotGuarded(snap)
+	return snap
+}
+
+// runShard is shard sid's solver loop: one potential shard epoch per
+// tick, skipped while nothing has been ingested since the shard's last
+// solve. Shutdown cancels an in-flight solve via the lifetime context.
+func (s *Server) runShard(sid int) {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.RecomputeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			s.publishMu.Lock()
+			solved := s.shardStates[sid].res != nil
+			last := s.shardStates[sid].seqHigh
+			s.publishMu.Unlock()
+			if solved && last == s.Seq() {
+				continue // nothing new since this shard's last epoch
+			}
+			s.solveShard(s.baseCtx, sid)
+		}
+	}
+}
+
+// solveShard runs one epoch of shard sid: clone only the shard's ring
+// under the ingest lock, solve it off-lock (warm-starting the
+// structural plan when the shard's always-good set is unchanged), then
+// publish the shard's block and a fresh merged snapshot. Publication is
+// stale-guarded: a block solved at an older sequence than the shard's
+// published state (a synchronous Recompute raced ahead) is dropped
+// rather than allowed to roll the shard backwards.
+func (s *Server) solveShard(ctx context.Context, sid int) {
+	st := s.shardStates[sid]
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s.mu.Lock()
+	ring := s.shardedWin.Shard(sid).Clone()
+	s.mu.Unlock()
+	start := time.Now()
+	res, warm, err := s.sharded.SolveShard(ctx, sid, ring)
+	s.publishMu.Lock()
+	if err != nil {
+		st.err = err
+		s.publishMu.Unlock()
+		return // keep the shard's previous block; merged snapshot unchanged
+	}
+	if ring.Seq() < st.seqHigh {
+		s.publishMu.Unlock()
+		return // stale: a newer block for this shard was already published
+	}
+	st.res, st.seqHigh, st.t, st.warm, st.err = res, ring.Seq(), ring.T(), warm, nil
+	st.epoch++
+	st.computeTime = time.Since(start)
+	s.publishMu.Unlock()
+	s.publishMerged()
+}
+
+// shardInfoLocked flattens shard sid's published state; the caller
+// holds publishMu.
+func (s *Server) shardInfoLocked(sid int) ShardInfo {
+	st := s.shardStates[sid]
+	paths, links := s.sharded.ShardSize(sid)
+	return ShardInfo{
+		Shard:       sid,
+		Epoch:       st.epoch,
+		SeqHigh:     st.seqHigh,
+		T:           st.t,
+		Warm:        st.warm,
+		ComputeTime: st.computeTime,
+		Paths:       paths,
+		Links:       links,
+	}
+}
+
+// publishMerged assembles a merged snapshot from the latest per-shard
+// blocks and publishes it; before every shard has solved at least once
+// there is nothing coherent to publish. The per-shard state is
+// collected and the global epoch assigned under publishMu (which orders
+// epochs by collection time), but the lock is released before the
+// expensive part (full-window clone + estimate merge), so concurrent
+// shard publishes and /v1/status reads never stall behind a merge. The
+// final swap is guarded: a merge that lost the race to a higher-epoch
+// publish is dropped, which is safe because the later epoch was
+// collected later and therefore saw a superset of the shard updates.
+func (s *Server) publishMerged() {
+	s.publishMu.Lock()
+	results := make([]*core.Result, len(s.shardStates))
+	shards := make([]ShardInfo, len(s.shardStates))
+	var maxCompute time.Duration
+	for sid, st := range s.shardStates {
+		if st.res == nil {
+			s.publishMu.Unlock()
+			return
+		}
+		results[sid] = st.res
+		shards[sid] = s.shardInfoLocked(sid)
+		if st.computeTime > maxCompute {
+			maxCompute = st.computeTime
+		}
+	}
+	epoch := s.epoch.Add(1)
+	s.publishMu.Unlock()
+
+	s.mu.Lock()
+	full := s.shardedWin.Clone()
+	s.mu.Unlock()
+	est := s.sharded.Merge(results, full)
+	snap := &Snapshot{
+		Epoch:       epoch,
+		Algo:        s.cfg.Algo,
+		Est:         est,
+		Window:      full,
+		SeqHigh:     full.Seq(),
+		T:           full.T(),
+		Shards:      shards,
+		ComputedAt:  time.Now(),
+		ComputeTime: maxCompute,
+		top:         s.top,
+		opts:        s.cfg.SolverOpts,
+		lifetime:    s.baseCtx,
+		byAlgo:      map[string]*algoCell{},
+	}
+	s.storeSnapshotGuarded(snap)
+}
+
+// storeSnapshotGuarded publishes snap unless a higher-epoch snapshot
+// got there first.
+func (s *Server) storeSnapshotGuarded(snap *Snapshot) {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+	if cur := s.snap.Load(); cur == nil || cur.Epoch < snap.Epoch {
+		s.snap.Store(snap)
+	}
 }
 
 // run is the solver loop: one potential epoch per tick, skipped when

@@ -1,0 +1,303 @@
+package stream
+
+import (
+	"math"
+	"math/bits"
+
+	"repro/internal/bitset"
+	"repro/internal/observe"
+)
+
+// Store is the live ingest store of the streaming service: an
+// observation store with ring semantics. Window implements it directly;
+// Sharded implements it over one ring per correlation-set shard. The
+// server programs against this interface so the sharded and single-ring
+// layouts are interchangeable.
+type Store interface {
+	observe.Store
+	observe.IntervalSource
+	// Add appends one interval's congested-path set, evicting the
+	// oldest interval when the window is full.
+	Add(congested *bitset.Set)
+	// Seq returns the total number of intervals ever added.
+	Seq() uint64
+	// Cap returns the window capacity in intervals.
+	Cap() int
+	// CloneStore returns an independent deep copy (a frozen snapshot
+	// safe for concurrent readers).
+	CloneStore() Store
+}
+
+// CloneStore implements Store for Window.
+func (w *Window) CloneStore() Store { return w.Clone() }
+
+var (
+	_ Store = (*Window)(nil)
+	_ Store = (*Sharded)(nil)
+)
+
+// Sharded is a sliding-window observation store partitioned by a
+// path→shard mapping (one ring per shard, all advancing in lockstep):
+// every interval is routed to every shard, each shard's ring recording
+// only the congestion of its own paths. Whole-universe queries combine
+// the per-shard masks — ring geometry and sequence numbers are shared,
+// so positions align across shards and the combined answers are
+// bit-identical to a single Window fed the same intervals (property
+// tested). Per-shard solver loops read one ring each through Shard,
+// so a solve over shard A never touches shard B's masks.
+//
+// When the partition is unknown (a nil mapping or a single shard),
+// Sharded degrades to exactly one ring and delegates to it.
+type Sharded struct {
+	numPaths int
+	shardOf  []int // path -> shard; nil means everything in shard 0
+	shards   []*Window
+
+	// routing holds one reusable congested-path set per shard, filled by
+	// Add; Window.Add copies its input, so reuse across calls is safe.
+	routing []*bitset.Set
+}
+
+// NewSharded returns an empty sharded window over numPaths paths
+// retaining at most capacity intervals per shard, routed by shardOf
+// (length numPaths, values in [0, numShards)). A nil shardOf or
+// numShards ≤ 1 falls back to a single shard.
+func NewSharded(numPaths, capacity int, shardOf []int, numShards int) *Sharded {
+	if numShards <= 1 || shardOf == nil {
+		shardOf = nil
+		numShards = 1
+	} else {
+		if len(shardOf) != numPaths {
+			panic("stream: shard mapping length does not match path universe")
+		}
+		for _, s := range shardOf {
+			if s < 0 || s >= numShards {
+				panic("stream: shard index out of range")
+			}
+		}
+	}
+	sh := &Sharded{
+		numPaths: numPaths,
+		shardOf:  shardOf,
+		shards:   make([]*Window, numShards),
+		routing:  make([]*bitset.Set, numShards),
+	}
+	for i := range sh.shards {
+		sh.shards[i] = NewWindow(numPaths, capacity)
+		sh.routing[i] = bitset.New(numPaths)
+	}
+	return sh
+}
+
+// NumShards returns the number of rings.
+func (sh *Sharded) NumShards() int { return len(sh.shards) }
+
+// ShardOf returns the shard of path p.
+func (sh *Sharded) ShardOf(p int) int {
+	if sh.shardOf == nil {
+		return 0
+	}
+	return sh.shardOf[p]
+}
+
+// Shard returns shard s's ring. It implements observe.Store over the
+// full path universe with only shard s's paths ever congested, which is
+// exactly what a per-shard solve reads. The result must only be
+// mutated through the Sharded's own Add.
+func (sh *Sharded) Shard(s int) *Window { return sh.shards[s] }
+
+// windowOf returns the ring owning path p.
+func (sh *Sharded) windowOf(p int) *Window { return sh.shards[sh.ShardOf(p)] }
+
+// Add appends one interval's congested-path set to every shard: each
+// ring records the subset of congested paths it owns (possibly none —
+// an all-good interval still advances every shard's frequencies).
+// Indices outside the path universe are dropped, matching Window.
+func (sh *Sharded) Add(congested *bitset.Set) {
+	if len(sh.shards) == 1 {
+		sh.shards[0].Add(congested)
+		return
+	}
+	for _, r := range sh.routing {
+		r.Clear()
+	}
+	congested.ForEach(func(p int) bool {
+		if p < sh.numPaths {
+			sh.routing[sh.shardOf[p]].Add(p)
+		}
+		return true
+	})
+	for i, w := range sh.shards {
+		w.Add(sh.routing[i])
+	}
+}
+
+// T returns the number of live intervals (identical across shards).
+func (sh *Sharded) T() int { return sh.shards[0].T() }
+
+// Cap returns the per-shard window capacity in intervals.
+func (sh *Sharded) Cap() int { return sh.shards[0].Cap() }
+
+// Seq returns the total number of intervals ever added.
+func (sh *Sharded) Seq() uint64 { return sh.shards[0].Seq() }
+
+// NumPaths returns the path universe size.
+func (sh *Sharded) NumPaths() int { return sh.numPaths }
+
+// CongestedFraction returns the fraction of live intervals in which
+// path p was observed congested, read from p's own ring.
+func (sh *Sharded) CongestedFraction(p int) float64 {
+	return sh.windowOf(p).CongestedFraction(p)
+}
+
+// CongestedAt returns the congested-path set of the t-th live interval,
+// oldest first: the union of the per-shard rows at that position. The
+// result is freshly allocated (unlike Window's zero-copy row view) and
+// reflects the store only until the next Add.
+func (sh *Sharded) CongestedAt(t int) *bitset.Set {
+	if len(sh.shards) == 1 {
+		return sh.shards[0].CongestedAt(t)
+	}
+	out := bitset.New(sh.numPaths)
+	for _, w := range sh.shards {
+		out.UnionWith(w.CongestedAt(t))
+	}
+	return out
+}
+
+// GoodCount returns the number of live intervals in which every path in
+// the set was good. Exactly Window.GoodCount, except each path's mask
+// is read from its owning ring: rings share geometry and sequence, so
+// the OR spans shards position-for-position.
+func (sh *Sharded) GoodCount(paths *bitset.Set) int {
+	w0 := sh.shards[0]
+	if w0.count == 0 {
+		return 0
+	}
+	sp := observe.GetScratch(w0.ringWords)
+	sc := *sp
+	for i := range sc {
+		sc[i] = 0
+	}
+	paths.ForEach(func(p int) bool {
+		if p < sh.numPaths {
+			for i, word := range sh.windowOf(p).cong[p] {
+				sc[i] |= word
+			}
+		}
+		return true
+	})
+	bad := 0
+	for _, word := range sc {
+		bad += bits.OnesCount64(word)
+	}
+	observe.PutScratch(sp)
+	return w0.count - bad
+}
+
+// GoodFreq returns the empirical probability that all paths in the set
+// were simultaneously good within the window.
+func (sh *Sharded) GoodFreq(paths *bitset.Set) float64 {
+	if sh.T() == 0 {
+		return 1
+	}
+	return float64(sh.GoodCount(paths)) / float64(sh.T())
+}
+
+// LogGoodFreq returns log P̂(∩ Y_p = 0) over the window, clamping a
+// zero count to half an observation exactly like Window and Recorder.
+func (sh *Sharded) LogGoodFreq(paths *bitset.Set) (logp float64, clamped bool) {
+	if sh.T() == 0 {
+		return 0, false
+	}
+	c := sh.GoodCount(paths)
+	if c == 0 {
+		return math.Log(0.5 / float64(sh.T())), true
+	}
+	return math.Log(float64(c) / float64(sh.T())), false
+}
+
+// AllCongestedCount returns the number of live intervals in which every
+// path in the set was simultaneously congested: Window.AllCongestedCount
+// with each mask read from its owning ring.
+func (sh *Sharded) AllCongestedCount(paths *bitset.Set) int {
+	w0 := sh.shards[0]
+	if paths.IsEmpty() {
+		return w0.count
+	}
+	if w0.count == 0 {
+		return 0
+	}
+	sp := observe.GetScratch(w0.ringWords)
+	sc := *sp
+	w0.liveMask(sc)
+	empty := false
+	paths.ForEach(func(p int) bool {
+		if p >= sh.numPaths {
+			// A path outside the universe was never observed congested.
+			empty = true
+			return false
+		}
+		m := sh.windowOf(p).cong[p]
+		for i := range sc {
+			if i < len(m) {
+				sc[i] &= m[i]
+			} else {
+				sc[i] = 0
+			}
+		}
+		return true
+	})
+	n := 0
+	if !empty {
+		for _, word := range sc {
+			n += bits.OnesCount64(word)
+		}
+	}
+	observe.PutScratch(sp)
+	return n
+}
+
+// AllCongestedFreq is AllCongestedCount normalized by T.
+func (sh *Sharded) AllCongestedFreq(paths *bitset.Set) float64 {
+	if sh.T() == 0 {
+		return 0
+	}
+	return float64(sh.AllCongestedCount(paths)) / float64(sh.T())
+}
+
+// AlwaysGoodPaths returns the paths whose congested fraction within the
+// window is ≤ tol; on an empty window all paths are vacuously good.
+func (sh *Sharded) AlwaysGoodPaths(tol float64) *bitset.Set {
+	out := bitset.New(sh.numPaths)
+	if sh.T() == 0 {
+		for p := 0; p < sh.numPaths; p++ {
+			out.Add(p)
+		}
+		return out
+	}
+	for p := 0; p < sh.numPaths; p++ {
+		if sh.CongestedFraction(p) <= tol {
+			out.Add(p)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent deep copy of every ring.
+func (sh *Sharded) Clone() *Sharded {
+	c := &Sharded{
+		numPaths: sh.numPaths,
+		shardOf:  sh.shardOf, // immutable after construction
+		shards:   make([]*Window, len(sh.shards)),
+		routing:  make([]*bitset.Set, len(sh.shards)),
+	}
+	for i, w := range sh.shards {
+		c.shards[i] = w.Clone()
+		c.routing[i] = bitset.New(sh.numPaths)
+	}
+	return c
+}
+
+// CloneStore implements Store.
+func (sh *Sharded) CloneStore() Store { return sh.Clone() }

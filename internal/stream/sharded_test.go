@@ -1,0 +1,165 @@
+package stream
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/bitset"
+)
+
+// randomShardMap draws a path→shard mapping with numShards shards.
+func randomShardMap(rng *rand.Rand, numPaths, numShards int) []int {
+	m := make([]int, numPaths)
+	for p := range m {
+		m[p] = rng.Intn(numShards)
+	}
+	return m
+}
+
+// checkShardedAgainstWindow asserts every observe.Store query of sh is
+// bit-identical to the single ring w (both fed the same intervals).
+func checkShardedAgainstWindow(t *testing.T, rng *rand.Rand, sh *Sharded, w *Window, numPaths int) bool {
+	t.Helper()
+	if sh.T() != w.T() || sh.Seq() != w.Seq() || sh.Cap() != w.Cap() {
+		t.Logf("T/Seq/Cap = %d/%d/%d, want %d/%d/%d", sh.T(), sh.Seq(), sh.Cap(), w.T(), w.Seq(), w.Cap())
+		return false
+	}
+	for p := 0; p < numPaths; p++ {
+		if sh.CongestedFraction(p) != w.CongestedFraction(p) {
+			t.Logf("CongestedFraction(%d) = %v, want %v", p, sh.CongestedFraction(p), w.CongestedFraction(p))
+			return false
+		}
+	}
+	for q := 0; q < 12; q++ {
+		// Query sets cross shards and include out-of-universe indices.
+		paths := bitset.New(numPaths + 3)
+		for p := 0; p < numPaths+3; p++ {
+			if rng.Intn(4) == 0 {
+				paths.Add(p)
+			}
+		}
+		if got, want := sh.GoodCount(paths), w.GoodCount(paths); got != want {
+			t.Logf("GoodCount(%s) = %d, want %d", paths, got, want)
+			return false
+		}
+		if got, want := sh.AllCongestedCount(paths), w.AllCongestedCount(paths); got != want {
+			t.Logf("AllCongestedCount(%s) = %d, want %d", paths, got, want)
+			return false
+		}
+		lg, lc := sh.LogGoodFreq(paths)
+		wg, wc := w.LogGoodFreq(paths)
+		if lg != wg || lc != wc {
+			t.Logf("LogGoodFreq(%s) = (%v,%v), want (%v,%v)", paths, lg, lc, wg, wc)
+			return false
+		}
+	}
+	for _, tol := range []float64{0, 0.05, 0.3, 1} {
+		if !sh.AlwaysGoodPaths(tol).Equal(w.AlwaysGoodPaths(tol)) {
+			t.Logf("AlwaysGoodPaths(%v) mismatch", tol)
+			return false
+		}
+	}
+	for tt := 0; tt < sh.T(); tt++ {
+		if !sh.CongestedAt(tt).Equal(w.CongestedAt(tt)) {
+			t.Logf("CongestedAt(%d) = %s, want %s", tt, sh.CongestedAt(tt), w.CongestedAt(tt))
+			return false
+		}
+	}
+	return true
+}
+
+// The partitioned window under randomized interleaved ingest and
+// eviction must be query-for-query bit-identical to a single Window fed
+// the same intervals — including after a shard remap (the topology
+// changed, a fresh Sharded with a different mapping is rebuilt from the
+// same stream). This is the property that lets the server swap the
+// sharded layout in without touching any query semantics.
+func TestQuickShardedMatchesSingleWindow(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		numPaths := 1 + rng.Intn(60)
+		capacity := 1 + rng.Intn(120)
+		numShards := 1 + rng.Intn(5)
+		steps := rng.Intn(3*capacity + 20)
+		sh := NewSharded(numPaths, capacity, randomShardMap(rng, numPaths, numShards), numShards)
+		w := NewWindow(numPaths, capacity)
+		var history []*bitset.Set
+		for i := 0; i < steps; i++ {
+			s := bitset.New(numPaths + 3)
+			for p := 0; p < numPaths+3; p++ {
+				if rng.Intn(4) == 0 {
+					s.Add(p) // indices ≥ numPaths exercise the universe clamp
+				}
+			}
+			sh.Add(s)
+			w.Add(s)
+			history = append(history, s)
+			if i == steps-1 || rng.Intn(40) == 0 {
+				if !checkShardedAgainstWindow(t, rng, sh, w, numPaths) {
+					t.Logf("seed %d: mismatch after %d adds (cap %d, paths %d, shards %d)",
+						seed, i+1, capacity, numPaths, numShards)
+					return false
+				}
+			}
+			// Occasionally remap: rebuild with a fresh random partition
+			// (as after a topology change) and replay the whole stream.
+			if rng.Intn(60) == 0 {
+				numShards = 1 + rng.Intn(5)
+				sh = NewSharded(numPaths, capacity, randomShardMap(rng, numPaths, numShards), numShards)
+				for _, past := range history {
+					sh.Add(past)
+				}
+				if !checkShardedAgainstWindow(t, rng, sh, w, numPaths) {
+					t.Logf("seed %d: mismatch after remap to %d shards at step %d", seed, numShards, i+1)
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedSingleShardFallback(t *testing.T) {
+	sh := NewSharded(5, 10, nil, 3) // nil mapping: partition unknown
+	if sh.NumShards() != 1 {
+		t.Fatalf("nil mapping should fall back to one shard, got %d", sh.NumShards())
+	}
+	sh = NewSharded(5, 10, []int{0, 0, 0, 0, 0}, 1)
+	if sh.NumShards() != 1 {
+		t.Fatalf("NumShards = %d, want 1", sh.NumShards())
+	}
+	sh.Add(bitset.FromIndices(5, 1, 3))
+	if sh.T() != 1 || sh.GoodCount(bitset.FromIndices(5, 1)) != 0 {
+		t.Fatal("single-shard fallback does not record")
+	}
+	if sh.ShardOf(4) != 0 {
+		t.Fatal("ShardOf on fallback")
+	}
+}
+
+// A cloned Sharded must be fully independent of the original.
+func TestShardedCloneIndependent(t *testing.T) {
+	shardOf := []int{0, 1, 0, 1}
+	sh := NewSharded(4, 3, shardOf, 2)
+	for i := 0; i < 5; i++ {
+		sh.Add(bitset.FromIndices(4, i%4))
+	}
+	c := sh.Clone()
+	q := bitset.FromIndices(4, 0, 1)
+	before := c.GoodCount(q)
+	sh.Add(bitset.FromIndices(4, 0, 1, 2, 3))
+	sh.Add(bitset.FromIndices(4, 0, 1, 2, 3))
+	if got := c.GoodCount(q); got != before {
+		t.Fatalf("clone changed under mutation of the original: %d != %d", got, before)
+	}
+	if c.Seq() == sh.Seq() {
+		t.Fatal("original did not advance")
+	}
+	if cs := sh.CloneStore(); cs.NumPaths() != 4 {
+		t.Fatal("CloneStore")
+	}
+}

@@ -1,0 +1,148 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+)
+
+// chainTopology builds numChains disjoint two-link chains, each with
+// one path per link and one path over both links, plus orphanSets
+// correlation sets whose links no path traverses.
+func chainTopology(t *testing.T, numChains, orphanSets int) *Topology {
+	t.Helper()
+	var links []Link
+	var paths []Path
+	var corrSets [][]int
+	for c := 0; c < numChains; c++ {
+		a, b := len(links), len(links)+1
+		links = append(links,
+			Link{ID: a, AS: 2 * c},
+			Link{ID: b, AS: 2*c + 1},
+		)
+		paths = append(paths,
+			Path{ID: len(paths), Links: []int{a}},
+			Path{ID: len(paths) + 1, Links: []int{b}},
+			Path{ID: len(paths) + 2, Links: []int{a, b}},
+		)
+		// Two correlation sets per chain, joined by the two-link path.
+		corrSets = append(corrSets, []int{a}, []int{b})
+	}
+	for o := 0; o < orphanSets; o++ {
+		e := len(links)
+		links = append(links, Link{ID: e, AS: -1})
+		corrSets = append(corrSets, []int{e})
+	}
+	top, err := NewChecked(links, paths, corrSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestPartitionChains(t *testing.T) {
+	const chains, orphans = 4, 2
+	top := chainTopology(t, chains, orphans)
+	part := NewPartition(top)
+	if part.NumShards() != chains {
+		t.Fatalf("NumShards = %d, want %d (orphan sets must not become shards)", part.NumShards(), chains)
+	}
+	for c := 0; c < chains; c++ {
+		wantPaths := bitset.FromIndices(top.NumPaths(), 3*c, 3*c+1, 3*c+2)
+		wantLinks := bitset.FromIndices(top.NumLinks(), 2*c, 2*c+1)
+		if !part.ShardPaths(c).Equal(wantPaths) {
+			t.Fatalf("shard %d paths = %s, want %s", c, part.ShardPaths(c), wantPaths)
+		}
+		if !part.ShardLinks(c).Equal(wantLinks) {
+			t.Fatalf("shard %d links = %s, want %s", c, part.ShardLinks(c), wantLinks)
+		}
+		if got := part.ShardCorrSets(c); len(got) != 2 || got[0] != 2*c || got[1] != 2*c+1 {
+			t.Fatalf("shard %d corr sets = %v", c, got)
+		}
+		for _, p := range wantPaths.Indices() {
+			if part.PathShard(p) != c {
+				t.Fatalf("path %d in shard %d, want %d", p, part.PathShard(p), c)
+			}
+		}
+	}
+	// Orphan links map to no shard.
+	for e := 2 * chains; e < top.NumLinks(); e++ {
+		if part.LinkShard(e) != -1 {
+			t.Fatalf("orphan link %d assigned to shard %d", e, part.LinkShard(e))
+		}
+	}
+	if len(part.PathShards()) != top.NumPaths() {
+		t.Fatalf("PathShards length %d", len(part.PathShards()))
+	}
+}
+
+// Partition invariants on arbitrary topologies: shards partition the
+// paths, every link of a path lands in the path's shard, and
+// correlation sets never straddle shards.
+func TestPartitionInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 30; trial++ {
+		numAS := 3 + rng.Intn(8)
+		linksPerAS := 1 + rng.Intn(3)
+		var links []Link
+		for a := 0; a < numAS; a++ {
+			for l := 0; l < linksPerAS; l++ {
+				links = append(links, Link{ID: len(links), AS: a})
+			}
+		}
+		var paths []Path
+		numPaths := 1 + rng.Intn(12)
+		for p := 0; p < numPaths; p++ {
+			n := 1 + rng.Intn(3)
+			seen := map[int]bool{}
+			var pl []int
+			for len(pl) < n {
+				li := rng.Intn(len(links))
+				if !seen[li] {
+					seen[li] = true
+					pl = append(pl, li)
+				}
+			}
+			paths = append(paths, Path{ID: p, Links: pl})
+		}
+		top, err := NewChecked(links, paths, CorrelationSetsByAS(links))
+		if err != nil {
+			t.Fatal(err)
+		}
+		part := NewPartition(top)
+		seenPaths := bitset.New(top.NumPaths())
+		for s := 0; s < part.NumShards(); s++ {
+			part.ShardPaths(s).ForEach(func(p int) bool {
+				if seenPaths.Contains(p) {
+					t.Fatalf("trial %d: path %d in two shards", trial, p)
+				}
+				seenPaths.Add(p)
+				if part.PathShard(p) != s {
+					t.Fatalf("trial %d: PathShard(%d) = %d, want %d", trial, p, part.PathShard(p), s)
+				}
+				return true
+			})
+			for _, c := range part.ShardCorrSets(s) {
+				for _, li := range top.CorrSetLinks(c) {
+					if part.LinkShard(li) != s {
+						t.Fatalf("trial %d: corr set %d straddles shards", trial, c)
+					}
+				}
+			}
+		}
+		if seenPaths.Count() != top.NumPaths() {
+			t.Fatalf("trial %d: %d of %d paths assigned", trial, seenPaths.Count(), top.NumPaths())
+		}
+		for p := 0; p < top.NumPaths(); p++ {
+			s := part.PathShard(p)
+			top.PathLinks(p).ForEach(func(li int) bool {
+				if part.LinkShard(li) != s {
+					t.Fatalf("trial %d: path %d (shard %d) traverses link %d (shard %d)",
+						trial, p, s, li, part.LinkShard(li))
+				}
+				return true
+			})
+		}
+	}
+}

@@ -165,8 +165,12 @@ type Option = estimator.Option
 
 // Estimators lists the registered estimator names, sorted:
 // "bayesian-correlation", "bayesian-independence",
-// "correlation-complete", "correlation-heuristic", "independence",
-// "sparsity".
+// "correlation-complete", "correlation-complete-sharded",
+// "correlation-heuristic", "independence", "sparsity".
+// "correlation-complete-sharded" solves each correlation-set shard
+// (connected component of the correlation-set/path incidence)
+// independently and merges the blocks — identical output, block-wise
+// cost.
 func Estimators() []string { return estimator.Names() }
 
 // NewEstimator returns the estimator registered under name; the error

@@ -1,0 +1,173 @@
+package tomography
+
+// Direct coverage of the deprecated Compute* facade wrappers, pinning
+// the MIGRATION.md guarantee: each wrapper remains a thin front for the
+// registry estimator that replaced it and produces bit-identical
+// probabilities, over both store kinds (full-period Recorder and live
+// SlidingWindow).
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// compatStores records one correlated monitoring period into a Recorder
+// and a SlidingWindow large enough to retain all of it, so the two
+// stores hold identical observations.
+func compatStores(top *Topology, intervals int, seed int64) (*Recorder, *SlidingWindow) {
+	rec := NewRecorder(top.NumPaths())
+	win := NewSlidingWindow(top.NumPaths(), intervals)
+	rng := rand.New(rand.NewSource(seed))
+	for i := 0; i < intervals; i++ {
+		cong := NewSet(top.NumLinks())
+		if rng.Float64() < 0.3 {
+			cong.Add(0)
+		}
+		if rng.Float64() < 0.4 { // correlated pair {e2, e3}
+			cong.Add(1)
+			cong.Add(2)
+		}
+		congPaths := NewSet(top.NumPaths())
+		for p := 0; p < top.NumPaths(); p++ {
+			if top.PathLinks(p).Intersects(cong) {
+				congPaths.Add(p)
+			}
+		}
+		rec.Add(congPaths)
+		win.Add(congPaths)
+	}
+	return rec, win
+}
+
+func TestDeprecatedComputeProbabilities(t *testing.T) {
+	top := Fig1Case1()
+	rec, win := compatStores(top, 1500, 21)
+	cfg := DefaultProbabilityConfig()
+	cfg.AlwaysGoodTol = 0.02
+
+	for _, store := range []struct {
+		name string
+		obs  ObservationStore
+	}{{"recorder", rec}, {"window", win}} {
+		res, err := ComputeProbabilities(top, store.obs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", store.name, err)
+		}
+		est, err := NewEstimator("correlation-complete")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := est.Estimate(context.Background(), top, store.obs,
+			WithMaxSubsetSize(cfg.MaxSubsetSize), WithAlwaysGoodTol(cfg.AlwaysGoodTol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < top.NumLinks(); e++ {
+			p, exact := res.LinkCongestProbOrFallback(e)
+			pRef, exactRef := ref.LinkCongestProb(e)
+			if p != pRef || exact != exactRef {
+				t.Fatalf("%s: link %d: wrapper (%v,%v) != estimator (%v,%v)", store.name, e, p, exact, pRef, exactRef)
+			}
+		}
+		// The pre-registry joint-probability surface must keep working.
+		pair := SetOf(top.NumLinks(), 1, 2)
+		g, ok := res.SubsetGoodProb(pair)
+		gRef, okRef := ref.Detail.SubsetGoodProb(pair)
+		if ok != okRef || (ok && g != gRef) {
+			t.Fatalf("%s: SubsetGoodProb (%v,%v) != (%v,%v)", store.name, g, ok, gRef, okRef)
+		}
+		if !ok || math.IsNaN(g) {
+			t.Fatalf("%s: correlated pair not identified", store.name)
+		}
+		c, ok := res.CongestedProb(pair)
+		cRef, okRef := ref.Detail.CongestedProb(pair)
+		if ok != okRef || (ok && c != cRef) {
+			t.Fatalf("%s: CongestedProb (%v,%v) != (%v,%v)", store.name, c, ok, cRef, okRef)
+		}
+	}
+}
+
+func TestDeprecatedComputeProbabilitiesIndependence(t *testing.T) {
+	top := Fig1Case1()
+	rec, win := compatStores(top, 1500, 22)
+	cfg := IndependenceConfig{AlwaysGoodTol: 0.02, Seed: 7}
+
+	for _, store := range []struct {
+		name string
+		obs  ObservationStore
+	}{{"recorder", rec}, {"window", win}} {
+		res, err := ComputeProbabilitiesIndependence(top, store.obs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", store.name, err)
+		}
+		est, err := NewEstimator("independence")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := est.Estimate(context.Background(), top, store.obs,
+			WithAlwaysGoodTol(cfg.AlwaysGoodTol), WithSeed(cfg.Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < top.NumLinks(); e++ {
+			if res.Prob[e] != ref.LinkProb[e] || res.Exact[e] != ref.LinkExact[e] {
+				t.Fatalf("%s: link %d: wrapper (%v,%v) != estimator (%v,%v)",
+					store.name, e, res.Prob[e], res.Exact[e], ref.LinkProb[e], ref.LinkExact[e])
+			}
+			if math.IsNaN(res.Prob[e]) || res.Prob[e] < 0 || res.Prob[e] > 1 {
+				t.Fatalf("%s: link %d prob %v", store.name, e, res.Prob[e])
+			}
+		}
+		if !res.PotentiallyCongested.Equal(ref.PotentiallyCongested) {
+			t.Fatalf("%s: potentially-congested sets differ", store.name)
+		}
+	}
+}
+
+func TestDeprecatedComputeProbabilitiesHeuristic(t *testing.T) {
+	top := Fig1Case1()
+	rec, win := compatStores(top, 1500, 23)
+	cfg := HeuristicConfig{AlwaysGoodTol: 0.02}
+
+	for _, store := range []struct {
+		name string
+		obs  ObservationStore
+	}{{"recorder", rec}, {"window", win}} {
+		res, err := ComputeProbabilitiesHeuristic(top, store.obs, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", store.name, err)
+		}
+		est, err := NewEstimator("correlation-heuristic")
+		if err != nil {
+			t.Fatal(err)
+		}
+		ref, err := est.Estimate(context.Background(), top, store.obs, WithAlwaysGoodTol(cfg.AlwaysGoodTol))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for e := 0; e < top.NumLinks(); e++ {
+			if res.Prob[e] != ref.LinkProb[e] || res.Exact[e] != ref.LinkExact[e] {
+				t.Fatalf("%s: link %d: wrapper (%v,%v) != estimator (%v,%v)",
+					store.name, e, res.Prob[e], res.Exact[e], ref.LinkProb[e], ref.LinkExact[e])
+			}
+		}
+	}
+}
+
+// The wrappers must reject a store whose universe does not match the
+// topology, exactly like the estimators they front.
+func TestDeprecatedWrappersRejectUniverseMismatch(t *testing.T) {
+	top := Fig1Case1()
+	bad := NewRecorder(top.NumPaths() + 2)
+	if _, err := ComputeProbabilities(top, bad, DefaultProbabilityConfig()); err == nil {
+		t.Fatal("ComputeProbabilities accepted a mismatched store")
+	}
+	if _, err := ComputeProbabilitiesIndependence(top, bad, IndependenceConfig{}); err == nil {
+		t.Fatal("ComputeProbabilitiesIndependence accepted a mismatched store")
+	}
+	if _, err := ComputeProbabilitiesHeuristic(top, bad, HeuristicConfig{}); err == nil {
+		t.Fatal("ComputeProbabilitiesHeuristic accepted a mismatched store")
+	}
+}

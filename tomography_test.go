@@ -135,7 +135,7 @@ func TestFacadeEstimatorRegistry(t *testing.T) {
 		rec.Add(congPaths)
 	}
 	names := Estimators()
-	if len(names) != 6 {
+	if len(names) != 7 {
 		t.Fatalf("registry has %d estimators: %v", len(names), names)
 	}
 	for _, name := range names {
