@@ -7,8 +7,13 @@ BENCHTIME ?= 1s
 # bench-gate failure threshold: fail when any benchmark regresses by
 # more than this percentage over the committed baseline.
 BENCH_OVER ?= 25
+# allocs/op gate: benchmarks matching ALLOC_GATE fail bench-gate when
+# their allocation count regresses by more than ALLOC_OVER percent
+# (allocs are deterministic, so this stays strict even on noisy CI).
+ALLOC_OVER ?= 10
+ALLOC_GATE ?= EpochSolve|PlanRepair|StreamIngest
 
-.PHONY: all build vet fmt-check test examples bench bench-smoke bench-baseline bench-compare bench-gate
+.PHONY: all build vet fmt-check test examples bench bench-smoke bench-baseline bench-compare bench-gate profile
 
 all: vet fmt-check build test
 
@@ -55,9 +60,16 @@ bench-compare:
 	$(GO) run ./cmd/benchdiff BENCH_baseline.json BENCH_compare.json
 
 # The same comparison as a hard gate: exit non-zero when any benchmark
-# regresses more than BENCH_OVER over the committed baseline. CI runs
-# this as a required step (BENCHTIME=0.5s, BENCH_OVER=50 to absorb
-# runner noise); the defaults here are the strict local gate.
+# regresses more than BENCH_OVER over the committed baseline, or when
+# an epoch-solve benchmark (ALLOC_GATE) regresses allocs/op by more
+# than ALLOC_OVER. CI runs this as a required step (BENCHTIME=0.5s,
+# BENCH_OVER=50 to absorb runner noise); the defaults here are the
+# strict local gate.
 bench-gate:
 	$(GO) test -run '^$$' -bench . -benchmem -benchtime $(BENCHTIME) -json . > BENCH_compare.json
-	$(GO) run ./cmd/benchdiff -fail-over $(BENCH_OVER) BENCH_baseline.json BENCH_compare.json
+	$(GO) run ./cmd/benchdiff -fail-over $(BENCH_OVER) -allocs-over $(ALLOC_OVER) -allocs-for '$(ALLOC_GATE)' BENCH_baseline.json BENCH_compare.json
+
+# CPU + memory profiles of the sharded epoch solve, the streaming hot
+# path: emits cpu.pprof / mem.pprof for `go tool pprof`.
+profile:
+	$(GO) test -run '^$$' -bench BenchmarkShardedEpochSolve -benchmem -benchtime $(BENCHTIME) -cpuprofile cpu.pprof -memprofile mem.pprof .

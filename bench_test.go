@@ -491,3 +491,175 @@ func BenchmarkFigure4Parallel(b *testing.B) {
 		})
 	}
 }
+
+// planRepairFixture builds the Small-sparse streaming state behind
+// BenchmarkPlanRepair and BenchmarkEpochSolveBatch: a warm unsharded
+// plan over a full window, plus a drifted twin of the window in which
+// one redundantly covered always-good path turned congested — the
+// frontier-stable drift class Plan.Repair absorbs.
+func planRepairFixture(b *testing.B) (top *topology.Topology, cfg core.Config, base, drifted *stream.Window) {
+	b.Helper()
+	top, err := experiment.BuildTopology(experiment.Sparse, experiment.Small(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg = core.Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02}
+	const intervals, capacity = 1200, 1000
+	rng := rand.New(rand.NewSource(1))
+	mc := netsim.DefaultConfig(netsim.RandomCongestion)
+	mc.PerfectE2E = true
+	model, err := netsim.NewModel(top, mc, intervals, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream2 := make([]*bitset.Set, intervals)
+	base = stream.NewWindow(top.NumPaths(), capacity)
+	for t := 0; t < intervals; t++ {
+		stream2[t] = model.Interval(t, rng).CongestedPaths.Clone()
+		base.Add(stream2[t])
+	}
+	// Pick an always-good path whose links all stay covered by the
+	// remaining good paths: congesting it drifts the always-good set
+	// without moving the §5.2 frontier.
+	good := base.AlwaysGoodPaths(cfg.AlwaysGoodTol)
+	goodLinks := top.LinksOf(good)
+	drift := -1
+	good.ForEach(func(p int) bool {
+		rest := good.Clone()
+		rest.Remove(p)
+		if top.LinksOf(rest).Equal(goodLinks) {
+			drift = p
+			return false
+		}
+		return true
+	})
+	if drift < 0 {
+		b.Fatal("no redundantly covered always-good path; fixture cannot drift repairably")
+	}
+	drifted = stream.NewWindow(top.NumPaths(), capacity)
+	for t := 0; t < intervals; t++ {
+		s := stream2[t]
+		if t%5 == 0 {
+			s = s.Clone()
+			s.Add(drift)
+		}
+		drifted.Add(s)
+	}
+	return top, cfg, base, drifted
+}
+
+// BenchmarkPlanRepair measures an epoch solve across an always-good
+// drift with the plan repaired in place (core.Plan.Repair re-keys the
+// retained structure in O(Δ)) against the cold rebuild the same drift
+// used to force. Every iteration of the repaired leg really drifts:
+// the two windows alternate, so each solve absorbs a fresh always-good
+// change. Results are bit-identical (TestPlanRepairMatchesColdUnderDrift
+// and the metamorphic drift suite pin this).
+func BenchmarkPlanRepair(b *testing.B) {
+	top, cfg, base, drifted := planRepairFixture(b)
+	ctx := context.Background()
+	stores := []*stream.Window{base, drifted}
+	// Confirm the fixture's drift is inside the repair class.
+	_, plan, err := core.ComputePlanned(ctx, top, base, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	_, next, err := core.ComputePlanned(ctx, top, drifted, cfg, plan)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if next != plan || plan.RepairCount() != 1 {
+		b.Fatal("fixture drift was not repaired; benchmark would not measure Repair")
+	}
+	b.Run("repaired", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.ComputePlanned(ctx, top, stores[i%2], cfg, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.ReportMetric(float64(plan.RepairCount()), "repairs")
+	})
+	b.Run("cold-rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compute(ctx, top, stores[i%2], cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkEpochSolveBatch measures draining a lag burst of K window
+// checkpoints: K sequential warm epoch solves versus one batched
+// multi-RHS solve over the same retained factorization (identical
+// results; linalg pins the per-vector arithmetic).
+func BenchmarkEpochSolveBatch(b *testing.B) {
+	top, cfg, base, _ := planRepairFixture(b)
+	ctx := context.Background()
+	const K = 8
+	checkpoints := make([]observe.Store, K)
+	for i := range checkpoints {
+		checkpoints[i] = base.Clone()
+	}
+	_, plan, err := core.ComputePlanned(ctx, top, base, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("sequential", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			for _, w := range checkpoints {
+				if _, _, err := core.ComputePlanned(ctx, top, w, cfg, plan); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	b.Run("batched", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, _, _, err := core.ComputePlannedBatch(ctx, top, checkpoints, cfg, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkQRColumnUpdate measures the incremental QR column updates
+// against from-scratch refactorization, the linalg primitives behind
+// plan repair's toolkit: AppendCol is bit-identical to the refactor it
+// replaces, DeleteCol is the Givens downdate.
+func BenchmarkQRColumnUpdate(b *testing.B) {
+	const m, n = 300, 100
+	rng := rand.New(rand.NewSource(1))
+	wide := linalg.NewMatrix(m, n+1)
+	for i := range wide.Data {
+		if rng.Intn(6) == 0 {
+			wide.Data[i] = 1
+		}
+	}
+	narrow := wide.DropCol(n)
+	col := wide.Col(n)
+	b.Run("append-incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			f := linalg.FactorInPlace(narrow.Clone())
+			b.StartTimer()
+			f.AppendCol(col)
+		}
+	})
+	b.Run("delete-incremental", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			f := linalg.FactorInPlace(wide.Clone())
+			b.StartTimer()
+			f.DeleteCol(n / 2)
+		}
+	})
+	b.Run("refactor", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			linalg.FactorInPlace(wide.Clone())
+		}
+	})
+}

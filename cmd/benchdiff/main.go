@@ -1,16 +1,19 @@
 // Command benchdiff compares two benchmark snapshots produced by
 // `make bench` / `make bench-baseline` (`go test -json -bench` output)
-// and prints a per-benchmark delta table.
+// and prints a per-benchmark delta table for ns/op and allocs/op.
 //
 // Usage:
 //
-//	benchdiff [-fail-over PCT] BENCH_baseline.json BENCH_fresh.json
+//	benchdiff [-fail-over PCT] [-allocs-over PCT] [-allocs-for REGEX] BENCH_baseline.json BENCH_fresh.json
 //
 // By default the comparison is purely informational and always exits 0
 // (CI runs it as a reported, non-fatal step: one-shot CI timings are
 // too noisy to gate on). With -fail-over N it exits 1 when any
-// benchmark regressed by more than N percent, for use on boxes with
-// stable timings.
+// benchmark's ns/op regressed by more than N percent; with
+// -allocs-over N it additionally exits 1 when a benchmark matching
+// -allocs-for regressed its allocs/op by more than N percent (allocs
+// are deterministic, so this gate is meaningful even on noisy boxes —
+// it protects the epoch-solve hot paths' allocation discipline).
 package main
 
 import (
@@ -34,20 +37,30 @@ import (
 // machines with different core counts still align.
 var benchRE = regexp.MustCompile(`^(Benchmark[^\s]+?)(?:-\d+)?\s+\d+\s+([0-9.]+(?:e[+-]?\d+)?) ns/op`)
 
+// allocsRE extracts the -benchmem allocation count from the same line.
+var allocsRE = regexp.MustCompile(` ([0-9.]+(?:e[+-]?\d+)?) allocs/op`)
+
+// measurement is one benchmark's parsed result.
+type measurement struct {
+	ns        float64
+	allocs    float64
+	hasAllocs bool
+}
+
 // testEvent is the subset of test2json's event schema we need.
 type testEvent struct {
 	Action string `json:"Action"`
 	Output string `json:"Output"`
 }
 
-// load parses a snapshot into benchmark name -> ns/op. A benchmark
-// appearing multiple times keeps its last measurement.
+// load parses a snapshot into benchmark name -> measurement. A
+// benchmark appearing multiple times keeps its last measurement.
 //
 // test2json splits one bench-output line across multiple events (the
 // name is emitted when the benchmark starts, the measurements when it
 // finishes), so the raw stream is reassembled from the Output payloads
 // first and the result regex runs over its real lines.
-func load(path string) (map[string]float64, error) {
+func load(path string) (map[string]measurement, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
@@ -76,9 +89,10 @@ func load(path string) (map[string]float64, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	out := map[string]float64{}
+	out := map[string]measurement{}
 	for _, text := range strings.Split(raw.String(), "\n") {
-		m := benchRE.FindStringSubmatch(strings.TrimSpace(text))
+		text = strings.TrimSpace(text)
+		m := benchRE.FindStringSubmatch(text)
 		if m == nil {
 			continue
 		}
@@ -86,7 +100,13 @@ func load(path string) (map[string]float64, error) {
 		if err != nil {
 			continue
 		}
-		out[m[1]] = ns
+		meas := measurement{ns: ns}
+		if am := allocsRE.FindStringSubmatch(text); am != nil {
+			if allocs, err := strconv.ParseFloat(am[1], 64); err == nil {
+				meas.allocs, meas.hasAllocs = allocs, true
+			}
+		}
+		out[m[1]] = meas
 	}
 	return out, nil
 }
@@ -105,10 +125,17 @@ func human(ns float64) string {
 }
 
 func main() {
-	failOver := flag.Float64("fail-over", 0, "exit non-zero when any benchmark regresses by more than this percent (0 = never fail)")
+	failOver := flag.Float64("fail-over", 0, "exit non-zero when any benchmark's ns/op regresses by more than this percent (0 = never fail)")
+	allocsOver := flag.Float64("allocs-over", 0, "exit non-zero when a benchmark matching -allocs-for regresses allocs/op by more than this percent (0 = never fail)")
+	allocsFor := flag.String("allocs-for", "EpochSolve|PlanRepair|StreamIngest", "regexp of benchmarks whose allocs/op are gated by -allocs-over")
 	flag.Parse()
 	if flag.NArg() != 2 {
-		fmt.Fprintf(os.Stderr, "usage: benchdiff [-fail-over PCT] <baseline> <fresh>\n")
+		fmt.Fprintf(os.Stderr, "usage: benchdiff [-fail-over PCT] [-allocs-over PCT] [-allocs-for REGEX] <baseline> <fresh>\n")
+		os.Exit(2)
+	}
+	allocsGate, err := regexp.Compile(*allocsFor)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: bad -allocs-for: %v\n", err)
 		os.Exit(2)
 	}
 	base, err := load(flag.Arg(0))
@@ -142,25 +169,45 @@ func main() {
 		}
 	}
 	worst := 0.0
-	fmt.Printf("%-*s  %12s  %12s  %s\n", width, "benchmark", "baseline", "fresh", "delta")
+	var allocFailures []string
+	fmt.Printf("%-*s  %12s  %12s  %8s  %s\n", width, "benchmark", "baseline", "fresh", "delta", "allocs")
 	for _, n := range sorted {
 		b, inBase := base[n]
 		f, inFresh := fresh[n]
 		switch {
 		case !inBase:
-			fmt.Printf("%-*s  %12s  %12s  (new)\n", width, n, "-", human(f))
+			fmt.Printf("%-*s  %12s  %12s  %8s\n", width, n, "-", human(f.ns), "(new)")
 		case !inFresh:
-			fmt.Printf("%-*s  %12s  %12s  (gone)\n", width, n, human(b), "-")
+			fmt.Printf("%-*s  %12s  %12s  %8s\n", width, n, human(b.ns), "-", "(gone)")
 		default:
-			delta := (f - b) / b * 100
+			delta := (f.ns - b.ns) / b.ns * 100
 			if delta > worst {
 				worst = delta
 			}
-			fmt.Printf("%-*s  %12s  %12s  %+.1f%%\n", width, n, human(b), human(f), delta)
+			allocCol := ""
+			if b.hasAllocs && f.hasAllocs {
+				allocCol = fmt.Sprintf("%.0f → %.0f", b.allocs, f.allocs)
+				regressed := (b.allocs == 0 && f.allocs > 0) ||
+					(b.allocs > 0 && (f.allocs-b.allocs)/b.allocs*100 > *allocsOver)
+				if *allocsOver > 0 && regressed && allocsGate.MatchString(n) {
+					allocFailures = append(allocFailures,
+						fmt.Sprintf("%s: %.0f → %.0f allocs/op", n, b.allocs, f.allocs))
+					allocCol += "  !"
+				}
+			}
+			fmt.Printf("%-*s  %12s  %12s  %+7.1f%%  %s\n", width, n, human(b.ns), human(f.ns), delta, allocCol)
 		}
 	}
+	fail := false
 	if *failOver > 0 && worst > *failOver {
 		fmt.Fprintf(os.Stderr, "benchdiff: worst regression %.1f%% exceeds threshold %.1f%%\n", worst, *failOver)
+		fail = true
+	}
+	for _, msg := range allocFailures {
+		fmt.Fprintf(os.Stderr, "benchdiff: allocs/op regression: %s\n", msg)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

@@ -75,6 +75,7 @@ func main() {
 		concurrency = flag.Int("concurrency", 0, "serve: solver workers per epoch (0/-1 = all CPUs, 1 = serial)")
 		maxSubset   = flag.Int("maxsubset", 2, "serve: Correlation-complete max subset size")
 		tol         = flag.Float64("tol", 0.02, "serve: always-good congested-fraction tolerance")
+		epochEvery  = flag.Int("epoch-every", 0, "serve: also publish one epoch per N ingested intervals (0 = time-based only; unsharded algos)")
 
 		loadgen   = flag.Bool("loadgen", false, "run as load generator instead of serving")
 		target    = flag.String("target", "http://localhost:9900", "loadgen: base URL of the daemon")
@@ -118,6 +119,7 @@ func main() {
 		WindowSize:     *window,
 		RecomputeEvery: *recompute,
 		Algo:           *algo,
+		EpochEvery:     *epochEvery,
 		SolverOpts: []estimator.Option{
 			estimator.WithMaxSubsetSize(*maxSubset),
 			estimator.WithAlwaysGoodTol(*tol),

@@ -179,6 +179,31 @@ func (s *Set) Difference(t *Set) *Set {
 	return r
 }
 
+// IntersectWith removes from s every element not in t, in place.
+func (s *Set) IntersectWith(t *Set) {
+	for i := range s.words {
+		if i < len(t.words) {
+			s.words[i] &= t.words[i]
+		} else {
+			s.words[i] = 0
+		}
+	}
+}
+
+// SymmetricDifference returns a new set with the elements in exactly
+// one of s and t.
+func (s *Set) SymmetricDifference(t *Set) *Set {
+	long, short := s, t
+	if len(short.words) > len(long.words) {
+		long, short = short, long
+	}
+	r := long.Clone()
+	for i, w := range short.words {
+		r.words[i] ^= w
+	}
+	return r
+}
+
 // SubsetOf reports whether every element of s is in t.
 func (s *Set) SubsetOf(t *Set) bool {
 	for i, w := range s.words {

@@ -217,3 +217,29 @@ func TestQuickIndicesRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestQuickSymmetricDifference(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomSet(rng, 1+rng.Intn(200)), randomSet(rng, 1+rng.Intn(200))
+		got := a.SymmetricDifference(b)
+		want := a.Difference(b).Union(b.Difference(a))
+		return got.Equal(want) && b.SymmetricDifference(a).Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickIntersectWith(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b := randomSet(rng, 1+rng.Intn(200)), randomSet(rng, 1+rng.Intn(200))
+		want := a.Intersect(b)
+		a.IntersectWith(b)
+		return a.Equal(want)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

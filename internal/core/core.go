@@ -81,6 +81,14 @@ type Config struct {
 	// and subset probabilities are then the shard's block of the full
 	// system. nil means the whole topology.
 	RestrictCorrSets []int
+
+	// DisablePlanRepair turns off the O(Δ) structural-plan repair that
+	// ComputePlanned attempts when the always-good path set drifts (see
+	// Plan.Repair): with it set, any drift falls back to the
+	// from-scratch rebuild. Results are bit-identical either way; the
+	// knob exists as an operational escape hatch and for the repair ≡
+	// rebuild property tests.
+	DisablePlanRepair bool
 }
 
 // DefaultConfig returns the configuration used by the experiments:

@@ -32,7 +32,8 @@ type Plan struct {
 
 	// goodKey identifies the always-good path set (restricted to the
 	// plan's correlation-set restriction) the structure was derived
-	// from; a mismatch invalidates the plan.
+	// from; a mismatch invalidates the plan unless Repair can prove the
+	// drift leaves the structure unchanged.
 	goodKey string
 
 	// Structural output of the builder.
@@ -44,6 +45,10 @@ type Plan struct {
 	goodLinks *bitset.Set
 	restrict  *bitset.Set // paths of the restriction; nil when unrestricted
 
+	// repairs counts how many times Repair patched this plan across an
+	// always-good drift instead of rebuilding.
+	repairs int
+
 	// Solve plan: the surviving equations and unknowns after the
 	// iterative identifiability reduction, and the retained QR
 	// factorization of the reduced 0/1 system.
@@ -51,9 +56,22 @@ type Plan struct {
 	colMap     []int
 	qr         *linalg.QR // nil when no column survived
 
-	// rhs is the per-epoch right-hand-side scratch.
+	// Per-epoch solve scratch, reused so the warm path allocates only
+	// the returned Result: rhs holds the right-hand sides, x the
+	// solution, qtb the Qᵀ·b workspace; the batch slabs serve
+	// SolveEpochBatch the same way.
 	rhs []float64
+	x   []float64
+	qtb []float64
+
+	batchSlab    []float64
+	batchScratch []float64
 }
+
+// RepairCount returns how many always-good drifts this plan absorbed
+// via Repair rather than a rebuild. Callers use it to distinguish a
+// repaired epoch from a plainly warm one.
+func (pl *Plan) RepairCount() int { return pl.repairs }
 
 // Compute runs the Correlation-complete algorithm over the recorded
 // observations. rec may be any observation store — an observe.Recorder
@@ -79,8 +97,12 @@ func Compute(ctx context.Context, top *topology.Topology, rec observe.Store, cfg
 // identifiability, factorization) are skipped entirely and prev's
 // factorization and null-space verdicts are carried forward; the
 // returned plan is then prev itself, which is how callers observe that
-// the warm path ran. Otherwise the from-scratch path runs and a fresh
-// plan is returned. Warm and cold paths share the final solve code, so
+// the warm path ran. When the always-good set has drifted, Repair is
+// attempted first: a drift that provably leaves the structural phase
+// unchanged is absorbed in O(Δ) and the retained factorization keeps
+// serving (prev is again returned, with RepairCount incremented).
+// Otherwise the from-scratch path runs and a fresh plan is returned.
+// Warm, repaired and cold paths all share the final solve code, so
 // their results are bit-identical by construction.
 func ComputePlanned(ctx context.Context, top *topology.Topology, rec observe.Store, cfg Config, prev *Plan) (*Result, *Plan, error) {
 	if ctx == nil {
@@ -89,24 +111,14 @@ func ComputePlanned(ctx context.Context, top *topology.Topology, rec observe.Sto
 	if rec.NumPaths() != top.NumPaths() {
 		return nil, nil, fmt.Errorf("core: recorder has %d paths, topology has %d", rec.NumPaths(), top.NumPaths())
 	}
-	if prev != nil && prev.valid(top, rec, cfg) {
+	if prev != nil && prev.reusable(top, rec, cfg) {
 		res, err := prev.solveEpoch(ctx, rec)
 		if err != nil {
 			return nil, nil, err
 		}
 		return res, prev, nil
 	}
-	b := newBuilder(top, rec, cfg)
-	if err := b.enumerate(ctx); err != nil {
-		return nil, nil, err
-	}
-	if err := b.seed(ctx); err != nil {
-		return nil, nil, err
-	}
-	if err := b.augment(ctx); err != nil {
-		return nil, nil, err
-	}
-	plan, err := b.plan(ctx)
+	plan, err := buildPlan(ctx, top, rec, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -117,11 +129,26 @@ func ComputePlanned(ctx context.Context, top *topology.Topology, rec observe.Sto
 	return res, plan, nil
 }
 
-// valid reports whether the plan's structural state still applies:
-// same topology and config, and the store's always-good path set
-// (within the plan's restriction) is unchanged since the plan was
-// built.
-func (pl *Plan) valid(top *topology.Topology, rec observe.Store, cfg Config) bool {
+// buildPlan runs the full structural phase from scratch.
+func buildPlan(ctx context.Context, top *topology.Topology, rec observe.Store, cfg Config) (*Plan, error) {
+	b := newBuilder(top, rec, cfg)
+	if err := b.enumerate(ctx); err != nil {
+		return nil, err
+	}
+	if err := b.seed(ctx); err != nil {
+		return nil, err
+	}
+	if err := b.augment(ctx); err != nil {
+		return nil, err
+	}
+	return b.plan(ctx)
+}
+
+// reusable reports whether the plan can serve this epoch: the
+// topology and config must match, and the store's always-good path set
+// (within the plan's restriction) must either be unchanged or drift
+// within Repair's provably structure-preserving class.
+func (pl *Plan) reusable(top *topology.Topology, rec observe.Store, cfg Config) bool {
 	if pl.top != top || !configsEqual(pl.cfg, cfg) {
 		return false
 	}
@@ -129,7 +156,128 @@ func (pl *Plan) valid(top *topology.Topology, rec observe.Store, cfg Config) boo
 	if pl.restrict != nil {
 		good = good.Intersect(pl.restrict)
 	}
-	return good.Key() == pl.goodKey
+	if good.Key() == pl.goodKey {
+		return true
+	}
+	if cfg.DisablePlanRepair {
+		return false
+	}
+	return pl.Repair(good)
+}
+
+// Repair attempts to absorb a drift of the always-good path set into
+// the retained plan without rebuilding, reporting whether it did. The
+// repairable class is exactly the drift that leaves the good-link
+// frontier in place: LinksOf(newGood) == LinksOf(oldGood), i.e. every
+// link of every drifted path is still covered by some always-good
+// path. This is the common drift under congestion onset on redundantly
+// monitored links — a path's measurements degrade while sibling paths
+// keep vouching for its links.
+//
+// Under that single condition the from-scratch rebuild would reproduce
+// the retained plan bit for bit, because the whole structural phase is
+// a pure function of (topology, config, potentially-congested links,
+// single-path registrations):
+//
+//   - the potentially congested set is the frontier's complement, so it
+//     is unchanged, and with it the enumeration's eligible links, the
+//     subset combos and their registration order;
+//   - a drifted path's links all lie inside the (unchanged) good-link
+//     frontier — a dropped path's because it was always good, an added
+//     path's because it now is — so its equation has no potentially
+//     congested group and its single-path registration registers
+//     nothing in either run: the unknown universe is identical;
+//   - seed sets, seed rows, the augmentation trajectory and the
+//     identifiability reduction read only the universe and the
+//     potentially congested set, so the selected path sets, surviving
+//     rows/columns and the QR factorization are identical.
+//
+// Repair therefore just re-keys the plan to the new good set, at the
+// cost of one LinksOf sweep — O(Δ) relative to the rebuild it avoids.
+// Any frontier move (the delta too large to leave coverage intact, a
+// potentially congested link going quiet, a good link losing its last
+// vouching path) reports false and the caller rebuilds cold; rebuild
+// also re-checks full column rank, which repair never degrades since
+// it leaves the factorization untouched. good must already be
+// restricted to the plan's shard.
+func (pl *Plan) Repair(good *bitset.Set) bool {
+	if !pl.top.LinksOf(good).Equal(pl.goodLinks) {
+		return false
+	}
+	pl.goodKey = good.Key()
+	pl.repairs++
+	return true
+}
+
+// EpochInfo describes how one epoch of a batched solve used the
+// carried-forward plan: Warm means the structural phase was skipped,
+// Repaired that the plan additionally absorbed an always-good drift
+// via Repair.
+type EpochInfo struct {
+	Warm     bool
+	Repaired bool
+}
+
+// ComputePlannedBatch solves one epoch per store, carrying the plan
+// across them exactly like sequential ComputePlanned calls would —
+// warm-starting while the always-good set holds, repairing across
+// structure-preserving drift, rebuilding otherwise — but draining each
+// maximal run of plan-compatible stores through one batched multi-RHS
+// solve. This is how a lag burst of queued window snapshots catches up:
+// K epochs cost one set of right-hand sides plus a single batched
+// back-substitution instead of K full solve tails. Results are
+// bit-identical, store for store, to the sequential path; infos
+// reports per store how the plan served it.
+func ComputePlannedBatch(ctx context.Context, top *topology.Topology, recs []observe.Store, cfg Config, prev *Plan) ([]*Result, []EpochInfo, *Plan, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	results := make([]*Result, len(recs))
+	infos := make([]EpochInfo, len(recs))
+	plan := prev
+	var pending []observe.Store // contiguous run reusing `plan`
+	flush := func(end int) error {
+		if len(pending) == 0 {
+			return nil
+		}
+		// A repair inside the pending run is sound: Repair only re-keys
+		// the plan — structure, rows and factorization are untouched —
+		// so earlier stores of the run still solve over exactly the
+		// state their own sequential solve would have used.
+		batch, err := plan.SolveEpochBatch(ctx, pending)
+		if err != nil {
+			return err
+		}
+		copy(results[end-len(pending):end], batch)
+		pending = pending[:0]
+		return nil
+	}
+	for i, rec := range recs {
+		if rec.NumPaths() != top.NumPaths() {
+			return nil, nil, nil, fmt.Errorf("core: recorder has %d paths, topology has %d", rec.NumPaths(), top.NumPaths())
+		}
+		if plan != nil {
+			repairs := plan.RepairCount()
+			if plan.reusable(top, rec, cfg) {
+				infos[i] = EpochInfo{Warm: true, Repaired: plan.RepairCount() > repairs}
+				pending = append(pending, rec)
+				continue
+			}
+		}
+		if err := flush(i); err != nil {
+			return nil, nil, nil, err
+		}
+		fresh, err := buildPlan(ctx, top, rec, cfg)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		plan = fresh
+		pending = append(pending, rec)
+	}
+	if err := flush(len(recs)); err != nil {
+		return nil, nil, nil, err
+	}
+	return results, infos, plan, nil
 }
 
 // configsEqual compares two solver configurations field by field
@@ -140,6 +288,7 @@ func configsEqual(a, b Config) bool {
 		a.MaxEnumPathSets != b.MaxEnumPathSets ||
 		a.DisableSinglePathRegistration != b.DisableSinglePathRegistration ||
 		a.Concurrency != b.Concurrency ||
+		a.DisablePlanRepair != b.DisablePlanRepair ||
 		len(a.RestrictCorrSets) != len(b.RestrictCorrSets) {
 		return false
 	}
@@ -320,11 +469,10 @@ func MergeResults(top *topology.Topology, rec observe.Store, shards []*Result, a
 	return merged
 }
 
-// solveEpoch runs the data half of a solve against the plan: fresh
-// empirical frequencies for the surviving equations, one least-squares
-// solve over the retained factorization. It is the shared tail of the
-// warm and cold paths.
-func (pl *Plan) solveEpoch(ctx context.Context, rec observe.Store) (*Result, error) {
+// resultShell allocates the Result skeleton every epoch shares: the
+// subset universe with NaN probabilities, the link partitions, and the
+// plan's path sets.
+func (pl *Plan) resultShell(rec observe.Store) *Result {
 	res := &Result{
 		index:                pl.index,
 		PathSets:             pl.pathSets,
@@ -333,19 +481,18 @@ func (pl *Plan) solveEpoch(ctx context.Context, rec observe.Store) (*Result, err
 		top:                  pl.top,
 		rec:                  rec,
 	}
-	nCols := len(pl.subsets)
-	res.Subsets = make([]SubsetResult, nCols)
+	res.Subsets = make([]SubsetResult, len(pl.subsets))
 	for i, s := range pl.subsets {
 		res.Subsets[i] = SubsetResult{Links: s.links, CorrSet: s.corrSet, GoodProb: math.NaN()}
 	}
-	if len(pl.rows) == 0 {
-		res.Nullity = nCols
-		return res, nil
-	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	rhs := pl.rhs[:0]
+	return res
+}
+
+// buildRHS fills dst with the epoch's right-hand sides — the empirical
+// log good-frequencies of the surviving equations — returning the slice
+// and the clamped-equation count.
+func (pl *Plan) buildRHS(rec observe.Store, dst []float64) ([]float64, int) {
+	dst = dst[:0]
 	clamped := 0
 	for ri := range pl.rows {
 		if !pl.activeRows[ri] {
@@ -355,8 +502,52 @@ func (pl *Plan) solveEpoch(ctx context.Context, rec observe.Store) (*Result, err
 		if cl {
 			clamped++
 		}
-		rhs = append(rhs, lp)
+		dst = append(dst, lp)
 	}
+	return dst, clamped
+}
+
+// fillSolution maps the least-squares solution back onto the result's
+// identifiable subsets.
+func (pl *Plan) fillSolution(res *Result, x []float64) {
+	res.Rank = len(pl.colMap)
+	res.Nullity = len(pl.subsets) - len(pl.colMap)
+	for k, c := range pl.colMap {
+		g := math.Exp(x[k])
+		res.Subsets[c].GoodProb = clamp01(g)
+		res.Subsets[c].Identifiable = true
+	}
+}
+
+// solveScratch returns the plan's reusable solution and Qᵀb buffers,
+// growing them on first use so the steady-state epoch solve allocates
+// nothing beyond the returned Result.
+func (pl *Plan) solveScratch() (x, qtb []float64) {
+	m, n := pl.qr.Dims()
+	if cap(pl.x) < n {
+		pl.x = make([]float64, n)
+	}
+	if cap(pl.qtb) < m {
+		pl.qtb = make([]float64, m)
+	}
+	return pl.x[:n], pl.qtb[:m]
+}
+
+// solveEpoch runs the data half of a solve against the plan: fresh
+// empirical frequencies for the surviving equations, one least-squares
+// solve over the retained factorization. It is the shared tail of the
+// warm, repaired and cold paths.
+func (pl *Plan) solveEpoch(ctx context.Context, rec observe.Store) (*Result, error) {
+	res := pl.resultShell(rec)
+	nCols := len(pl.subsets)
+	if len(pl.rows) == 0 {
+		res.Nullity = nCols
+		return res, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rhs, clamped := pl.buildRHS(rec, pl.rhs)
 	pl.rhs = rhs
 	res.ClampedRows = clamped
 	if len(pl.colMap) == 0 {
@@ -364,16 +555,63 @@ func (pl *Plan) solveEpoch(ctx context.Context, rec observe.Store) (*Result, err
 		res.Nullity = nCols
 		return res, nil
 	}
-	x, err := pl.qr.SolveLeastSquares(rhs)
-	if err != nil {
+	x, qtb := pl.solveScratch()
+	if err := pl.qr.SolveLeastSquaresInto(x, rhs, qtb); err != nil {
 		return nil, err // unreachable: full column rank was verified at plan time
 	}
-	res.Rank = len(pl.colMap)
-	res.Nullity = nCols - len(pl.colMap)
-	for k, c := range pl.colMap {
-		g := math.Exp(x[k])
-		res.Subsets[c].GoodProb = clamp01(g)
-		res.Subsets[c].Identifiable = true
-	}
+	pl.fillSolution(res, x)
 	return res, nil
+}
+
+// SolveEpochBatch solves one epoch per store against the retained
+// factorization, draining all of them through a single batched
+// multi-RHS back-substitution. Every store must describe the same
+// always-good path set the plan was built (or repaired) for — the
+// caller checks reusability per store, exactly as ComputePlanned would
+// — and each result is bit-identical to a sequential solveEpoch over
+// the same store (linalg guarantees the batched solve's per-vector
+// arithmetic is the sequential solve's).
+func (pl *Plan) SolveEpochBatch(ctx context.Context, recs []observe.Store) ([]*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	results := make([]*Result, len(recs))
+	if len(pl.rows) == 0 || len(pl.colMap) == 0 {
+		for i, rec := range recs {
+			res, err := pl.solveEpoch(ctx, rec)
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+		}
+		return results, nil
+	}
+	m, n := pl.qr.Dims()
+	K := len(recs)
+	if cap(pl.batchSlab) < K*(m+n) {
+		pl.batchSlab = make([]float64, K*(m+n))
+	}
+	if cap(pl.batchScratch) < K*m {
+		pl.batchScratch = make([]float64, K*m)
+	}
+	slab := pl.batchSlab[:K*(m+n)]
+	rhss := make([][]float64, K)
+	xs := make([][]float64, K)
+	for i, rec := range recs {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		results[i] = pl.resultShell(rec)
+		rhs, clamped := pl.buildRHS(rec, slab[i*m:i*m:(i+1)*m])
+		rhss[i] = rhs
+		xs[i] = slab[K*m+i*n : K*m+(i+1)*n]
+		results[i].ClampedRows = clamped
+	}
+	if err := pl.qr.SolveLeastSquaresBatchInto(xs, rhss, pl.batchScratch[:K*m]); err != nil {
+		return nil, err // unreachable: full column rank was verified at plan time
+	}
+	for i := range recs {
+		pl.fillSolution(results[i], xs[i])
+	}
+	return results, nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -178,6 +179,212 @@ func TestPlanInvalidatedByAlwaysGoodChange(t *testing.T) {
 	}
 	if p2 == nextPlan {
 		t.Fatal("plan survived a config change")
+	}
+}
+
+// driftTopology is a fixture engineered for always-good drift: links
+// 0–5 are redundantly covered by stable paths (the good-link frontier
+// holds while the flappy paths 6/7/8 drift in and out of the
+// always-good set — Plan.Repair's class), links 6–7 are covered only by
+// permanently congested paths (the stable potentially congested
+// universe), and path 2 is the sole extra cover of link 4 (its flaps
+// move the frontier and force rebuilds).
+func driftTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	links := make([]topology.Link, 8)
+	for i := range links {
+		links[i] = topology.Link{ID: i, AS: i / 2}
+	}
+	paths := []topology.Path{
+		{ID: 0, Links: []int{0, 1}},    // stable good
+		{ID: 1, Links: []int{2, 3}},    // stable good
+		{ID: 2, Links: []int{4, 5}},    // flaps only in frontier-move phases
+		{ID: 3, Links: []int{1, 3, 5}}, // stable good
+		{ID: 4, Links: []int{6, 7}},    // permanently congested
+		{ID: 5, Links: []int{6}},       // permanently congested
+		{ID: 6, Links: []int{0, 2}},    // flappy within the good frontier
+		{ID: 7, Links: []int{1, 4, 5}}, // flappy within the good frontier
+		{ID: 8, Links: []int{3}},       // flappy within the good frontier
+		{ID: 9, Links: []int{7}},       // permanently congested
+	}
+	corrSets := [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}}
+	top, err := topology.NewChecked(links, paths, corrSets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// driftEpoch streams one epoch of observations: stable paths stay
+// clean, the permanently congested paths keep their base rates, and
+// each flappy path (plus, in frontier-move epochs, path 2) is in a
+// congested or clean phase chosen by the rng.
+func driftEpoch(w *stream.Window, rng *rand.Rand, numPaths, intervals int, frontierMove bool) {
+	prob := make([]float64, numPaths)
+	prob[4], prob[5], prob[9] = 0.5, 0.4, 0.45
+	for _, p := range []int{6, 7, 8} {
+		if rng.Intn(2) == 0 {
+			prob[p] = 0.3
+		}
+	}
+	if frontierMove {
+		prob[2] = 0.3
+	}
+	cong := bitset.New(numPaths)
+	for i := 0; i < intervals; i++ {
+		cong.Clear()
+		for p := 0; p < numPaths; p++ {
+			if prob[p] > 0 && rng.Float64() < prob[p] {
+				cong.Add(p)
+			}
+		}
+		w.Add(cong)
+	}
+}
+
+// Under randomized always-good drift, a plan carried through
+// ComputePlanned — warm-started, repaired, or rebuilt as each epoch
+// demands — must stay bit-identical to a from-scratch solve, and the
+// drift schedule must exercise all three paths.
+func TestPlanRepairMatchesColdUnderDrift(t *testing.T) {
+	top := driftTopology(t)
+	cfg := Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02}
+	var warm, repaired, rebuilt int
+	for seed := int64(1); seed <= 4; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		w := stream.NewWindow(top.NumPaths(), 400)
+		var plan *Plan
+		for epoch := 0; epoch < 12; epoch++ {
+			driftEpoch(w, rng, top.NumPaths(), 100, epoch%5 == 3)
+			prevRepairs := 0
+			if plan != nil {
+				prevRepairs = plan.RepairCount()
+			}
+			res, next, err := ComputePlanned(context.Background(), top, w, cfg, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cold, err := Compute(context.Background(), top, w, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resultsEqual(t, fmt.Sprintf("seed %d epoch %d", seed, epoch), res, cold)
+			switch {
+			case plan == nil || next != plan:
+				rebuilt++
+			case next.RepairCount() > prevRepairs:
+				repaired++
+			default:
+				warm++
+			}
+			plan = next
+		}
+	}
+	if repaired == 0 {
+		t.Fatal("drift schedule never exercised Plan.Repair")
+	}
+	if rebuilt <= 4 { // 4 first epochs are inherently cold
+		t.Fatal("drift schedule never forced a rebuild")
+	}
+	if warm == 0 {
+		t.Fatal("drift schedule never warm-started")
+	}
+}
+
+// With DisablePlanRepair, a repairable drift must fall back to the
+// rebuild path (and still match cold bit for bit).
+func TestPlanRepairDisabled(t *testing.T) {
+	top := driftTopology(t)
+	cfg := Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02, DisablePlanRepair: true}
+	rng := rand.New(rand.NewSource(1))
+	w := stream.NewWindow(top.NumPaths(), 400)
+	var plan *Plan
+	sawDrift := false
+	lastGood := ""
+	for epoch := 0; epoch < 12; epoch++ {
+		driftEpoch(w, rng, top.NumPaths(), 100, false)
+		good := w.AlwaysGoodPaths(cfg.AlwaysGoodTol).Key()
+		drifted := lastGood != "" && good != lastGood
+		lastGood = good
+		res, next, err := ComputePlanned(context.Background(), top, w, cfg, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if drifted {
+			sawDrift = true
+			if next == plan {
+				t.Fatalf("epoch %d: plan survived drift with repair disabled", epoch)
+			}
+		}
+		if next.RepairCount() != 0 {
+			t.Fatal("repair ran despite DisablePlanRepair")
+		}
+		cold, err := Compute(context.Background(), top, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resultsEqual(t, fmt.Sprintf("epoch %d", epoch), res, cold)
+		plan = next
+	}
+	if !sawDrift {
+		t.Fatal("schedule produced no drift; test is vacuous")
+	}
+}
+
+// ComputePlannedBatch must reproduce the sequential ComputePlanned
+// chain store for store — warm runs drained through the batched
+// multi-RHS solve included — under the same drift schedule.
+func TestComputePlannedBatchMatchesSequential(t *testing.T) {
+	top := driftTopology(t)
+	cfg := Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02}
+	rng := rand.New(rand.NewSource(2))
+	w := stream.NewWindow(top.NumPaths(), 400)
+	var stores []observe.Store
+	for epoch := 0; epoch < 10; epoch++ {
+		driftEpoch(w, rng, top.NumPaths(), 100, epoch == 5)
+		stores = append(stores, w.Clone())
+	}
+	var plan *Plan
+	sequential := make([]*Result, len(stores))
+	for i, rec := range stores {
+		res, next, err := ComputePlanned(context.Background(), top, rec, cfg, plan)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sequential[i], plan = res, next
+	}
+	batched, infos, batchPlan, err := ComputePlannedBatch(context.Background(), top, stores, cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmInfos, repairedInfos := 0, 0
+	for i := range stores {
+		resultsEqual(t, fmt.Sprintf("store %d", i), batched[i], sequential[i])
+		if infos[i].Warm {
+			warmInfos++
+		}
+		if infos[i].Repaired {
+			repairedInfos++
+		}
+	}
+	if infos[0].Warm {
+		t.Fatal("first store reported warm with no prior plan")
+	}
+	if warmInfos == 0 {
+		t.Fatal("no store drained warm: the batch never amortized a solve")
+	}
+	if batchPlan == nil {
+		t.Fatal("batch returned no plan")
+	}
+	// The batch must have reused a plan across stores rather than
+	// rebuilding each one (the whole point): the final plans of both
+	// chains absorbed the same number of repairs, and every repair is
+	// visible in the per-store infos.
+	if batchPlan.RepairCount() != plan.RepairCount() {
+		t.Fatalf("batch plan saw %d repairs, sequential %d", batchPlan.RepairCount(), plan.RepairCount())
+	}
+	if batchPlan.RepairCount() > 0 && repairedInfos == 0 {
+		t.Fatal("plan repaired but no store reported Repaired")
 	}
 }
 

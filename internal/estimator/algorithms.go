@@ -55,10 +55,11 @@ func init() {
 // solver configuration.
 func (s Settings) coreConfig() core.Config {
 	return core.Config{
-		MaxSubsetSize:   s.MaxSubsetSize,
-		AlwaysGoodTol:   s.AlwaysGoodTol,
-		MaxEnumPathSets: s.MaxEnumPathSets,
-		Concurrency:     s.Concurrency,
+		MaxSubsetSize:     s.MaxSubsetSize,
+		AlwaysGoodTol:     s.AlwaysGoodTol,
+		MaxEnumPathSets:   s.MaxEnumPathSets,
+		Concurrency:       s.Concurrency,
+		DisablePlanRepair: s.DisablePlanRepair,
 	}
 }
 

@@ -11,6 +11,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/netsim"
 	"repro/internal/observe"
+	"repro/internal/stream"
 )
 
 // metamorphicOpts is the shared option list of the cross-algorithm
@@ -134,5 +135,64 @@ func TestMetamorphicWarmShardSolves(t *testing.T) {
 			t.Fatal(err)
 		}
 		assertEstimatesMatch(t, fx.name+" solver vs registry", warmEst, ref)
+	}
+}
+
+// Epoch chains over a sliding window must stay bit-identical to the
+// stateless estimators no matter how the always-good set drifts
+// between epochs: the warm solvers (unsharded WarmSolver and
+// per-shard ShardedSolver) carry their plans across every epoch,
+// warm-starting, repairing, or rebuilding as the drift demands, and
+// every epoch's estimate is checked against a from-scratch registry
+// solve over the same frozen window.
+func TestMetamorphicDriftEpochChains(t *testing.T) {
+	for _, fx := range metamorphicFixtures(t) {
+		ws, err := estimator.NewWarmSolver(fx.top, metamorphicOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sv, err := estimator.NewShardedSolver(fx.top, metamorphicOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := estimator.New(estimator.CorrelationComplete)
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardedRef, err := estimator.New(estimator.CorrelationCompleteSharded)
+		if err != nil {
+			t.Fatal(err)
+		}
+		const capacity = 120 // well under the 300 recorded intervals: epochs drift as bursts evict
+		w := stream.NewWindow(fx.top.NumPaths(), capacity)
+		for ti := 0; ti < fx.rec.T(); ti++ {
+			w.Add(fx.rec.CongestedAt(ti))
+			if (ti+1)%40 != 0 {
+				continue
+			}
+			frozen := w.Clone()
+			warmEst, _, err := ws.Estimate(context.Background(), frozen)
+			if err != nil {
+				t.Fatalf("%s: warm: %v", fx.name, err)
+			}
+			coldEst, err := plain.Estimate(context.Background(), fx.top, frozen, metamorphicOpts()...)
+			if err != nil {
+				t.Fatalf("%s: cold: %v", fx.name, err)
+			}
+			assertEstimatesMatch(t, fx.name+" warm-chain vs cold", warmEst, coldEst)
+
+			blocks := make([]*core.Result, sv.NumShards())
+			for s := range blocks {
+				if blocks[s], _, err = sv.SolveShard(context.Background(), s, frozen); err != nil {
+					t.Fatalf("%s: shard %d: %v", fx.name, s, err)
+				}
+			}
+			shardEst := sv.Merge(blocks, frozen)
+			refEst, err := shardedRef.Estimate(context.Background(), fx.top, frozen, metamorphicOpts()...)
+			if err != nil {
+				t.Fatalf("%s: sharded ref: %v", fx.name, err)
+			}
+			assertEstimatesMatch(t, fx.name+" sharded-chain vs registry", shardEst, refEst)
+		}
 	}
 }

@@ -49,6 +49,28 @@ func (correlationCompleteSharded) Estimate(ctx context.Context, top *topology.To
 	return sv.Merge(results, obs), nil
 }
 
+// SolveInfo describes how an epoch solve used its carried-forward
+// structural plan.
+type SolveInfo struct {
+	// Warm reports that the structural phase was skipped entirely: the
+	// previous plan's factorization served this epoch (whether the
+	// always-good set held or Repair absorbed its drift).
+	Warm bool
+	// Repaired reports that the always-good set drifted and the plan
+	// was repaired across it rather than rebuilt (core.Plan.Repair).
+	Repaired bool
+}
+
+// solveInfoFor derives how a ComputePlanned call used prev from the
+// returned plan and prev's repair count snapshotted before the call —
+// the one place this pattern lives for every warm solver.
+func solveInfoFor(prev, next *core.Plan, prevRepairs int) SolveInfo {
+	if prev == nil || next != prev {
+		return SolveInfo{}
+	}
+	return SolveInfo{Warm: true, Repaired: next.RepairCount() > prevRepairs}
+}
+
 // ShardedSolver drives per-shard Correlation-complete solves over a
 // fixed topology, carrying each shard's structural plan (enumeration,
 // selected path sets, null space, QR factorization) from epoch to
@@ -116,21 +138,26 @@ func (sv *ShardedSolver) shardConfig(shard int) core.Config {
 
 // SolveShard computes shard's block of the system over obs, warm-
 // starting from the shard's previous plan when its always-good path set
-// is unchanged. obs may be the full observation store or just the
-// shard's own ring of a stream.Sharded — the solve only reads the
-// shard's paths, whose statistics are identical in both. warm reports
-// whether the carried-forward plan was used.
-func (sv *ShardedSolver) SolveShard(ctx context.Context, shard int, obs observe.Store) (res *core.Result, warm bool, err error) {
+// is unchanged — or repairing the plan across the drift when the
+// good-link frontier held (core.Plan.Repair). obs may be the full
+// observation store or just the shard's own ring of a stream.Sharded —
+// the solve only reads the shard's paths, whose statistics are
+// identical in both. info reports how the carried-forward plan served.
+func (sv *ShardedSolver) SolveShard(ctx context.Context, shard int, obs observe.Store) (res *core.Result, info SolveInfo, err error) {
 	if shard < 0 || shard >= len(sv.plans) {
-		return nil, false, fmt.Errorf("estimator: shard %d outside [0,%d)", shard, len(sv.plans))
+		return nil, SolveInfo{}, fmt.Errorf("estimator: shard %d outside [0,%d)", shard, len(sv.plans))
 	}
 	prev := sv.plans[shard]
+	prevRepairs := 0
+	if prev != nil {
+		prevRepairs = prev.RepairCount()
+	}
 	res, plan, err := core.ComputePlanned(ctx, sv.top, obs, sv.shardConfig(shard), prev)
 	if err != nil {
-		return nil, false, err
+		return nil, SolveInfo{}, err
 	}
 	sv.plans[shard] = plan
-	return res, prev != nil && plan == prev, nil
+	return res, solveInfoFor(prev, plan, prevRepairs), nil
 }
 
 // Merge assembles the per-shard results (in shard order; nil entries

@@ -180,12 +180,12 @@ func TestShardedSolverWarmMatchesRegistry(t *testing.T) {
 		blocks := make([]*core.Result, sv.NumShards())
 		warm := false
 		for s := range blocks {
-			res, w, err := sv.SolveShard(context.Background(), s, win.Shard(s))
+			res, info, err := sv.SolveShard(context.Background(), s, win.Shard(s))
 			if err != nil {
 				t.Fatal(err)
 			}
 			blocks[s] = res
-			warm = warm || w
+			warm = warm || info.Warm
 		}
 		if warm {
 			warmEpochs++

@@ -1,0 +1,156 @@
+package estimator_test
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/estimator"
+	"repro/internal/observe"
+	"repro/internal/stream"
+	"repro/internal/topology"
+)
+
+// repairDriftTopology mirrors the core package's drift fixture: links
+// 0–5 redundantly covered by stable paths so the flappy paths 6/7/8
+// drift in and out of the always-good set without moving the good-link
+// frontier (Plan.Repair's class), links 6–7 covered only by
+// permanently congested paths.
+func repairDriftTopology(t *testing.T) *topology.Topology {
+	t.Helper()
+	links := make([]topology.Link, 8)
+	for i := range links {
+		links[i] = topology.Link{ID: i, AS: i / 2}
+	}
+	paths := []topology.Path{
+		{ID: 0, Links: []int{0, 1}},
+		{ID: 1, Links: []int{2, 3}},
+		{ID: 2, Links: []int{4, 5}},
+		{ID: 3, Links: []int{1, 3, 5}},
+		{ID: 4, Links: []int{6, 7}},
+		{ID: 5, Links: []int{6}},
+		{ID: 6, Links: []int{0, 2}},
+		{ID: 7, Links: []int{1, 4, 5}},
+		{ID: 8, Links: []int{3}},
+		{ID: 9, Links: []int{7}},
+	}
+	top, err := topology.NewChecked(links, paths, [][]int{{0, 1}, {2, 3}, {4, 5}, {6, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+// driftStream appends one epoch of observations with per-epoch flappy
+// phases (mirrors the core drift generator).
+func driftStream(w *stream.Window, rng *rand.Rand, numPaths, intervals int) {
+	prob := make([]float64, numPaths)
+	prob[4], prob[5], prob[9] = 0.5, 0.4, 0.45
+	for _, p := range []int{6, 7, 8} {
+		if rng.Intn(2) == 0 {
+			prob[p] = 0.3
+		}
+	}
+	cong := bitset.New(numPaths)
+	for i := 0; i < intervals; i++ {
+		cong.Clear()
+		for p := 0; p < numPaths; p++ {
+			if prob[p] > 0 && rng.Float64() < prob[p] {
+				cong.Add(p)
+			}
+		}
+		w.Add(cong)
+	}
+}
+
+func warmOpts() []estimator.Option {
+	return []estimator.Option{estimator.WithMaxSubsetSize(2), estimator.WithAlwaysGoodTol(0.02)}
+}
+
+// A WarmSolver chain over frontier-stable drift must repair (not
+// rebuild) at least once, report it in SolveInfo, and stay
+// bit-identical to the stateless registry estimator on every epoch.
+func TestWarmSolverRepairsAcrossDrift(t *testing.T) {
+	top := repairDriftTopology(t)
+	registry, err := estimator.New(estimator.CorrelationComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repaired, warm := 0, 0
+	for seed := int64(1); seed <= 4; seed++ {
+		ws, err := estimator.NewWarmSolver(top, warmOpts()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(seed))
+		w := stream.NewWindow(top.NumPaths(), 400)
+		for epoch := 0; epoch < 12; epoch++ {
+			driftStream(w, rng, top.NumPaths(), 100)
+			frozen := w.Clone()
+			got, info, err := ws.Estimate(context.Background(), frozen)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if info.Repaired {
+				repaired++
+			}
+			if info.Warm {
+				warm++
+			}
+			want, err := registry.Estimate(context.Background(), top, frozen, warmOpts()...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertEstimatesMatch(t, "warm-solver epoch", got, want)
+		}
+	}
+	if repaired == 0 {
+		t.Fatal("no epoch repaired the plan: the drift class never applied")
+	}
+	if warm <= repaired {
+		t.Fatal("no plainly warm epoch: the schedule is degenerate")
+	}
+}
+
+// EstimateBatch must reproduce sequential Estimate calls epoch for
+// epoch while draining plan-compatible runs through the batched
+// multi-RHS solve.
+func TestWarmSolverBatchMatchesSequential(t *testing.T) {
+	top := repairDriftTopology(t)
+	rng := rand.New(rand.NewSource(3))
+	w := stream.NewWindow(top.NumPaths(), 400)
+	var stores []observe.Store
+	for epoch := 0; epoch < 10; epoch++ {
+		driftStream(w, rng, top.NumPaths(), 100)
+		stores = append(stores, w.Clone())
+	}
+	seq, err := estimator.NewWarmSolver(top, warmOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []*estimator.Estimate
+	var wantInfos []estimator.SolveInfo
+	for _, obs := range stores {
+		est, info, err := seq.Estimate(context.Background(), obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want = append(want, est)
+		wantInfos = append(wantInfos, info)
+	}
+	batch, err := estimator.NewWarmSolver(top, warmOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, infos, err := batch.EstimateBatch(context.Background(), stores)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range stores {
+		assertEstimatesMatch(t, "batch epoch", got[i], want[i])
+		if infos[i] != wantInfos[i] {
+			t.Fatalf("epoch %d info = %+v, sequential %+v", i, infos[i], wantInfos[i])
+		}
+	}
+}

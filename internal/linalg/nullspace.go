@@ -172,6 +172,30 @@ func NullSpaceUpdateInPlace(N *Matrix, r []float64) bool {
 	return true
 }
 
+// NullSpaceInsertColumn returns the null-space basis of the system
+// after inserting an all-zero column at index `at`: the existing basis
+// gains a zero row at that index (no equation constrains the new
+// unknown through the old ones) plus one fresh basis column e_at for
+// the unconstrained unknown itself. N is not modified. This is the
+// column-direction companion of NullSpaceUpdate: together they repair
+// a retained basis as the system drifts — a new unknown inserts a
+// column here, a new equation removes a basis column there.
+func NullSpaceInsertColumn(N *Matrix, at int) *Matrix {
+	if at < 0 || at > N.Rows {
+		panic("linalg: NullSpaceInsertColumn index out of range")
+	}
+	out := NewMatrix(N.Rows+1, N.Cols+1)
+	for i := 0; i < N.Rows; i++ {
+		dst := i
+		if i >= at {
+			dst = i + 1
+		}
+		copy(out.Row(dst)[:N.Cols], N.Row(i))
+	}
+	out.Set(at, N.Cols, 1)
+	return out
+}
+
 // InRowSpace reports whether row r is in the row space of the matrix
 // whose null space is spanned by the columns of N, i.e. whether
 // r × N == 0 within tolerance.

@@ -13,11 +13,43 @@ var ErrRankDeficient = errors.New("linalg: matrix is rank deficient")
 // QR holds a Householder QR factorization A = Q·R (LINPACK storage:
 // the Householder vectors live in the lower trapezoid of qr including
 // the diagonal, and the diagonal of R is kept separately in rdiag).
+//
+// The factorization supports incremental column edits. AppendCol
+// widens the system by one column bit-identically to a from-scratch
+// refactor of the widened matrix. DeleteCol narrows it by chasing the
+// introduced subdiagonal with Givens rotations, which switches the
+// factorization into a patched form: R is materialized densely and Qᵀ
+// gains a trailing rotation list. Both forms solve through the same
+// entry points.
 type QR struct {
 	qr    *Matrix
 	rdiag []float64
 	m, n  int
+
+	// Patched form, populated by the first DeleteCol: r is the dense
+	// current R (rRows×n), hrdiag the original rdiag (reflector k
+	// exists iff hrdiag[k] != 0), nhh the original reflector count, and
+	// givens the rotations Qᵀ gained. All zero in pure Householder form.
+	r      *Matrix
+	hrdiag []float64
+	nhh    int
+	givens []givensRot
 }
+
+// givensRot is one plane rotation on rows (k, k+1) of the implicit Qᵀ.
+type givensRot struct {
+	k    int
+	c, s float64
+}
+
+// patched reports whether columns have been deleted, switching solves
+// to the dense-R + Givens representation.
+func (f *QR) patched() bool { return f.r != nil }
+
+// Dims returns the factored system's row and column counts — the
+// right-hand-side and solution lengths callers sizing their own solve
+// buffers need.
+func (f *QR) Dims() (m, n int) { return f.m, f.n }
 
 // Factor computes the Householder QR factorization of a. a is not
 // modified (it is cloned; callers that own a freshly built matrix and
@@ -68,6 +100,137 @@ func FactorInPlace(a *Matrix) *QR {
 	return f
 }
 
+// AppendCol widens the factored system by one column: the retained
+// reflectors are applied to it in factorization order and one new
+// reflector is computed — exactly the operations FactorInPlace would
+// have performed had the column been present, so the result is
+// bit-identical to refactoring the widened matrix from scratch
+// (property-tested). Cost is O(m·n) against O(m·n²) for the refactor.
+// It must not be called after DeleteCol: the Givens-patched form no
+// longer matches FactorInPlace's operation order.
+func (f *QR) AppendCol(col []float64) {
+	if f.patched() {
+		panic("linalg: AppendCol on a column-deleted factorization")
+	}
+	if len(col) != f.m {
+		panic("linalg: AppendCol dimension mismatch")
+	}
+	m, n := f.m, f.n
+	grown := NewMatrix(m, n+1)
+	for i := 0; i < m; i++ {
+		copy(grown.Row(i)[:n], f.qr.Row(i))
+		grown.Set(i, n, col[i])
+	}
+	f.qr = grown
+	f.n = n + 1
+	f.rdiag = append(f.rdiag, 0)
+	// Apply the existing reflectors to the new column, mirroring
+	// FactorInPlace's skip of zero-norm columns (rdiag[k] == 0).
+	for k := 0; k < n && k < m; k++ {
+		if f.rdiag[k] == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += f.qr.At(i, k) * f.qr.At(i, n)
+		}
+		s = -s / f.qr.At(k, k)
+		for i := k; i < m; i++ {
+			f.qr.Set(i, n, f.qr.At(i, n)+s*f.qr.At(i, k))
+		}
+	}
+	if n >= m {
+		return // no row left to reflect on; rdiag stays 0
+	}
+	// The new column's own reflector, verbatim FactorInPlace.
+	k := n
+	nrm := 0.0
+	for i := k; i < m; i++ {
+		nrm = math.Hypot(nrm, f.qr.At(i, k))
+	}
+	if nrm == 0 {
+		f.rdiag[k] = 0
+		return
+	}
+	if f.qr.At(k, k) < 0 {
+		nrm = -nrm
+	}
+	for i := k; i < m; i++ {
+		f.qr.Set(i, k, f.qr.At(i, k)/nrm)
+	}
+	f.qr.Set(k, k, f.qr.At(k, k)+1)
+	f.rdiag[k] = -nrm
+}
+
+// materializeR switches the factorization into the patched form:
+// R is copied out of the LINPACK storage into a dense matrix so column
+// deletions can restructure it without disturbing the Householder
+// vectors that still define Qᵀ.
+func (f *QR) materializeR() {
+	if f.patched() {
+		return
+	}
+	rRows := min(f.m, f.n)
+	r := NewMatrix(rRows, f.n)
+	for k := 0; k < rRows; k++ {
+		r.Set(k, k, f.rdiag[k])
+		for j := k + 1; j < f.n; j++ {
+			r.Set(k, j, f.qr.At(k, j))
+		}
+	}
+	f.r = r
+	f.hrdiag = append([]float64(nil), f.rdiag...)
+	f.nhh = rRows
+}
+
+// DeleteCol narrows the factored system by removing column j. The
+// retained reflectors still triangularize the surviving columns up to
+// one subdiagonal per shifted column, which is chased out with Givens
+// rotations appended to the implicit Qᵀ. Unlike AppendCol the result
+// is numerically equivalent — not bit-identical — to refactoring the
+// narrowed matrix (the reflector/rotation sequences differ), so
+// callers that need bitwise reproducibility against a from-scratch
+// factorization must refactor instead. Cost is O(n²) against O(m·n²).
+func (f *QR) DeleteCol(j int) {
+	if j < 0 || j >= f.n {
+		panic("linalg: DeleteCol index out of range")
+	}
+	f.materializeR()
+	r := f.r
+	for i := 0; i < r.Rows; i++ {
+		row := r.Row(i)
+		copy(row[j:], row[j+1:])
+	}
+	f.n--
+	r.Cols = f.n
+	// Compact the rows to the narrower stride.
+	for i := 1; i < r.Rows; i++ {
+		copy(r.Data[i*f.n:(i+1)*f.n], r.Data[i*(f.n+1):i*(f.n+1)+f.n])
+	}
+	r.Data = r.Data[:r.Rows*f.n]
+	// Chase the subdiagonal entries the shift introduced in columns
+	// j..n-1: rotate rows (k, k+1) to zero R[k+1][k].
+	for k := j; k < f.n && k+1 < r.Rows; k++ {
+		a, b := r.At(k, k), r.At(k+1, k)
+		if b == 0 {
+			continue
+		}
+		h := math.Hypot(a, b)
+		c, s := a/h, b/h
+		for jj := k; jj < f.n; jj++ {
+			x, y := r.At(k, jj), r.At(k+1, jj)
+			r.Set(k, jj, c*x+s*y)
+			r.Set(k+1, jj, -s*x+c*y)
+		}
+		f.givens = append(f.givens, givensRot{k: k, c: c, s: s})
+	}
+	// Keep rdiag in sync for the rank checks.
+	f.rdiag = f.rdiag[:0]
+	for k := 0; k < min(r.Rows, f.n); k++ {
+		f.rdiag = append(f.rdiag, r.At(k, k))
+	}
+}
+
 // rankTol returns the tolerance under which an R diagonal entry is
 // treated as zero, scaled by the magnitude of the matrix.
 func (f *QR) rankTol() float64 {
@@ -116,10 +279,16 @@ func (f *QR) FullColumnRank() bool {
 	return true
 }
 
-// applyQT overwrites b (length m) with Qᵀ·b.
+// applyQT overwrites b (length m) with Qᵀ·b: the Householder
+// reflectors in factorization order, then — in the patched form — the
+// Givens rotations the column deletions appended.
 func (f *QR) applyQT(b []float64) {
-	for k := 0; k < min(f.m, f.n); k++ {
-		if f.rdiag[k] == 0 {
+	diag, kmax := f.rdiag, min(f.m, f.n)
+	if f.patched() {
+		diag, kmax = f.hrdiag, f.nhh
+	}
+	for k := 0; k < kmax; k++ {
+		if diag[k] == 0 {
 			continue
 		}
 		var s float64
@@ -131,22 +300,25 @@ func (f *QR) applyQT(b []float64) {
 			b[i] += s * f.qr.At(i, k)
 		}
 	}
+	for _, g := range f.givens {
+		x, y := b[g.k], b[g.k+1]
+		b[g.k] = g.c*x + g.s*y
+		b[g.k+1] = -g.s*x + g.c*y
+	}
 }
 
-// SolveLeastSquares returns x minimizing ‖A·x − b‖₂. It requires A to
-// have full column rank; otherwise ErrRankDeficient is returned.
-func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
-	if len(b) != f.m {
-		panic("linalg: SolveLeastSquares dimension mismatch")
+// backSubstitute solves R·x = qtb[:n] into x. qtb is not modified.
+func (f *QR) backSubstitute(x, qtb []float64) {
+	if f.patched() {
+		for i := f.n - 1; i >= 0; i-- {
+			s := qtb[i]
+			for j := i + 1; j < f.n; j++ {
+				s -= f.r.At(i, j) * x[j]
+			}
+			x[i] = s / f.r.At(i, i)
+		}
+		return
 	}
-	if !f.FullColumnRank() {
-		return nil, ErrRankDeficient
-	}
-	qtb := make([]float64, f.m)
-	copy(qtb, b)
-	f.applyQT(qtb)
-	// Back substitution on R x = (Qᵀ b)[:n].
-	x := make([]float64, f.n)
 	for i := f.n - 1; i >= 0; i-- {
 		s := qtb[i]
 		for j := i + 1; j < f.n; j++ {
@@ -154,7 +326,112 @@ func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
 		}
 		x[i] = s / f.rdiag[i]
 	}
+}
+
+// SolveLeastSquares returns x minimizing ‖A·x − b‖₂. It requires A to
+// have full column rank; otherwise ErrRankDeficient is returned.
+func (f *QR) SolveLeastSquares(b []float64) ([]float64, error) {
+	x := make([]float64, f.n)
+	if err := f.SolveLeastSquaresInto(x, b, make([]float64, f.m)); err != nil {
+		return nil, err
+	}
 	return x, nil
+}
+
+// SolveLeastSquaresInto is SolveLeastSquares writing the minimizer
+// into x (length n) using scratch (length ≥ m) for Qᵀ·b, so the warm
+// solve path allocates nothing. b is not modified. The result is
+// bit-identical to SolveLeastSquares.
+func (f *QR) SolveLeastSquaresInto(x, b, scratch []float64) error {
+	if len(b) != f.m {
+		panic("linalg: SolveLeastSquares dimension mismatch")
+	}
+	if len(x) != f.n || len(scratch) < f.m {
+		panic("linalg: SolveLeastSquaresInto buffer size mismatch")
+	}
+	if !f.FullColumnRank() {
+		return ErrRankDeficient
+	}
+	qtb := scratch[:f.m]
+	copy(qtb, b)
+	f.applyQT(qtb)
+	f.backSubstitute(x, qtb)
+	return nil
+}
+
+// SolveLeastSquaresBatch solves min ‖A·x_k − b_k‖₂ for K right-hand
+// sides against the one retained factorization. Each solution is
+// bit-identical to a separate SolveLeastSquares call (the per-vector
+// arithmetic is untouched; property-tested), but the reflector loop
+// runs outermost so every Householder column is streamed through the
+// cache once per batch instead of once per right-hand side — the
+// amortization behind draining an epoch backlog in one call.
+func (f *QR) SolveLeastSquaresBatch(bs [][]float64) ([][]float64, error) {
+	xs := make([][]float64, len(bs))
+	slab := make([]float64, len(bs)*f.n)
+	for k := range xs {
+		xs[k], slab = slab[:f.n:f.n], slab[f.n:]
+	}
+	if err := f.SolveLeastSquaresBatchInto(xs, bs, make([]float64, len(bs)*f.m)); err != nil {
+		return nil, err
+	}
+	return xs, nil
+}
+
+// SolveLeastSquaresBatchInto is SolveLeastSquaresBatch writing into
+// caller-owned solution vectors xs (each length n) using scratch
+// (length ≥ len(bs)·m), allocating nothing.
+func (f *QR) SolveLeastSquaresBatchInto(xs, bs [][]float64, scratch []float64) error {
+	if len(xs) != len(bs) {
+		panic("linalg: SolveLeastSquaresBatchInto length mismatch")
+	}
+	if len(scratch) < len(bs)*f.m {
+		panic("linalg: SolveLeastSquaresBatchInto scratch too small")
+	}
+	if !f.FullColumnRank() {
+		return ErrRankDeficient
+	}
+	for k, b := range bs {
+		if len(b) != f.m {
+			panic("linalg: SolveLeastSquares dimension mismatch")
+		}
+		copy(scratch[k*f.m:(k+1)*f.m], b)
+	}
+	// Reflectors outermost: each factor column is read once per batch.
+	diag, kmax := f.rdiag, min(f.m, f.n)
+	if f.patched() {
+		diag, kmax = f.hrdiag, f.nhh
+	}
+	for k := 0; k < kmax; k++ {
+		if diag[k] == 0 {
+			continue
+		}
+		pivot := f.qr.At(k, k)
+		for v := range bs {
+			qtb := scratch[v*f.m : (v+1)*f.m]
+			var s float64
+			for i := k; i < f.m; i++ {
+				s += f.qr.At(i, k) * qtb[i]
+			}
+			s = -s / pivot
+			for i := k; i < f.m; i++ {
+				qtb[i] += s * f.qr.At(i, k)
+			}
+		}
+	}
+	for v := range bs {
+		qtb := scratch[v*f.m : (v+1)*f.m]
+		for _, g := range f.givens {
+			x, y := qtb[g.k], qtb[g.k+1]
+			qtb[g.k] = g.c*x + g.s*y
+			qtb[g.k+1] = -g.s*x + g.c*y
+		}
+		if len(xs[v]) != f.n {
+			panic("linalg: SolveLeastSquaresBatchInto solution size mismatch")
+		}
+		f.backSubstitute(xs[v], qtb)
+	}
+	return nil
 }
 
 // SolveLeastSquares factors a and solves min ‖a·x − b‖₂. a is not

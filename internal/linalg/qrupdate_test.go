@@ -1,0 +1,316 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// qrStateEqual asserts two factorizations are bitwise identical in
+// every field a solve can observe.
+func qrStateEqual(t *testing.T, label string, a, b *QR) {
+	t.Helper()
+	if a.m != b.m || a.n != b.n {
+		t.Fatalf("%s: shape (%d,%d) vs (%d,%d)", label, a.m, a.n, b.m, b.n)
+	}
+	if len(a.rdiag) != len(b.rdiag) {
+		t.Fatalf("%s: rdiag lengths %d vs %d", label, len(a.rdiag), len(b.rdiag))
+	}
+	for k := range a.rdiag {
+		if a.rdiag[k] != b.rdiag[k] {
+			t.Fatalf("%s: rdiag[%d] %v != %v", label, k, a.rdiag[k], b.rdiag[k])
+		}
+	}
+	for i := range a.qr.Data {
+		if a.qr.Data[i] != b.qr.Data[i] {
+			t.Fatalf("%s: qr data at %d: %v != %v", label, i, a.qr.Data[i], b.qr.Data[i])
+		}
+	}
+}
+
+// AppendCol must reproduce, bit for bit, the factorization of the
+// widened matrix: the whole point of the append update is that the
+// warm path stays on the cold path's arithmetic.
+func TestQuickAppendColBitIdenticalToRefactor(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 2+rng.Intn(12), 1+rng.Intn(8)
+		if n >= m {
+			n = m - 1
+		}
+		a := random01Matrix(rng, m, n)
+		col := make([]float64, m)
+		for i := range col {
+			if rng.Intn(2) == 1 {
+				col[i] = 1
+			}
+		}
+		incr := FactorInPlace(a.Clone())
+		incr.AppendCol(col)
+		wide := NewMatrix(m, n+1)
+		for i := 0; i < m; i++ {
+			copy(wide.Row(i)[:n], a.Row(i))
+			wide.Set(i, n, col[i])
+		}
+		scratch := FactorInPlace(wide)
+		if incr.n != scratch.n || len(incr.rdiag) != len(scratch.rdiag) {
+			return false
+		}
+		for k := range incr.rdiag {
+			if incr.rdiag[k] != scratch.rdiag[k] {
+				return false
+			}
+		}
+		for i := range incr.qr.Data {
+			if incr.qr.Data[i] != scratch.qr.Data[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A chain of appends starting from a single column must land on the
+// same factorization (and the same least-squares solutions) as one
+// from-scratch factorization of the final matrix.
+func TestAppendColChainMatchesRefactor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const m, n = 20, 8
+	a := randomMatrix(rng, m, n)
+	incr := FactorInPlace(a.Clone().DropCol(n - 1).DropCol(n - 2).DropCol(n - 3))
+	for j := n - 3; j < n; j++ {
+		incr.AppendCol(a.Col(j))
+	}
+	full := Factor(a)
+	qrStateEqual(t, "append chain", incr, full)
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	xi, err1 := incr.SolveLeastSquares(b)
+	xf, err2 := full.SolveLeastSquares(b)
+	if err1 != nil || err2 != nil {
+		t.Fatalf("solve errors: %v, %v", err1, err2)
+	}
+	for k := range xi {
+		if xi[k] != xf[k] {
+			t.Fatalf("x[%d]: incremental %v != refactor %v", k, xi[k], xf[k])
+		}
+	}
+}
+
+// DeleteCol is a numerical (not bitwise) update: the patched
+// factorization must solve the narrowed system to within tolerance of
+// a from-scratch factorization, for any deletion position and for
+// repeated deletions.
+func TestQuickDeleteColMatchesRefactor(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 3+rng.Intn(12), 2+rng.Intn(6)
+		if n >= m {
+			n = m - 1
+		}
+		a := randomMatrix(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		del := FactorInPlace(a.Clone())
+		deleted := 0
+		for a.Cols > 1 && deleted < 3 {
+			j := rng.Intn(a.Cols)
+			del.DeleteCol(j)
+			a = a.DropCol(j)
+			deleted++
+			want, errW := SolveLeastSquares(a, b)
+			got, errG := del.SolveLeastSquares(b)
+			if (errW == nil) != (errG == nil) {
+				return false
+			}
+			if errW != nil {
+				continue
+			}
+			for k := range want {
+				if !almostEqual(want[k], got[k], 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Deleting down to a rank-deficient system must surface
+// ErrRankDeficient, the repair-path fallback trigger.
+func TestDeleteColRankDeficient(t *testing.T) {
+	// Two identical columns plus one independent: deleting the
+	// independent one leaves a rank-1 two-column system.
+	a := FromRows([][]float64{
+		{1, 1, 0},
+		{1, 1, 1},
+		{1, 1, 0},
+		{1, 1, 1},
+	})
+	f := Factor(a)
+	f.DeleteCol(2)
+	if f.FullColumnRank() {
+		t.Fatal("duplicate-column system reported full column rank after delete")
+	}
+	if _, err := f.SolveLeastSquares([]float64{1, 2, 3, 4}); err != ErrRankDeficient {
+		t.Fatalf("want ErrRankDeficient, got %v", err)
+	}
+}
+
+// The batched multi-RHS solve must agree bit for bit with sequential
+// SolveLeastSquares calls: batching reorders the loops, never the
+// per-vector arithmetic.
+func TestQuickSolveBatchBitIdenticalToSequential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m, n := 3+rng.Intn(14), 1+rng.Intn(8)
+		if n >= m {
+			n = m - 1
+		}
+		fac := FactorInPlace(randomMatrix(rng, m, n))
+		K := 1 + rng.Intn(6)
+		bs := make([][]float64, K)
+		for k := range bs {
+			bs[k] = make([]float64, m)
+			for i := range bs[k] {
+				bs[k][i] = rng.NormFloat64()
+			}
+		}
+		xs, err := fac.SolveLeastSquaresBatch(bs)
+		if err == ErrRankDeficient {
+			return true // a random singular draw; nothing to compare
+		}
+		if err != nil {
+			return false
+		}
+		for k := range bs {
+			want, err := fac.SolveLeastSquares(bs[k])
+			if err != nil {
+				return false
+			}
+			for j := range want {
+				if xs[k][j] != want[j] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The batch solve must also run against a column-deleted (patched)
+// factorization, agreeing with the patched sequential solve.
+func TestSolveBatchOnPatchedFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randomMatrix(rng, 16, 6)
+	f := Factor(a)
+	f.DeleteCol(2)
+	bs := make([][]float64, 4)
+	for k := range bs {
+		bs[k] = make([]float64, 16)
+		for i := range bs[k] {
+			bs[k][i] = rng.NormFloat64()
+		}
+	}
+	xs, err := f.SolveLeastSquaresBatch(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range bs {
+		want, err := f.SolveLeastSquares(bs[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if xs[k][j] != want[j] {
+				t.Fatalf("rhs %d x[%d]: batch %v != sequential %v", k, j, xs[k][j], want[j])
+			}
+		}
+	}
+}
+
+// SolveLeastSquaresInto and the batch Into variant must not allocate:
+// they are the steady-state epoch-solve tail.
+func TestSolveIntoAllocationFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	const m, n, K = 40, 12, 5
+	f := FactorInPlace(randomMatrix(rng, m, n))
+	b := make([]float64, m)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := make([]float64, n)
+	scratch := make([]float64, K*m)
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := f.SolveLeastSquaresInto(x, b, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("SolveLeastSquaresInto allocates %.1f/op", avg)
+	}
+	xs := make([][]float64, K)
+	bs := make([][]float64, K)
+	for k := range xs {
+		xs[k] = make([]float64, n)
+		bs[k] = b
+	}
+	if avg := testing.AllocsPerRun(50, func() {
+		if err := f.SolveLeastSquaresBatchInto(xs, bs, scratch); err != nil {
+			t.Fatal(err)
+		}
+	}); avg != 0 {
+		t.Fatalf("SolveLeastSquaresBatchInto allocates %.1f/op", avg)
+	}
+}
+
+// NullSpaceInsertColumn must produce exactly the null space of the
+// system with a zero column spliced in.
+func TestQuickNullSpaceInsertColumn(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := random01Matrix(rng, 1+rng.Intn(8), 1+rng.Intn(8))
+		at := rng.Intn(a.Cols + 1)
+		grownN := NullSpaceInsertColumn(NullSpaceBasis(a), at)
+		// Build the widened system with an explicit zero column at `at`.
+		wide := NewMatrix(a.Rows, a.Cols+1)
+		for i := 0; i < a.Rows; i++ {
+			for j := 0; j < a.Cols; j++ {
+				dst := j
+				if j >= at {
+					dst = j + 1
+				}
+				wide.Set(i, dst, a.At(i, j))
+			}
+		}
+		if grownN.Cols != wide.Cols-RankRREF(wide) {
+			return false
+		}
+		if grownN.Cols == 0 {
+			return true
+		}
+		prod := wide.Mul(grownN)
+		for _, v := range prod.Data {
+			if math.Abs(v) > 1e-8 {
+				return false
+			}
+		}
+		return RankRREF(grownN) == grownN.Cols
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

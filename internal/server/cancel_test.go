@@ -76,14 +76,41 @@ func TestEpochSolveCancellation(t *testing.T) {
 		t.Fatalf("solve finished in %v; topology too small to test mid-solve cancellation", full)
 	}
 
-	// Cancel a tenth of the way into a second solve.
+	// A re-solve over the unchanged window warm-starts off the carried
+	// plan and finishes orders of magnitude faster than the structural
+	// build it skips.
+	start = time.Now()
+	warm := s.Recompute(context.Background())
+	warmTime := time.Since(start)
+	if warm.Err != nil || warm.Epoch != 2 {
+		t.Fatalf("warm epoch = %d (err %v), want 2", warm.Epoch, warm.Err)
+	}
+	if !warm.Warm {
+		t.Fatal("re-solve over the unchanged window did not warm-start")
+	}
+	if warmTime > full/2 {
+		t.Fatalf("warm solve took %v, cold %v — plan not reused", warmTime, full)
+	}
+
+	// Cancel a tenth of the way into a cold structural solve: a fresh
+	// server (no carried plan) over the same stream.
+	s2 := newServer(t, top, Config{
+		WindowSize: 600,
+		SolverOpts: []estimator.Option{
+			estimator.WithMaxSubsetSize(3),
+			estimator.WithAlwaysGoodTol(0.02),
+			estimator.WithConcurrency(1),
+		},
+	})
+	defer s2.Close()
+	ingestSimulated(t, s2, top, 600)
 	ctx, cancel := context.WithCancel(context.Background())
 	go func() {
 		time.Sleep(full / 10)
 		cancel()
 	}()
 	start = time.Now()
-	snap := s.Recompute(ctx)
+	snap := s2.Recompute(ctx)
 	elapsed := time.Since(start)
 	if !errors.Is(snap.Err, context.Canceled) {
 		t.Fatalf("cancelled solve: err = %v, want context.Canceled", snap.Err)
@@ -94,14 +121,14 @@ func TestEpochSolveCancellation(t *testing.T) {
 	if elapsed > full/2 {
 		t.Fatalf("cancelled solve returned after %v; full solve takes %v — not prompt", elapsed, full)
 	}
-	if got := s.Latest(); got != first {
-		t.Fatalf("cancelled solve replaced the published snapshot")
+	if got := s2.Latest(); got != nil {
+		t.Fatalf("cancelled solve published a snapshot")
 	}
 
 	// The next solve publishes normally: epochs skip nothing.
-	second := s.Recompute(context.Background())
-	if second.Err != nil || second.Epoch != 2 {
-		t.Fatalf("post-cancellation epoch = %d (err %v), want 2", second.Epoch, second.Err)
+	second := s2.Recompute(context.Background())
+	if second.Err != nil || second.Epoch != 1 {
+		t.Fatalf("post-cancellation epoch = %d (err %v), want 1", second.Epoch, second.Err)
 	}
 }
 

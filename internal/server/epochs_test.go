@@ -1,0 +1,245 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/bitset"
+	"repro/internal/estimator"
+	"repro/internal/netsim"
+	"repro/internal/topology"
+)
+
+// simulatedBatches renders a deterministic interval stream for a
+// topology, one congested-path set per interval.
+func simulatedBatches(t testing.TB, top *topology.Topology, intervals int) []*bitset.Set {
+	t.Helper()
+	rng := rand.New(rand.NewSource(2))
+	mc := netsim.DefaultConfig(netsim.RandomCongestion)
+	mc.PerfectE2E = true
+	model, err := netsim.NewModel(top, mc, intervals, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]*bitset.Set, intervals)
+	for ti := 0; ti < intervals; ti++ {
+		out[ti] = model.Interval(ti, rng).CongestedPaths
+	}
+	return out
+}
+
+// The unsharded epoch loop must keep (and reuse) its structural plan:
+// a re-solve over an unchanged window warm-starts, and warm estimates
+// stay bit-identical to the stateless registry estimator.
+func TestUnshardedWarmEpochs(t *testing.T) {
+	top := testTopology(t)
+	s := newServer(t, top, Config{WindowSize: 300, SolverOpts: solverOpts()})
+	defer s.Close()
+	stream := simulatedBatches(t, top, 400)
+	s.Ingest(stream[:250])
+
+	first := s.Recompute(nil)
+	if first.Err != nil {
+		t.Fatal(first.Err)
+	}
+	if first.Warm {
+		t.Fatal("first epoch cannot be warm")
+	}
+	warm := s.Recompute(nil)
+	if warm.Err != nil {
+		t.Fatal(warm.Err)
+	}
+	if !warm.Warm {
+		t.Fatal("re-solve over the unchanged window did not warm-start")
+	}
+	// More ingest, another epoch; whatever path it took, the estimate
+	// must equal the stateless registry estimator over the same frozen
+	// window.
+	s.Ingest(stream[250:])
+	snap := s.Recompute(nil)
+	if snap.Err != nil {
+		t.Fatal(snap.Err)
+	}
+	registry, err := estimator.New(estimator.CorrelationComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := registry.Estimate(context.Background(), top, snap.Window, solverOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range want.LinkProb {
+		if got, exact := snap.Est.LinkCongestProb(e); got != want.LinkProb[e] || exact != want.LinkExact[e] {
+			t.Fatalf("link %d: warm loop (%v,%v) != stateless (%v,%v)", e, got, exact, want.LinkProb[e], want.LinkExact[e])
+		}
+	}
+}
+
+// With EpochEvery set, a burst that crosses several stride boundaries
+// must drain as one epoch per checkpoint — each bit-identical to the
+// stateless solve over that checkpoint's window — plus a live epoch,
+// all visible in the history ring and on /v1/epochs.
+func TestEpochCheckpointDrain(t *testing.T) {
+	const windowSize, epochEvery, total = 200, 60, 250
+	top := testTopology(t)
+	s := newServer(t, top, Config{
+		WindowSize: windowSize,
+		EpochEvery: epochEvery,
+		SolverOpts: solverOpts(),
+	})
+	defer s.Close()
+	stream := simulatedBatches(t, top, total)
+	s.Ingest(stream)
+
+	if pending, dropped := s.backlogStats(); pending != 4 || dropped != 0 {
+		t.Fatalf("backlog = (%d,%d), want (4,0)", pending, dropped)
+	}
+	snap := s.Recompute(nil)
+	if snap.Err != nil {
+		t.Fatal(snap.Err)
+	}
+	if snap.SeqHigh != total || snap.Epoch != 5 {
+		t.Fatalf("latest = seq %d epoch %d, want seq %d epoch 5", snap.SeqHigh, snap.Epoch, total)
+	}
+	if pending, _ := s.backlogStats(); pending != 0 {
+		t.Fatalf("backlog not drained: %d pending", pending)
+	}
+	history := s.History()
+	if len(history) != 5 {
+		t.Fatalf("history has %d epochs, want 5", len(history))
+	}
+	wantSeqs := []uint64{60, 120, 180, 240, 250}
+	registry, err := estimator.New(estimator.CorrelationComplete)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, h := range history {
+		if h.Epoch != uint64(i+1) || h.SeqHigh != wantSeqs[i] {
+			t.Fatalf("history[%d] = epoch %d seq %d, want epoch %d seq %d", i, h.Epoch, h.SeqHigh, i+1, wantSeqs[i])
+		}
+	}
+	// Re-derive checkpoint 3 (seq 180, window [0,180) truncated to 200
+	// cap — all 180 intervals) offline and compare against a replayed
+	// drain on a fresh server, asserting determinism of the batch path.
+	s2 := newServer(t, top, Config{WindowSize: windowSize, SolverOpts: solverOpts()})
+	defer s2.Close()
+	s2.Ingest(stream[:180])
+	ref := s2.Recompute(nil)
+	if ref.Err != nil {
+		t.Fatal(ref.Err)
+	}
+	want, err := registry.Estimate(context.Background(), top, ref.Window, solverOpts()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e := range want.LinkProb {
+		if got, _ := ref.Est.LinkCongestProb(e); got != want.LinkProb[e] {
+			t.Fatalf("checkpoint replay link %d: %v != %v", e, got, want.LinkProb[e])
+		}
+	}
+
+	// /v1/epochs serves the ring (and honors limit).
+	handler := s.Handler()
+	req := httptest.NewRequest(http.MethodGet, "/v1/epochs?limit=3", nil)
+	rw := httptest.NewRecorder()
+	handler.ServeHTTP(rw, req)
+	if rw.Code != http.StatusOK {
+		t.Fatalf("GET /v1/epochs: %d", rw.Code)
+	}
+	var env struct {
+		Data EpochsResponse `json:"data"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &env); err != nil {
+		t.Fatal(err)
+	}
+	if len(env.Data.Epochs) != 3 {
+		t.Fatalf("limit=3 returned %d epochs", len(env.Data.Epochs))
+	}
+	if env.Data.Epochs[2].Epoch != 5 || env.Data.Epochs[2].SeqHigh != total {
+		t.Fatalf("newest epoch = %+v, want epoch 5 seq %d", env.Data.Epochs[2], total)
+	}
+}
+
+// Past MaxEpochBacklog the oldest checkpoints are dropped and counted;
+// the drain then covers only the surviving ones.
+func TestEpochBacklogBound(t *testing.T) {
+	top := testTopology(t)
+	s := newServer(t, top, Config{
+		WindowSize:      200,
+		EpochEvery:      10,
+		MaxEpochBacklog: 3,
+		SolverOpts:      solverOpts(),
+	})
+	defer s.Close()
+	s.Ingest(simulatedBatches(t, top, 100))
+	if pending, dropped := s.backlogStats(); pending != 3 || dropped != 7 {
+		t.Fatalf("backlog = (%d,%d), want (3,7)", pending, dropped)
+	}
+	snap := s.Recompute(nil)
+	if snap.Err != nil {
+		t.Fatal(snap.Err)
+	}
+	// The surviving checkpoints (80, 90, 100) publish; the newest one
+	// is the live state, so no extra live epoch follows.
+	history := s.History()
+	if len(history) != 3 {
+		t.Fatalf("history has %d epochs, want 3", len(history))
+	}
+	if got := history[len(history)-1].SeqHigh; got != 100 {
+		t.Fatalf("newest epoch seq %d, want 100", got)
+	}
+	if snap.SeqHigh != 100 {
+		t.Fatalf("latest snapshot seq %d, want 100", snap.SeqHigh)
+	}
+}
+
+// EpochEvery is meaningless for the per-shard loops; New must reject
+// the combination.
+func TestEpochEveryRejectedWithSharded(t *testing.T) {
+	top := testTopology(t)
+	if _, err := New(top, Config{
+		Algo:       estimator.CorrelationCompleteSharded,
+		EpochEvery: 50,
+	}); err == nil {
+		t.Fatal("New accepted EpochEvery with the sharded solver")
+	}
+}
+
+// A cancelled backlog drain must requeue its checkpoints (bounded),
+// publish nothing, and consume no epoch; the next tick drains them.
+func TestEpochBacklogCancelRequeues(t *testing.T) {
+	top := testTopology(t)
+	s := newServer(t, top, Config{
+		WindowSize: 200,
+		EpochEvery: 60,
+		SolverOpts: solverOpts(),
+	})
+	defer s.Close()
+	s.Ingest(simulatedBatches(t, top, 250))
+	if pending, _ := s.backlogStats(); pending != 4 {
+		t.Fatalf("backlog = %d, want 4", pending)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	snap := s.Recompute(ctx)
+	if snap == nil || snap.Err == nil {
+		t.Fatal("cancelled drain returned no error snapshot")
+	}
+	if snap.Epoch != 0 {
+		t.Fatalf("cancelled drain consumed epoch %d", snap.Epoch)
+	}
+	if s.Latest() != nil {
+		t.Fatal("cancelled drain published a snapshot")
+	}
+	if pending, dropped := s.backlogStats(); pending != 4 || dropped != 0 {
+		t.Fatalf("backlog after cancel = (%d,%d), want (4,0)", pending, dropped)
+	}
+	// The retry drains normally: 4 checkpoint epochs + 1 live.
+	if snap := s.Recompute(nil); snap.Err != nil || snap.Epoch != 5 {
+		t.Fatalf("retry = epoch %d (err %v), want 5", snap.Epoch, snap.Err)
+	}
+}

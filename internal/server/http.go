@@ -148,6 +148,7 @@ type ShardStatus struct {
 	SeqHigh      uint64  `json:"seq_high"`
 	LagIntervals uint64  `json:"lag_intervals"`
 	Warm         bool    `json:"warm"`
+	Repaired     bool    `json:"repaired"`
 	ComputeMs    float64 `json:"last_compute_ms"`
 	Paths        int     `json:"paths"`
 	Links        int     `json:"links"`
@@ -175,9 +176,41 @@ type StatusResponse struct {
 	ClampedRows  int     `json:"clamped_rows"`
 	SolverError  string  `json:"solver_error,omitempty"`
 
+	// Warm and Repaired report how the published epoch's solve used the
+	// carried-forward structural plan (unsharded correlation-complete;
+	// sharded mode reports per shard below).
+	Warm     bool `json:"warm"`
+	Repaired bool `json:"repaired"`
+
+	// EpochBacklog is the number of interval-stride checkpoints waiting
+	// for the solver, CheckpointsDropped how many were discarded past
+	// the backlog bound; both 0 unless Config.EpochEvery is set.
+	EpochBacklog       int    `json:"epoch_backlog,omitempty"`
+	CheckpointsDropped uint64 `json:"checkpoints_dropped,omitempty"`
+
 	// Shards lists each shard solver's independent epoch and lag;
 	// present only in sharded mode.
 	Shards []ShardStatus `json:"shards,omitempty"`
+}
+
+// EpochRecord is one published epoch in GET /v1/epochs.
+type EpochRecord struct {
+	Epoch     uint64  `json:"epoch"`
+	SeqHigh   uint64  `json:"seq_high"`
+	WindowT   int     `json:"window_intervals"`
+	Warm      bool    `json:"warm"`
+	Repaired  bool    `json:"repaired"`
+	ComputeMs float64 `json:"compute_ms"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// EpochsResponse is GET /v1/epochs: the bounded ring of published
+// epochs, oldest first — with interval-stride epochs enabled
+// (Config.EpochEvery) this is where a drained lag burst becomes
+// visible as one epoch per checkpoint.
+type EpochsResponse struct {
+	Algorithm string        `json:"algorithm"`
+	Epochs    []EpochRecord `json:"epochs"`
 }
 
 // Handler returns the versioned HTTP API: batched ingest; per-link,
@@ -195,6 +228,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/estimators", s.handleEstimators)
 	mux.HandleFunc("GET /v1/paths/congested", s.handleCongestedPaths)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
 	return mux
 }
 
@@ -424,6 +458,35 @@ func (s *Server) handleCongestedPaths(w http.ResponseWriter, r *http.Request) {
 	writeData(w, http.StatusOK, resp)
 }
 
+func (s *Server) handleEpochs(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if v := r.URL.Query().Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeError(w, http.StatusBadRequest, CodeBadRequest, "limit must be a positive integer, got %q", v)
+			return
+		}
+		limit = n
+	}
+	history := s.History()
+	if limit > 0 && len(history) > limit {
+		history = history[len(history)-limit:]
+	}
+	resp := EpochsResponse{Algorithm: s.cfg.Algo, Epochs: make([]EpochRecord, 0, len(history))}
+	for _, h := range history {
+		resp.Epochs = append(resp.Epochs, EpochRecord{
+			Epoch:     h.Epoch,
+			SeqHigh:   h.SeqHigh,
+			WindowT:   h.T,
+			Warm:      h.Warm,
+			Repaired:  h.Repaired,
+			ComputeMs: float64(h.ComputeTime.Microseconds()) / 1000,
+			Error:     h.Err,
+		})
+	}
+	writeData(w, http.StatusOK, resp)
+}
+
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	// Load the snapshot before reading the ingest counter: SeqHigh is a
 	// past value of the monotone counter, so this order guarantees
@@ -436,11 +499,14 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		NumLinks:    s.top.NumLinks(),
 		NumPaths:    s.top.NumPaths(),
 	}
+	st.EpochBacklog, st.CheckpointsDropped = s.backlogStats()
 	if snap != nil {
 		st.Epoch = snap.Epoch
 		st.SnapshotSeq = snap.SeqHigh
 		st.LagIntervals = st.IngestedSeq - snap.SeqHigh
 		st.WindowT = snap.T
+		st.Warm = snap.Warm
+		st.Repaired = snap.Repaired
 		st.ComputeMs = float64(snap.ComputeTime.Microseconds()) / 1000
 		if snap.Err != nil {
 			st.SolverError = snap.Err.Error()
@@ -480,6 +546,7 @@ func (s *Server) shardStatuses(ingested uint64) []ShardStatus {
 			Epoch:     info.Epoch,
 			SeqHigh:   info.SeqHigh,
 			Warm:      info.Warm,
+			Repaired:  info.Repaired,
 			ComputeMs: float64(info.ComputeTime.Microseconds()) / 1000,
 			Paths:     info.Paths,
 			Links:     info.Links,

@@ -39,6 +39,7 @@ package server
 import (
 	"context"
 	"errors"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -46,6 +47,7 @@ import (
 	"repro/internal/bitset"
 	"repro/internal/core"
 	"repro/internal/estimator"
+	"repro/internal/observe"
 	"repro/internal/stream"
 	"repro/internal/topology"
 )
@@ -69,6 +71,23 @@ type Config struct {
 	// solves and per-request ?algo= runs alike. Invalid options are
 	// reported by New, before the service starts.
 	SolverOpts []estimator.Option
+
+	// EpochEvery, when positive, adds interval-stride epochs to the
+	// time-based cadence: ingest freezes a window checkpoint every
+	// EpochEvery intervals, and the solver drains all queued
+	// checkpoints on its next run — through one batched multi-RHS solve
+	// when the epoch solver is correlation-complete — publishing one
+	// epoch per checkpoint. A burst that crosses several stride
+	// boundaries therefore yields several observable epochs (see
+	// /v1/epochs) instead of one coarse latest-state solve. Unsharded
+	// modes only; New rejects it with the sharded solver.
+	EpochEvery int
+
+	// MaxEpochBacklog bounds the queued checkpoints (default 8): when
+	// ingest outruns the solver past the bound, the oldest pending
+	// checkpoints are dropped (counted on /v1/status) and lag degrades
+	// to the latest-state semantics, exactly as without EpochEvery.
+	MaxEpochBacklog int
 }
 
 // withDefaults fills the zero values.
@@ -81,6 +100,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Algo == "" {
 		c.Algo = estimator.CorrelationComplete
+	}
+	if c.MaxEpochBacklog <= 0 {
+		c.MaxEpochBacklog = 8
 	}
 	return c
 }
@@ -119,6 +141,14 @@ type Snapshot struct {
 
 	// T is the number of intervals in the window at solve time.
 	T int
+
+	// Warm reports that the epoch solver skipped the structural phase
+	// (carried-forward plan); Repaired that the plan additionally
+	// absorbed an always-good drift via repair rather than a rebuild.
+	// Always false outside the warm correlation-complete loop (sharded
+	// mode reports the same per shard in Shards).
+	Warm     bool
+	Repaired bool
 
 	ComputedAt  time.Time
 	ComputeTime time.Duration
@@ -219,8 +249,11 @@ type ShardInfo struct {
 	T       int
 
 	// Warm reports whether the structural plan was carried forward from
-	// the shard's previous epoch (see core.ComputePlanned).
-	Warm bool
+	// the shard's previous epoch; Repaired whether it was repaired
+	// across an always-good drift rather than rebuilt (see
+	// core.ComputePlanned and core.Plan.Repair).
+	Warm     bool
+	Repaired bool
 
 	ComputeTime time.Duration
 
@@ -239,8 +272,22 @@ type shardState struct {
 	t           int
 	epoch       uint64
 	warm        bool
+	repaired    bool
 	computeTime time.Duration
 	err         error
+}
+
+// EpochSummary is one published epoch's record in the server's bounded
+// history ring, the backing of GET /v1/epochs.
+type EpochSummary struct {
+	Epoch       uint64
+	SeqHigh     uint64
+	T           int
+	Warm        bool
+	Repaired    bool
+	ComputedAt  time.Time
+	ComputeTime time.Duration
+	Err         string
 }
 
 // Server is the streaming tomography service.
@@ -249,15 +296,33 @@ type Server struct {
 	cfg Config
 	est estimator.Estimator // the epoch solver, resolved from cfg.Algo
 
+	// warmSolver carries the correlation-complete structural plan
+	// across unsharded epochs (nil for other algorithms): the loop no
+	// longer discards its plan, so steady-state epochs skip the
+	// structural phase and always-good drift repairs in O(Δ). Guarded
+	// by computeMu (one solver loop owns it).
+	warmSolver *estimator.WarmSolver
+
 	// Sharded mode: the warm-start solver, the partitioned window
-	// (aliasing win) and one state per shard. All nil/empty otherwise.
+	// (aliasing win, internally locked with per-shard granularity) and
+	// one state per shard. All nil/empty otherwise.
 	sharded     *estimator.ShardedSolver
 	shardedWin  *stream.Sharded
 	shardStates []*shardState
-	publishMu   sync.Mutex // guards shardStates' published fields + snapshot assembly
+	publishMu   sync.Mutex // guards shardStates' published fields, snapshot assembly + history
 
-	mu  sync.Mutex // guards win (ingest and snapshot cloning)
+	// history is the bounded ring of published epochs (newest last,
+	// ascending epoch after sorting on read); guarded by publishMu.
+	history []EpochSummary
+
+	mu  sync.Mutex // guards win in unsharded mode (ingest, cloning, backlog)
 	win stream.Store
+
+	// backlog holds the frozen interval-stride checkpoints ingest has
+	// queued for the solver (Config.EpochEvery); dropped counts the
+	// checkpoints discarded past MaxEpochBacklog. Guarded by mu.
+	backlog        []stream.Store
+	backlogDropped uint64
 
 	computeMu sync.Mutex // serializes solver runs
 	epoch     atomic.Uint64
@@ -297,6 +362,10 @@ func New(top *topology.Topology, cfg Config) (*Server, error) {
 		stop:       make(chan struct{}),
 	}
 	if cfg.Algo == estimator.CorrelationCompleteSharded {
+		if cfg.EpochEvery > 0 {
+			cancel()
+			return nil, errors.New("server: EpochEvery applies to unsharded modes only (shard epochs are already per-shard)")
+		}
 		sv, err := estimator.NewShardedSolver(top, cfg.SolverOpts...)
 		if err != nil {
 			cancel()
@@ -310,9 +379,17 @@ func New(top *topology.Topology, cfg Config) (*Server, error) {
 		for i := range s.shardStates {
 			s.shardStates[i] = &shardState{}
 		}
-	} else {
-		s.win = stream.NewWindow(top.NumPaths(), cfg.WindowSize)
+		return s, nil
 	}
+	if cfg.Algo == estimator.CorrelationComplete {
+		ws, err := estimator.NewWarmSolver(top, cfg.SolverOpts...)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.warmSolver = ws
+	}
+	s.win = stream.NewWindow(top.NumPaths(), cfg.WindowSize)
 	return s, nil
 }
 
@@ -356,17 +433,39 @@ func (s *Server) Close() {
 // atomically with respect to snapshot cloning, and returns the sequence
 // number after the batch. Sets may contain indices outside the path
 // universe; they are dropped (observe.Recorder semantics).
+//
+// In sharded mode the batch goes through stream.Sharded.AddBatch,
+// whose shard-aware locking applies each shard's column of the batch
+// under that shard's own ring lock — a shard solver cloning its ring
+// mid-batch waits only for its own shard's slice, not for the whole
+// fan-out. With Config.EpochEvery set (unsharded), ingest also freezes
+// a window checkpoint at every stride boundary it crosses, bounded by
+// MaxEpochBacklog (oldest dropped first).
 func (s *Server) Ingest(batch []*bitset.Set) uint64 {
+	if s.sharded != nil {
+		return s.shardedWin.AddBatch(batch)
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, obs := range batch {
 		s.win.Add(obs)
+		if s.cfg.EpochEvery > 0 && s.win.Seq()%uint64(s.cfg.EpochEvery) == 0 {
+			s.backlog = append(s.backlog, s.win.CloneStore())
+			if len(s.backlog) > s.cfg.MaxEpochBacklog {
+				dropped := len(s.backlog) - s.cfg.MaxEpochBacklog
+				s.backlog = append(s.backlog[:0], s.backlog[dropped:]...)
+				s.backlogDropped += uint64(dropped)
+			}
+		}
 	}
 	return s.win.Seq()
 }
 
 // Seq returns the total number of intervals ingested.
 func (s *Server) Seq() uint64 {
+	if s.sharded != nil {
+		return s.shardedWin.Seq()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.win.Seq()
@@ -375,6 +474,22 @@ func (s *Server) Seq() uint64 {
 // Latest returns the most recently published snapshot, or nil before
 // the first solve completes.
 func (s *Server) Latest() *Snapshot { return s.snap.Load() }
+
+// backlogPending reports whether interval-stride checkpoints await the
+// solver.
+func (s *Server) backlogPending() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.backlog) > 0
+}
+
+// backlogStats returns the pending checkpoint count and how many have
+// been dropped past MaxEpochBacklog.
+func (s *Server) backlogStats() (pending int, dropped uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.backlog), s.backlogDropped
+}
 
 // Recompute clones the live window, runs the configured estimator over
 // the frozen clone, publishes the new snapshot, and returns it. It is
@@ -394,17 +509,34 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 	}
 	s.computeMu.Lock()
 	defer s.computeMu.Unlock()
+	drained, err := s.drainBacklog(ctx)
+	if err != nil {
+		return drained // error/cancelled snapshot; checkpoints were requeued
+	}
 	s.mu.Lock()
 	w := s.win.CloneStore()
 	s.mu.Unlock()
+	if drained != nil && drained.SeqHigh == w.Seq() {
+		// The newest checkpoint was the live state: the drain already
+		// published this epoch.
+		return drained
+	}
 	start := time.Now()
-	est, err := s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...)
+	var est *estimator.Estimate
+	var info estimator.SolveInfo
+	if s.warmSolver != nil {
+		est, info, err = s.warmSolver.Estimate(ctx, w)
+	} else {
+		est, err = s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...)
+	}
 	snap := &Snapshot{
 		Algo:        s.cfg.Algo,
 		Est:         est,
 		Window:      w,
 		SeqHigh:     w.Seq(),
 		T:           w.T(),
+		Warm:        info.Warm,
+		Repaired:    info.Repaired,
 		ComputedAt:  time.Now(),
 		ComputeTime: time.Since(start),
 		Err:         err,
@@ -416,9 +548,149 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return snap // cancelled: do not publish, do not consume an epoch
 	}
-	snap.Epoch = s.epoch.Add(1)
-	s.snap.Store(snap)
+	s.publish(snap)
 	return snap
+}
+
+// drainBacklog solves every queued interval-stride checkpoint —
+// through the warm solver's batched multi-RHS path when available —
+// and publishes one epoch per checkpoint, returning the newest
+// published snapshot (nil when the backlog was empty). Errors follow
+// Recompute's contract: a cancellation requeues the checkpoints (the
+// MaxEpochBacklog bound re-applied) and returns an unpublished
+// snapshot consuming no epoch; any other solver error publishes the
+// error snapshot — visible on /v1/status and in the history — and
+// drops the failed checkpoints so a persistent error can never pin
+// the solver to the backlog and starve the live-window solve.
+func (s *Server) drainBacklog(ctx context.Context) (*Snapshot, error) {
+	s.mu.Lock()
+	pending := s.backlog
+	s.backlog = nil
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	start := time.Now()
+	ests := make([]*estimator.Estimate, len(pending))
+	infos := make([]estimator.SolveInfo, len(pending))
+	var err error
+	if s.warmSolver != nil {
+		stores := make([]observe.Store, len(pending))
+		for i, w := range pending {
+			stores[i] = w
+		}
+		ests, infos, err = s.warmSolver.EstimateBatch(ctx, stores)
+	} else {
+		for i, w := range pending {
+			if ests[i], err = s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...); err != nil {
+				break
+			}
+		}
+	}
+	if err != nil {
+		last := pending[len(pending)-1]
+		snap := &Snapshot{
+			Algo:        s.cfg.Algo,
+			Window:      last,
+			SeqHigh:     last.Seq(),
+			T:           last.T(),
+			ComputedAt:  time.Now(),
+			ComputeTime: time.Since(start),
+			Err:         err,
+			top:         s.top,
+			opts:        s.cfg.SolverOpts,
+			lifetime:    s.baseCtx,
+			byAlgo:      map[string]*algoCell{},
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Cancelled: requeue for the next tick, keeping the bound.
+			s.mu.Lock()
+			s.backlog = append(pending, s.backlog...)
+			if over := len(s.backlog) - s.cfg.MaxEpochBacklog; over > 0 {
+				s.backlog = append(s.backlog[:0], s.backlog[over:]...)
+				s.backlogDropped += uint64(over)
+			}
+			s.mu.Unlock()
+			return snap, err // not published, no epoch consumed
+		}
+		s.publish(snap)
+		s.mu.Lock()
+		s.backlogDropped += uint64(len(pending))
+		s.mu.Unlock()
+		return snap, err
+	}
+	// One publish per checkpoint, oldest first; the batch's cost is
+	// amortized evenly across the drained epochs.
+	share := time.Duration(int64(time.Since(start)) / int64(len(pending)))
+	var newest *Snapshot
+	for i, w := range pending {
+		snap := &Snapshot{
+			Algo:        s.cfg.Algo,
+			Est:         ests[i],
+			Window:      w,
+			SeqHigh:     w.Seq(),
+			T:           w.T(),
+			Warm:        infos[i].Warm,
+			Repaired:    infos[i].Repaired,
+			ComputedAt:  time.Now(),
+			ComputeTime: share,
+			top:         s.top,
+			opts:        s.cfg.SolverOpts,
+			lifetime:    s.baseCtx,
+			byAlgo:      map[string]*algoCell{},
+		}
+		s.publish(snap)
+		newest = snap
+	}
+	return newest, nil
+}
+
+// publish assigns the next epoch to snap, makes it the latest snapshot
+// and records it in the history ring. The pointer swap is seq-guarded:
+// a drained checkpoint older than the already-published live window
+// consumes its epoch and enters the history but never rolls the latest
+// snapshot backwards in ingest sequence.
+func (s *Server) publish(snap *Snapshot) {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+	snap.Epoch = s.epoch.Add(1)
+	if cur := s.snap.Load(); cur == nil || (cur.Epoch < snap.Epoch && cur.SeqHigh <= snap.SeqHigh) {
+		s.snap.Store(snap)
+	}
+	s.appendHistoryLocked(snap)
+}
+
+// epochHistoryCap bounds the history ring behind GET /v1/epochs.
+const epochHistoryCap = 64
+
+// appendHistoryLocked records a published epoch; the caller holds
+// publishMu.
+func (s *Server) appendHistoryLocked(snap *Snapshot) {
+	sum := EpochSummary{
+		Epoch:       snap.Epoch,
+		SeqHigh:     snap.SeqHigh,
+		T:           snap.T,
+		Warm:        snap.Warm,
+		Repaired:    snap.Repaired,
+		ComputedAt:  snap.ComputedAt,
+		ComputeTime: snap.ComputeTime,
+	}
+	if snap.Err != nil {
+		sum.Err = snap.Err.Error()
+	}
+	s.history = append(s.history, sum)
+	if len(s.history) > epochHistoryCap {
+		s.history = append(s.history[:0], s.history[len(s.history)-epochHistoryCap:]...)
+	}
+}
+
+// History returns the published-epoch ring, oldest first.
+func (s *Server) History() []EpochSummary {
+	s.publishMu.Lock()
+	defer s.publishMu.Unlock()
+	out := append([]EpochSummary(nil), s.history...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Epoch < out[j].Epoch })
+	return out
 }
 
 // recomputeSharded is Recompute for sharded mode: one synchronous epoch
@@ -431,17 +703,15 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	s.computeMu.Lock()
 	defer s.computeMu.Unlock()
-	s.mu.Lock()
 	full := s.shardedWin.Clone()
-	s.mu.Unlock()
 	start := time.Now()
 	results := make([]*core.Result, len(s.shardStates))
-	warms := make([]bool, len(s.shardStates))
+	infos := make([]estimator.SolveInfo, len(s.shardStates))
 	durs := make([]time.Duration, len(s.shardStates))
 	for sid, st := range s.shardStates {
 		st.mu.Lock()
 		shardStart := time.Now()
-		res, warm, err := s.sharded.SolveShard(ctx, sid, full.Shard(sid))
+		res, info, err := s.sharded.SolveShard(ctx, sid, full.Shard(sid))
 		durs[sid] = time.Since(shardStart)
 		st.mu.Unlock()
 		if err != nil {
@@ -468,7 +738,7 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 			return snap
 		}
 		results[sid] = res
-		warms[sid] = warm
+		infos[sid] = info
 	}
 	// Publish every shard's block, unless a background shard epoch has
 	// already published a newer one (then its state — and its block —
@@ -478,7 +748,7 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	shards := make([]ShardInfo, len(s.shardStates))
 	for sid, st := range s.shardStates {
 		if full.Seq() >= st.seqHigh {
-			st.res, st.seqHigh, st.t, st.warm, st.err = results[sid], full.Seq(), full.T(), warms[sid], nil
+			st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = results[sid], full.Seq(), full.T(), infos[sid].Warm, infos[sid].Repaired, nil
 			st.epoch++
 			st.computeTime = durs[sid]
 		}
@@ -542,11 +812,11 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 	st := s.shardStates[sid]
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	s.mu.Lock()
-	ring := s.shardedWin.Shard(sid).Clone()
-	s.mu.Unlock()
+	// CloneShard takes only this shard's ring lock: an ingest batch
+	// mid-fan-out on other shards no longer stalls this solve.
+	ring := s.shardedWin.CloneShard(sid)
 	start := time.Now()
-	res, warm, err := s.sharded.SolveShard(ctx, sid, ring)
+	res, info, err := s.sharded.SolveShard(ctx, sid, ring)
 	s.publishMu.Lock()
 	if err != nil {
 		st.err = err
@@ -557,7 +827,7 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 		s.publishMu.Unlock()
 		return // stale: a newer block for this shard was already published
 	}
-	st.res, st.seqHigh, st.t, st.warm, st.err = res, ring.Seq(), ring.T(), warm, nil
+	st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = res, ring.Seq(), ring.T(), info.Warm, info.Repaired, nil
 	st.epoch++
 	st.computeTime = time.Since(start)
 	s.publishMu.Unlock()
@@ -575,6 +845,7 @@ func (s *Server) shardInfoLocked(sid int) ShardInfo {
 		SeqHigh:     st.seqHigh,
 		T:           st.t,
 		Warm:        st.warm,
+		Repaired:    st.repaired,
 		ComputeTime: st.computeTime,
 		Paths:       paths,
 		Links:       links,
@@ -610,9 +881,7 @@ func (s *Server) publishMerged() {
 	epoch := s.epoch.Add(1)
 	s.publishMu.Unlock()
 
-	s.mu.Lock()
 	full := s.shardedWin.Clone()
-	s.mu.Unlock()
 	est := s.sharded.Merge(results, full)
 	snap := &Snapshot{
 		Epoch:       epoch,
@@ -633,13 +902,15 @@ func (s *Server) publishMerged() {
 }
 
 // storeSnapshotGuarded publishes snap unless a higher-epoch snapshot
-// got there first.
+// got there first; either way the epoch was consumed and is recorded
+// in the history ring.
 func (s *Server) storeSnapshotGuarded(snap *Snapshot) {
 	s.publishMu.Lock()
 	defer s.publishMu.Unlock()
 	if cur := s.snap.Load(); cur == nil || cur.Epoch < snap.Epoch {
 		s.snap.Store(snap)
 	}
+	s.appendHistoryLocked(snap)
 }
 
 // run is the solver loop: one potential epoch per tick, skipped when
@@ -659,7 +930,7 @@ func (s *Server) run() {
 		case <-s.stop:
 			return
 		case <-ticker.C:
-			if last := s.snap.Load(); last != nil && last.SeqHigh == s.Seq() {
+			if last := s.snap.Load(); last != nil && last.SeqHigh == s.Seq() && !s.backlogPending() {
 				continue // window unchanged since the last epoch
 			}
 			if superseded {

@@ -3,6 +3,7 @@ package stream
 import (
 	"math"
 	"math/bits"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/observe"
@@ -46,6 +47,17 @@ var (
 // tested). Per-shard solver loops read one ring each through Shard,
 // so a solve over shard A never touches shard B's masks.
 //
+// Ingest and snapshotting are internally synchronized with shard-aware
+// granularity: AddBatch serializes batches on one ingest lock (batches
+// stay atomic and ring lockstep holds) but applies each shard's column
+// of the batch under that shard's own ring lock, and CloneShard takes
+// only its shard's ring lock — so a shard solver cloning its ring
+// waits for at most its own shard's slice of an in-flight batch, never
+// for the whole multi-shard application. Whole-store reads (Clone,
+// Seq, T) coordinate on the ingest lock. The remaining query surface
+// (GoodCount, CongestedAt, …) stays caller-synchronized: the server
+// only issues those against frozen clones.
+//
 // When the partition is unknown (a nil mapping or a single shard),
 // Sharded degrades to exactly one ring and delegates to it.
 type Sharded struct {
@@ -53,9 +65,19 @@ type Sharded struct {
 	shardOf  []int // path -> shard; nil means everything in shard 0
 	shards   []*Window
 
-	// routing holds one reusable congested-path set per shard, filled by
-	// Add; Window.Add copies its input, so reuse across calls is safe.
-	routing []*bitset.Set
+	// ingestMu serializes writers (and whole-store snapshots against
+	// them); ringMu[s] guards shard s's ring state. Writers take
+	// ingestMu then each ringMu in turn; readers take exactly one.
+	ingestMu sync.Mutex
+	ringMu   []sync.Mutex
+
+	// pathMask[s] is the path universe owned by shard s; routing holds
+	// one reusable congested-path scratch per shard, filled under
+	// ingestMu (Window.Add copies its input, so reuse is safe). one is
+	// Add's single-interval batch header, also guarded by ingestMu.
+	pathMask []*bitset.Set
+	routing  []*bitset.Set
+	one      [1]*bitset.Set
 }
 
 // NewSharded returns an empty sharded window over numPaths paths
@@ -80,11 +102,22 @@ func NewSharded(numPaths, capacity int, shardOf []int, numShards int) *Sharded {
 		numPaths: numPaths,
 		shardOf:  shardOf,
 		shards:   make([]*Window, numShards),
+		ringMu:   make([]sync.Mutex, numShards),
+		pathMask: make([]*bitset.Set, numShards),
 		routing:  make([]*bitset.Set, numShards),
 	}
 	for i := range sh.shards {
 		sh.shards[i] = NewWindow(numPaths, capacity)
+		sh.pathMask[i] = bitset.New(numPaths)
 		sh.routing[i] = bitset.New(numPaths)
+	}
+	for p, s := range shardOf {
+		sh.pathMask[s].Add(p)
+	}
+	if shardOf == nil {
+		for p := 0; p < numPaths; p++ {
+			sh.pathMask[0].Add(p)
+		}
 	}
 	return sh
 }
@@ -103,8 +136,18 @@ func (sh *Sharded) ShardOf(p int) int {
 // Shard returns shard s's ring. It implements observe.Store over the
 // full path universe with only shard s's paths ever congested, which is
 // exactly what a per-shard solve reads. The result must only be
-// mutated through the Sharded's own Add.
+// mutated through the Sharded's own Add/AddBatch; live reads of it
+// must hold the shard's ring lock (use CloneShard for a frozen copy).
 func (sh *Sharded) Shard(s int) *Window { return sh.shards[s] }
+
+// CloneShard returns a frozen deep copy of shard s's ring, taking only
+// that shard's ring lock: a shard solver snapshotting its input waits
+// for at most its own shard's slice of an in-flight ingest batch.
+func (sh *Sharded) CloneShard(s int) *Window {
+	sh.ringMu[s].Lock()
+	defer sh.ringMu[s].Unlock()
+	return sh.shards[s].Clone()
+}
 
 // windowOf returns the ring owning path p.
 func (sh *Sharded) windowOf(p int) *Window { return sh.shards[sh.ShardOf(p)] }
@@ -114,32 +157,63 @@ func (sh *Sharded) windowOf(p int) *Window { return sh.shards[sh.ShardOf(p)] }
 // an all-good interval still advances every shard's frequencies).
 // Indices outside the path universe are dropped, matching Window.
 func (sh *Sharded) Add(congested *bitset.Set) {
-	if len(sh.shards) == 1 {
-		sh.shards[0].Add(congested)
-		return
-	}
-	for _, r := range sh.routing {
-		r.Clear()
-	}
-	congested.ForEach(func(p int) bool {
-		if p < sh.numPaths {
-			sh.routing[sh.shardOf[p]].Add(p)
+	sh.ingestMu.Lock()
+	defer sh.ingestMu.Unlock()
+	sh.one[0] = congested
+	sh.addBatchLocked(sh.one[:])
+	sh.one[0] = nil
+}
+
+// AddBatch appends a batch of intervals to every shard, returning the
+// ingest sequence after the batch. Batches are serialized on the
+// ingest lock (so every ring sees every batch in the same order and
+// lockstep holds), but each shard's column of the batch is applied
+// under that shard's own ring lock — per-shard cloners (CloneShard)
+// contend only with their own shard's application, never with the
+// whole fan-out.
+func (sh *Sharded) AddBatch(batch []*bitset.Set) uint64 {
+	sh.ingestMu.Lock()
+	defer sh.ingestMu.Unlock()
+	sh.addBatchLocked(batch)
+	return sh.shards[0].Seq()
+}
+
+// addBatchLocked applies the batch shard by shard; the caller holds
+// ingestMu.
+func (sh *Sharded) addBatchLocked(batch []*bitset.Set) {
+	for s, w := range sh.shards {
+		routed := sh.routing[s]
+		sh.ringMu[s].Lock()
+		for _, congested := range batch {
+			if len(sh.shards) == 1 {
+				w.Add(congested)
+				continue
+			}
+			routed.Clear()
+			routed.UnionWith(congested)
+			routed.IntersectWith(sh.pathMask[s])
+			w.Add(routed)
 		}
-		return true
-	})
-	for i, w := range sh.shards {
-		w.Add(sh.routing[i])
+		sh.ringMu[s].Unlock()
 	}
 }
 
 // T returns the number of live intervals (identical across shards).
-func (sh *Sharded) T() int { return sh.shards[0].T() }
+func (sh *Sharded) T() int {
+	sh.ingestMu.Lock()
+	defer sh.ingestMu.Unlock()
+	return sh.shards[0].T()
+}
 
 // Cap returns the per-shard window capacity in intervals.
 func (sh *Sharded) Cap() int { return sh.shards[0].Cap() }
 
 // Seq returns the total number of intervals ever added.
-func (sh *Sharded) Seq() uint64 { return sh.shards[0].Seq() }
+func (sh *Sharded) Seq() uint64 {
+	sh.ringMu[0].Lock()
+	defer sh.ringMu[0].Unlock()
+	return sh.shards[0].Seq()
+}
 
 // NumPaths returns the path universe size.
 func (sh *Sharded) NumPaths() int { return sh.numPaths }
@@ -284,12 +358,17 @@ func (sh *Sharded) AlwaysGoodPaths(tol float64) *bitset.Set {
 	return out
 }
 
-// Clone returns an independent deep copy of every ring.
+// Clone returns an independent deep copy of every ring, taken under
+// the ingest lock so the copy observes a batch-atomic lockstep state.
 func (sh *Sharded) Clone() *Sharded {
+	sh.ingestMu.Lock()
+	defer sh.ingestMu.Unlock()
 	c := &Sharded{
 		numPaths: sh.numPaths,
 		shardOf:  sh.shardOf, // immutable after construction
 		shards:   make([]*Window, len(sh.shards)),
+		ringMu:   make([]sync.Mutex, len(sh.shards)),
+		pathMask: sh.pathMask, // immutable after construction
 		routing:  make([]*bitset.Set, len(sh.shards)),
 	}
 	for i, w := range sh.shards {

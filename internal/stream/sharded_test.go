@@ -2,6 +2,8 @@ package stream
 
 import (
 	"math/rand"
+	"sort"
+	"sync"
 	"testing"
 	"testing/quick"
 
@@ -161,5 +163,135 @@ func TestShardedCloneIndependent(t *testing.T) {
 	}
 	if cs := sh.CloneStore(); cs.NumPaths() != 4 {
 		t.Fatal("CloneStore")
+	}
+}
+
+// AddBatch must be observationally identical to interval-by-interval
+// Add: batching changes lock granularity, never ring contents.
+func TestShardedAddBatchMatchesAdd(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	const numPaths, capacity, shards = 40, 64, 3
+	mapping := randomShardMap(rng, numPaths, shards)
+	a := NewSharded(numPaths, capacity, mapping, shards)
+	b := NewSharded(numPaths, capacity, mapping, shards)
+	w := NewWindow(numPaths, capacity)
+	var batch []*bitset.Set
+	for i := 0; i < 150; i++ {
+		s := bitset.New(numPaths)
+		for p := 0; p < numPaths; p++ {
+			if rng.Intn(4) == 0 {
+				s.Add(p)
+			}
+		}
+		batch = append(batch, s)
+		a.Add(s)
+		w.Add(s)
+		if len(batch) == 16 || i == 149 {
+			b.AddBatch(batch)
+			batch = batch[:0]
+		}
+	}
+	if !checkShardedAgainstWindow(t, rng, a, w, numPaths) {
+		t.Fatal("per-interval Add diverged from single window")
+	}
+	if !checkShardedAgainstWindow(t, rng, b, w, numPaths) {
+		t.Fatal("AddBatch diverged from single window")
+	}
+}
+
+// Concurrent ingest batches, per-shard clones and whole-store clones
+// must neither race (run under -race in CI) nor break the lockstep
+// invariant: every snapshot — per-shard or whole — observes a
+// batch-atomic state, and the final store equals a serial replay of
+// the batches in commit order.
+func TestShardedConcurrentIngestAndClones(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const numPaths, capacity, shards, batches, perBatch = 30, 128, 3, 40, 8
+	mapping := randomShardMap(rng, numPaths, shards)
+	sh := NewSharded(numPaths, capacity, mapping, shards)
+
+	all := make([][]*bitset.Set, batches)
+	for i := range all {
+		all[i] = make([]*bitset.Set, perBatch)
+		for j := range all[i] {
+			s := bitset.New(numPaths)
+			for p := 0; p < numPaths; p++ {
+				if rng.Intn(5) == 0 {
+					s.Add(p)
+				}
+			}
+			all[i][j] = s
+		}
+	}
+
+	var wg sync.WaitGroup
+	commitSeq := make([]uint64, batches) // batch -> ingest seq after commit
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := g; i < batches; i += 4 {
+				commitSeq[i] = sh.AddBatch(all[i])
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	var readers sync.WaitGroup
+	for g := 0; g < 3; g++ {
+		readers.Add(1)
+		go func(g int) {
+			defer readers.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Whole-store snapshots must be batch-atomic: every ring in
+				// lockstep and the live count a multiple of the batch size
+				// (until eviction pins it at capacity).
+				c := sh.Clone()
+				seq := c.Shard(0).Seq()
+				for s := 1; s < shards; s++ {
+					if c.Shard(s).Seq() != seq {
+						t.Errorf("clone rings out of lockstep: %d vs %d", c.Shard(s).Seq(), seq)
+						return
+					}
+				}
+				if seq%perBatch != 0 {
+					t.Errorf("clone split a batch: seq %d", seq)
+					return
+				}
+				// Per-shard clones must also be batch-atomic.
+				if got := sh.CloneShard(g % shards).Seq(); got%perBatch != 0 {
+					t.Errorf("shard clone split a batch: seq %d", got)
+					return
+				}
+				_ = sh.Seq()
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(stop)
+	readers.Wait()
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	// The final state equals a serial replay in commit order (the
+	// post-batch sequence each AddBatch returned orders the commits).
+	order := make([]int, batches)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return commitSeq[order[a]] < commitSeq[order[b]] })
+	want := NewWindow(numPaths, capacity)
+	for _, i := range order {
+		for _, s := range all[i] {
+			want.Add(s)
+		}
+	}
+	if !checkShardedAgainstWindow(t, rng, sh, want, numPaths) {
+		t.Fatal("concurrent ingest diverged from serial replay in commit order")
 	}
 }
