@@ -27,6 +27,7 @@ import (
 	"repro/internal/server"
 	"repro/internal/stream"
 	"repro/internal/topology"
+	"repro/internal/wal"
 )
 
 func benchCfg() experiment.Config {
@@ -333,6 +334,30 @@ func BenchmarkStreamIngest(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			w.Add(pool[i%len(pool)])
 		}
+		b.ReportMetric(float64(w.T()), "window-intervals")
+	})
+	b.Run("add-evict-wal", func(b *testing.B) {
+		// Durable variant: the same steady-state eviction loop with a
+		// WAL attached (fsync=interval, the default). The append
+		// encodes into a reused slab and issues one Write, so
+		// durability must not add a single allocation per interval.
+		wl, err := wal.Open(wal.Options{Dir: b.TempDir(), Policy: wal.SyncInterval})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer wl.Close()
+		w := newWarmWindow()
+		w.SetLog(wl)
+		batch := make([]*bitset.Set, 1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			batch[0] = pool[i%len(pool)]
+			if _, err := w.AddBatch(batch); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
 		b.ReportMetric(float64(w.T()), "window-intervals")
 	})
 	paths := bitset.New(numPaths)

@@ -32,7 +32,16 @@
 //	GET  /v1/subsets/{id}      one subset, with joint congestion probability
 //	GET  /v1/estimators        the estimator registry
 //	GET  /v1/paths/congested   paths above ?min= congested fraction (observation-level)
-//	GET  /v1/status            window fill, epoch, solver lag and stats (+ per-shard state)
+//	GET  /v1/status            window fill, epoch, solver lag and stats (+ per-shard, WAL, degraded state)
+//	GET  /v1/healthz           liveness probe
+//	GET  /v1/readyz            readiness probe (503 not_ready until the first epoch)
+//
+// With -wal-dir every acknowledged observation batch is appended to a
+// checksummed write-ahead log before it is applied; on restart the
+// daemon recovers the sliding window from the log (truncating a torn
+// tail left by a crash mid-write) and resumes ingest at the recovered
+// sequence. -wal-fsync trades durability for latency: batch (sync
+// every ack), interval (background sync, default), off.
 //
 // Load-generator mode drives simulated netsim intervals at a running
 // daemon (the topology must be the same file/generation):
@@ -59,6 +68,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/server"
 	"repro/internal/topology"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -76,6 +86,15 @@ func main() {
 		maxSubset   = flag.Int("maxsubset", 2, "serve: Correlation-complete max subset size")
 		tol         = flag.Float64("tol", 0.02, "serve: always-good congested-fraction tolerance")
 		epochEvery  = flag.Int("epoch-every", 0, "serve: also publish one epoch per N ingested intervals (0 = time-based only; unsharded algos)")
+
+		walDir      = flag.String("wal-dir", "", "serve: write-ahead log directory for durable ingest (empty = no durability)")
+		walFsync    = flag.String("wal-fsync", "interval", "serve: WAL fsync policy: batch, interval, or off")
+		walEvery    = flag.Duration("wal-fsync-every", 100*time.Millisecond, "serve: background fsync cadence with -wal-fsync=interval")
+		walSegBytes = flag.Int64("wal-segment-bytes", 8<<20, "serve: WAL segment rotation size")
+
+		readHeaderTimeout = flag.Duration("read-header-timeout", 5*time.Second, "serve: http.Server ReadHeaderTimeout (slowloris guard)")
+		readTimeout       = flag.Duration("read-timeout", time.Minute, "serve: http.Server ReadTimeout (whole request, incl. body)")
+		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "serve: http.Server IdleTimeout for keep-alive connections")
 
 		loadgen   = flag.Bool("loadgen", false, "run as load generator instead of serving")
 		target    = flag.String("target", "http://localhost:9900", "loadgen: base URL of the daemon")
@@ -126,9 +145,35 @@ func main() {
 			estimator.WithConcurrency(*concurrency),
 		},
 	}
-	if err := serve(top, cfg, *listen); err != nil {
+	if *walDir != "" {
+		policy, err := wal.ParseSyncPolicy(*walFsync)
+		if err != nil {
+			log.Fatalf("tomod: %v", err)
+		}
+		cfg.WAL = wal.Options{
+			Dir:          *walDir,
+			Policy:       policy,
+			SyncEvery:    *walEvery,
+			SegmentBytes: *walSegBytes,
+		}
+	}
+	timeouts := httpTimeouts{
+		readHeader: *readHeaderTimeout,
+		read:       *readTimeout,
+		idle:       *idleTimeout,
+	}
+	if err := serve(top, cfg, *listen, timeouts); err != nil {
 		log.Fatalf("tomod: %v", err)
 	}
+}
+
+// httpTimeouts bounds how long a client may hold a connection: without
+// them one slow-written request (or an idle keep-alive pool) can pin
+// server goroutines indefinitely.
+type httpTimeouts struct {
+	readHeader time.Duration
+	read       time.Duration
+	idle       time.Duration
 }
 
 // loadTopology reads the topology file, or generates one when -gen is
@@ -173,15 +218,25 @@ func loadTopology(path, gen, scaleName string, seed int64) (*topology.Topology, 
 
 // serve runs the streaming service until SIGINT/SIGTERM, then shuts
 // down gracefully: stop accepting connections, stop the solver loop.
-func serve(top *topology.Topology, cfg server.Config, listen string) error {
+func serve(top *topology.Topology, cfg server.Config, listen string, timeouts httpTimeouts) error {
 	s, err := server.New(top, cfg)
 	if err != nil {
 		return err
 	}
+	if _, rec, ok := s.WALStats(); ok {
+		log.Printf("wal: recovered %d records (%d intervals, seq %d..%d, %d torn bytes truncated) from %s",
+			rec.Records, rec.Intervals, rec.FirstSeq, rec.LastSeq, rec.TruncatedBytes, cfg.WAL.Dir)
+	}
 	s.Start()
 	defer s.Close()
 
-	httpSrv := &http.Server{Addr: listen, Handler: s.Handler()}
+	httpSrv := &http.Server{
+		Addr:              listen,
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: timeouts.readHeader,
+		ReadTimeout:       timeouts.read,
+		IdleTimeout:       timeouts.idle,
+	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 

@@ -13,8 +13,8 @@ import (
 	"repro/internal/estimator"
 )
 
-// maxIngestBody bounds one ingest request (64 MiB is ~ a day of
-// intervals on the paper-scale path universe).
+// maxIngestBody is the default Config.MaxIngestBytes (64 MiB is ~ a
+// day of intervals on the paper-scale path universe).
 const maxIngestBody = 64 << 20
 
 // APIVersion tags every response envelope; clients should reject
@@ -32,6 +32,10 @@ const (
 	CodeSolveCanceled = "solve_canceled" // the request's solve was cancelled (client gone or shutdown)
 	CodeSolverFailed  = "solver_failed"  // the estimator returned an error
 	CodeInternal      = "internal_error" // server-side failure unrelated to the solve
+
+	CodePayloadTooLarge = "payload_too_large" // ingest body exceeds MaxIngestBytes
+	CodeWALUnavailable  = "wal_unavailable"   // the write-ahead log cannot accept the batch (stalled or failed disk)
+	CodeNotReady        = "not_ready"         // readiness probe: no snapshot published yet
 )
 
 // Envelope is the versioned wrapper of every v1 response: exactly one
@@ -191,6 +195,39 @@ type StatusResponse struct {
 	// Shards lists each shard solver's independent epoch and lag;
 	// present only in sharded mode.
 	Shards []ShardStatus `json:"shards,omitempty"`
+
+	// Degraded reports a contained failure: a recovered solver panic
+	// (cleared by the next clean epoch) or a latched WAL failure
+	// (persists until restart). The daemon keeps serving its last good
+	// snapshot while degraded.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degraded_reason,omitempty"`
+
+	// WAL is the durable-ingest state; absent when -wal-dir is unset.
+	WAL *WALStatus `json:"wal,omitempty"`
+}
+
+// WALStatus is the wal{} block of GET /v1/status.
+type WALStatus struct {
+	// LastSeq is the durable high-water mark: every interval up to it
+	// survives a crash (modulo the fsync policy's window).
+	LastSeq  uint64 `json:"last_seq"`
+	Segments int    `json:"segments"`
+	Bytes    int64  `json:"bytes"`
+	// FsyncPolicy is "batch", "interval" or "off".
+	FsyncPolicy string `json:"fsync_policy"`
+	// RecoveredRecords is how many records the startup scan replayed;
+	// TruncatedBytes the torn tail it dropped (0 on a clean start).
+	RecoveredRecords int   `json:"recovered_records"`
+	TruncatedBytes   int64 `json:"truncated_bytes,omitempty"`
+	// Error is the latched WAL failure, if any: ingest is refusing
+	// batches (503) until the daemon is restarted.
+	Error string `json:"error,omitempty"`
+}
+
+// HealthResponse is GET /v1/healthz and /v1/readyz.
+type HealthResponse struct {
+	Status string `json:"status"`
 }
 
 // EpochRecord is one published epoch in GET /v1/epochs.
@@ -229,6 +266,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/paths/congested", s.handleCongestedPaths)
 	mux.HandleFunc("GET /v1/status", s.handleStatus)
 	mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
 	return mux
 }
 
@@ -258,8 +297,14 @@ func writeEnvelope(w http.ResponseWriter, status int, env Envelope) {
 
 func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	var req ObservationsRequest
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBody))
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxIngestBytes))
 	if err := dec.Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
+				"body exceeds the %d-byte ingest limit; split the batch", tooLarge.Limit)
+			return
+		}
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding body: %v", err)
 		return
 	}
@@ -277,8 +322,33 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		}
 		batch[i] = set
 	}
-	seq := s.Ingest(batch)
+	seq, err := s.Ingest(batch)
+	if err != nil {
+		// The WAL cannot persist the batch: a stalled disk clears on
+		// its own (retry soon), a latched write/fsync failure needs a
+		// restart — either way the client should back off and retry
+		// rather than treat the observations as accepted.
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusServiceUnavailable, CodeWALUnavailable, "durable ingest unavailable: %v", err)
+		return
+	}
 	writeData(w, http.StatusOK, ObservationsResponse{Accepted: len(batch), Seq: seq})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeData(w, http.StatusOK, HealthResponse{Status: "ok"})
+}
+
+// handleReadyz reports readiness: WAL recovery is complete (it is
+// synchronous in New, so reaching a handler implies it) and the first
+// snapshot has been published, i.e. queries will not 503 with
+// no_snapshot.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if !s.Ready() {
+		writeError(w, http.StatusServiceUnavailable, CodeNotReady, "no solver snapshot published yet")
+		return
+	}
+	writeData(w, http.StatusOK, HealthResponse{Status: "ready"})
 }
 
 // snapshotEstimate resolves the latest snapshot and the estimate for
@@ -527,6 +597,23 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.sharded != nil {
 		st.Shards = s.shardStatuses(st.IngestedSeq)
+	}
+	if reason := s.DegradedReason(); reason != "" {
+		st.Degraded = true
+		st.DegradedReason = reason
+	}
+	if ws, rec, ok := s.WALStats(); ok {
+		st.WAL = &WALStatus{
+			LastSeq:          ws.LastSeq,
+			Segments:         ws.Segments,
+			Bytes:            ws.Bytes,
+			FsyncPolicy:      ws.Policy.String(),
+			RecoveredRecords: rec.Records,
+			TruncatedBytes:   rec.TruncatedBytes,
+		}
+		if err := s.wal.Err(); err != nil {
+			st.WAL.Error = err.Error()
+		}
 	}
 	writeData(w, http.StatusOK, st)
 }

@@ -39,6 +39,7 @@ package server
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -50,6 +51,7 @@ import (
 	"repro/internal/observe"
 	"repro/internal/stream"
 	"repro/internal/topology"
+	"repro/internal/wal"
 )
 
 // Config parameterizes the streaming service.
@@ -88,6 +90,18 @@ type Config struct {
 	// checkpoints are dropped (counted on /v1/status) and lag degrades
 	// to the latest-state semantics, exactly as without EpochEvery.
 	MaxEpochBacklog int
+
+	// WAL configures the durable ingest path. With WAL.Dir set, New
+	// opens (and recovers) a write-ahead log there: every ingest batch
+	// is logged before it is applied, and a restart replays the log so
+	// the sliding window survives a crash instead of refilling from
+	// empty. WAL.Horizon defaults to WindowSize. An empty Dir disables
+	// durability (the pre-WAL behavior).
+	WAL wal.Options
+
+	// MaxIngestBytes bounds one POST /v1/observations body (default
+	// 64 MiB, ~ a day of intervals on the paper-scale path universe).
+	MaxIngestBytes int64
 }
 
 // withDefaults fills the zero values.
@@ -103,6 +117,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEpochBacklog <= 0 {
 		c.MaxEpochBacklog = 8
+	}
+	if c.MaxIngestBytes <= 0 {
+		c.MaxIngestBytes = maxIngestBody
 	}
 	return c
 }
@@ -328,6 +345,18 @@ type Server struct {
 	epoch     atomic.Uint64
 	snap      atomic.Pointer[Snapshot]
 
+	// wal is the write-ahead log behind the window (nil when
+	// durability is disabled); walRecovered the recovery record of the
+	// startup scan, frozen after New.
+	wal          *wal.WAL
+	walRecovered wal.RecoveryStats
+
+	// degraded holds the latest contained-failure reason (a string; ""
+	// when healthy). Solver panics set it; the next clean publish
+	// clears it. A latched WAL failure is reported alongside it by
+	// DegradedReason.
+	degraded atomic.Value
+
 	// baseCtx is the lifetime context of the service: Close cancels it,
 	// which aborts any in-flight epoch solve promptly.
 	baseCtx    context.Context
@@ -379,18 +408,59 @@ func New(top *topology.Topology, cfg Config) (*Server, error) {
 		for i := range s.shardStates {
 			s.shardStates[i] = &shardState{}
 		}
-		return s, nil
+	} else {
+		if cfg.Algo == estimator.CorrelationComplete {
+			ws, err := estimator.NewWarmSolver(top, cfg.SolverOpts...)
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			s.warmSolver = ws
+		}
+		s.win = stream.NewWindow(top.NumPaths(), cfg.WindowSize)
 	}
-	if cfg.Algo == estimator.CorrelationComplete {
-		ws, err := estimator.NewWarmSolver(top, cfg.SolverOpts...)
-		if err != nil {
+	if cfg.WAL.Dir != "" {
+		if err := s.openWAL(); err != nil {
 			cancel()
 			return nil, err
 		}
-		s.warmSolver = ws
 	}
-	s.win = stream.NewWindow(top.NumPaths(), cfg.WindowSize)
 	return s, nil
+}
+
+// openWAL opens (or recovers) the write-ahead log and rebuilds the
+// window from it: the store is fast-forwarded to the log's first
+// retained sequence, every surviving record is replayed through the
+// raw Add path (which never re-logs), and only then is the log
+// attached so subsequent ingest logs before applying. A log the scan
+// cannot vouch for (corruption before the torn tail) fails startup
+// loudly rather than serving estimates over silently dropped data.
+func (s *Server) openWAL() error {
+	opts := s.cfg.WAL
+	if opts.Horizon == 0 {
+		opts.Horizon = s.cfg.WindowSize
+	}
+	w, err := wal.Open(opts)
+	if err != nil {
+		return fmt.Errorf("server: opening WAL: %w", err)
+	}
+	rec := w.Recovered()
+	if rec.Records > 0 {
+		s.win.ResetSeq(rec.FirstSeq)
+		if err := w.Replay(func(_ uint64, batch []*bitset.Set) error {
+			for _, obs := range batch {
+				s.win.Add(obs)
+			}
+			return nil
+		}); err != nil {
+			w.Close()
+			return fmt.Errorf("server: replaying WAL: %w", err)
+		}
+	}
+	s.win.SetLog(w)
+	s.wal = w
+	s.walRecovered = rec
+	return nil
 }
 
 // NumShards returns the number of independent shard solvers (0 outside
@@ -427,6 +497,59 @@ func (s *Server) Close() {
 		close(s.stop)
 	})
 	s.wg.Wait()
+	if s.wal != nil {
+		s.wal.Close() // flushes the tail; safe after ingest has stopped
+	}
+}
+
+// Ready reports whether the service can serve coherent queries: WAL
+// recovery (synchronous in New) is complete and the first snapshot has
+// been published. GET /v1/readyz exposes it to orchestrators.
+func (s *Server) Ready() bool { return s.snap.Load() != nil }
+
+// WALStats returns the live WAL counters and the startup recovery
+// record; ok is false when durability is disabled.
+func (s *Server) WALStats() (st wal.Stats, rec wal.RecoveryStats, ok bool) {
+	if s.wal == nil {
+		return wal.Stats{}, wal.RecoveryStats{}, false
+	}
+	return s.wal.Stats(), s.walRecovered, true
+}
+
+// ErrSolverPanic wraps a panic recovered from an estimator call: the
+// panic becomes an error snapshot plus a degraded_reason on
+// /v1/status instead of killing the daemon.
+var ErrSolverPanic = errors.New("server: solver panicked")
+
+// guardPanic runs fn, containing any panic as an ErrSolverPanic and
+// marking the server degraded.
+func (s *Server) guardPanic(fn func()) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%w: %v", ErrSolverPanic, r)
+			s.setDegraded(err.Error())
+		}
+	}()
+	fn()
+	return nil
+}
+
+func (s *Server) setDegraded(reason string) { s.degraded.Store(reason) }
+
+// DegradedReason returns why the service is degraded ("" when
+// healthy): the latest contained solver panic — cleared by the next
+// clean publish — or a latched WAL failure, which persists until
+// restart (see the wal package's degradation contract).
+func (s *Server) DegradedReason() string {
+	if v, _ := s.degraded.Load().(string); v != "" {
+		return v
+	}
+	if s.wal != nil {
+		if err := s.wal.Err(); err != nil {
+			return "wal: " + err.Error()
+		}
+	}
+	return ""
 }
 
 // Ingest appends a batch of interval observations to the live window,
@@ -440,16 +563,34 @@ func (s *Server) Close() {
 // mid-batch waits only for its own shard's slice, not for the whole
 // fan-out. With Config.EpochEvery set (unsharded), ingest also freezes
 // a window checkpoint at every stride boundary it crosses, bounded by
-// MaxEpochBacklog (oldest dropped first).
-func (s *Server) Ingest(batch []*bitset.Set) uint64 {
+// MaxEpochBacklog (oldest dropped first); the batch is split at those
+// boundaries so each WAL record ends exactly on a checkpoint seq.
+//
+// With a WAL attached, each (sub-)batch is persisted before it is
+// applied; on a log failure nothing past the failed record is applied
+// and the error is returned — the HTTP layer maps it to 503 with
+// Retry-After. A stalled WAL disk fails fast (wal.ErrStalled) instead
+// of wedging every ingest request behind the hung fsync.
+func (s *Server) Ingest(batch []*bitset.Set) (uint64, error) {
 	if s.sharded != nil {
 		return s.shardedWin.AddBatch(batch)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	for _, obs := range batch {
-		s.win.Add(obs)
-		if s.cfg.EpochEvery > 0 && s.win.Seq()%uint64(s.cfg.EpochEvery) == 0 {
+	stride := uint64(s.cfg.EpochEvery)
+	for len(batch) > 0 {
+		n := len(batch)
+		if stride > 0 {
+			if to := int(stride - s.win.Seq()%stride); to < n {
+				n = to
+			}
+		}
+		seq, err := s.win.AddBatch(batch[:n])
+		if err != nil {
+			return seq, err
+		}
+		batch = batch[n:]
+		if stride > 0 && seq%stride == 0 {
 			s.backlog = append(s.backlog, s.win.CloneStore())
 			if len(s.backlog) > s.cfg.MaxEpochBacklog {
 				dropped := len(s.backlog) - s.cfg.MaxEpochBacklog
@@ -458,7 +599,7 @@ func (s *Server) Ingest(batch []*bitset.Set) uint64 {
 			}
 		}
 	}
-	return s.win.Seq()
+	return s.win.Seq(), nil
 }
 
 // Seq returns the total number of intervals ingested.
@@ -524,10 +665,14 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 	start := time.Now()
 	var est *estimator.Estimate
 	var info estimator.SolveInfo
-	if s.warmSolver != nil {
-		est, info, err = s.warmSolver.Estimate(ctx, w)
-	} else {
-		est, err = s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...)
+	if perr := s.guardPanic(func() {
+		if s.warmSolver != nil {
+			est, info, err = s.warmSolver.Estimate(ctx, w)
+		} else {
+			est, err = s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...)
+		}
+	}); perr != nil {
+		est, err = nil, perr
 	}
 	snap := &Snapshot{
 		Algo:        s.cfg.Algo,
@@ -574,18 +719,22 @@ func (s *Server) drainBacklog(ctx context.Context) (*Snapshot, error) {
 	ests := make([]*estimator.Estimate, len(pending))
 	infos := make([]estimator.SolveInfo, len(pending))
 	var err error
-	if s.warmSolver != nil {
-		stores := make([]observe.Store, len(pending))
-		for i, w := range pending {
-			stores[i] = w
-		}
-		ests, infos, err = s.warmSolver.EstimateBatch(ctx, stores)
-	} else {
-		for i, w := range pending {
-			if ests[i], err = s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...); err != nil {
-				break
+	if perr := s.guardPanic(func() {
+		if s.warmSolver != nil {
+			stores := make([]observe.Store, len(pending))
+			for i, w := range pending {
+				stores[i] = w
+			}
+			ests, infos, err = s.warmSolver.EstimateBatch(ctx, stores)
+		} else {
+			for i, w := range pending {
+				if ests[i], err = s.est.Estimate(ctx, s.top, w, s.cfg.SolverOpts...); err != nil {
+					break
+				}
 			}
 		}
+	}); perr != nil {
+		err = perr
 	}
 	if err != nil {
 		last := pending[len(pending)-1]
@@ -657,6 +806,9 @@ func (s *Server) publish(snap *Snapshot) {
 	if cur := s.snap.Load(); cur == nil || (cur.Epoch < snap.Epoch && cur.SeqHigh <= snap.SeqHigh) {
 		s.snap.Store(snap)
 	}
+	if snap.Err == nil {
+		s.setDegraded("") // a clean epoch ends solver-panic degradation
+	}
 	s.appendHistoryLocked(snap)
 }
 
@@ -711,7 +863,14 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	for sid, st := range s.shardStates {
 		st.mu.Lock()
 		shardStart := time.Now()
-		res, info, err := s.sharded.SolveShard(ctx, sid, full.Shard(sid))
+		var res *core.Result
+		var info estimator.SolveInfo
+		var err error
+		if perr := s.guardPanic(func() {
+			res, info, err = s.sharded.SolveShard(ctx, sid, full.Shard(sid))
+		}); perr != nil {
+			res, err = nil, perr
+		}
 		durs[sid] = time.Since(shardStart)
 		st.mu.Unlock()
 		if err != nil {
@@ -757,7 +916,8 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	}
 	epoch := s.epoch.Add(1)
 	s.publishMu.Unlock()
-	est := s.sharded.Merge(blocks, full)
+	var est *estimator.Estimate
+	mergeErr := s.guardPanic(func() { est = s.sharded.Merge(blocks, full) })
 	snap := &Snapshot{
 		Epoch:       epoch,
 		Algo:        s.cfg.Algo,
@@ -768,6 +928,7 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 		Shards:      shards,
 		ComputedAt:  time.Now(),
 		ComputeTime: time.Since(start),
+		Err:         mergeErr,
 		top:         s.top,
 		opts:        s.cfg.SolverOpts,
 		lifetime:    s.baseCtx,
@@ -796,7 +957,7 @@ func (s *Server) runShard(sid int) {
 			if solved && last == s.Seq() {
 				continue // nothing new since this shard's last epoch
 			}
-			s.solveShard(s.baseCtx, sid)
+			s.tickSafely(func() { s.solveShard(s.baseCtx, sid) })
 		}
 	}
 }
@@ -816,7 +977,14 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 	// mid-fan-out on other shards no longer stalls this solve.
 	ring := s.shardedWin.CloneShard(sid)
 	start := time.Now()
-	res, info, err := s.sharded.SolveShard(ctx, sid, ring)
+	var res *core.Result
+	var info estimator.SolveInfo
+	var err error
+	if perr := s.guardPanic(func() {
+		res, info, err = s.sharded.SolveShard(ctx, sid, ring)
+	}); perr != nil {
+		res, err = nil, perr
+	}
 	s.publishMu.Lock()
 	if err != nil {
 		st.err = err
@@ -882,7 +1050,10 @@ func (s *Server) publishMerged() {
 	s.publishMu.Unlock()
 
 	full := s.shardedWin.Clone()
-	est := s.sharded.Merge(results, full)
+	var est *estimator.Estimate
+	if perr := s.guardPanic(func() { est = s.sharded.Merge(results, full) }); perr != nil {
+		return // keep the previous snapshot; degraded_reason is set
+	}
 	snap := &Snapshot{
 		Epoch:       epoch,
 		Algo:        s.cfg.Algo,
@@ -910,6 +1081,9 @@ func (s *Server) storeSnapshotGuarded(snap *Snapshot) {
 	if cur := s.snap.Load(); cur == nil || cur.Epoch < snap.Epoch {
 		s.snap.Store(snap)
 	}
+	if snap.Err == nil {
+		s.setDegraded("") // a clean epoch ends solver-panic degradation
+	}
 	s.appendHistoryLocked(snap)
 }
 
@@ -934,13 +1108,26 @@ func (s *Server) run() {
 				continue // window unchanged since the last epoch
 			}
 			if superseded {
-				s.Recompute(s.baseCtx) // backstop: run to completion
+				s.tickSafely(func() { s.Recompute(s.baseCtx) }) // backstop: run to completion
 				superseded = false
 				continue
 			}
-			superseded = s.recomputeSupervised()
+			s.tickSafely(func() { superseded = s.recomputeSupervised() })
 		}
 	}
+}
+
+// tickSafely contains a panic escaping one solver-loop iteration
+// (outside the per-call guards — snapshot assembly, cloning, publish)
+// so the loop survives to the next tick with the panic recorded as
+// the degradation reason instead of crashing the daemon.
+func (s *Server) tickSafely(fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.setDegraded(fmt.Sprintf("solver loop panic: %v", r))
+		}
+	}()
+	fn()
 }
 
 // recomputeSupervised runs one epoch solve under supervision,
@@ -957,7 +1144,7 @@ func (s *Server) recomputeSupervised() (superseded bool) {
 	done := make(chan struct{})
 	go func() {
 		defer close(done)
-		s.Recompute(ctx)
+		s.tickSafely(func() { s.Recompute(ctx) }) // solve runs off-loop: contain panics here too
 	}()
 	pollEvery := s.cfg.RecomputeEvery / 4
 	if pollEvery < 10*time.Millisecond {

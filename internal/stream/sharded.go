@@ -18,8 +18,19 @@ type Store interface {
 	observe.Store
 	observe.IntervalSource
 	// Add appends one interval's congested-path set, evicting the
-	// oldest interval when the window is full.
+	// oldest interval when the window is full. Add bypasses any
+	// attached BatchLog — it is the replay path.
 	Add(congested *bitset.Set)
+	// AddBatch appends a batch of intervals as one commit, logging it
+	// to the attached BatchLog (if any) before applying. It returns
+	// the sequence after the batch; on log failure nothing is applied.
+	AddBatch(batch []*bitset.Set) (uint64, error)
+	// SetLog attaches a write-ahead log; call only after replay, with
+	// no ingest in flight.
+	SetLog(l BatchLog)
+	// ResetSeq fast-forwards an empty store to sequence number seq so
+	// replay of a pruned log lands at the right ring positions.
+	ResetSeq(seq uint64)
 	// Seq returns the total number of intervals ever added.
 	Seq() uint64
 	// Cap returns the window capacity in intervals.
@@ -78,6 +89,10 @@ type Sharded struct {
 	pathMask []*bitset.Set
 	routing  []*bitset.Set
 	one      [1]*bitset.Set
+
+	// log, when set, persists each batch once (under ingestMu, so log
+	// order is commit order) before the shard fan-out applies it.
+	log BatchLog
 }
 
 // NewSharded returns an empty sharded window over numPaths paths
@@ -170,12 +185,19 @@ func (sh *Sharded) Add(congested *bitset.Set) {
 // lockstep holds), but each shard's column of the batch is applied
 // under that shard's own ring lock — per-shard cloners (CloneShard)
 // contend only with their own shard's application, never with the
-// whole fan-out.
-func (sh *Sharded) AddBatch(batch []*bitset.Set) uint64 {
+// whole fan-out. With a log attached, the batch is persisted exactly
+// once before the fan-out; on log failure nothing is applied and the
+// pre-batch sequence is returned with the error.
+func (sh *Sharded) AddBatch(batch []*bitset.Set) (uint64, error) {
 	sh.ingestMu.Lock()
 	defer sh.ingestMu.Unlock()
+	if sh.log != nil {
+		if _, err := sh.log.AppendBatch(batch); err != nil {
+			return sh.shards[0].Seq(), err
+		}
+	}
 	sh.addBatchLocked(batch)
-	return sh.shards[0].Seq()
+	return sh.shards[0].Seq(), nil
 }
 
 // addBatchLocked applies the batch shard by shard; the caller holds

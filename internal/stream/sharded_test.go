@@ -231,7 +231,7 @@ func TestShardedConcurrentIngestAndClones(t *testing.T) {
 		go func(g int) {
 			defer wg.Done()
 			for i := g; i < batches; i += 4 {
-				commitSeq[i] = sh.AddBatch(all[i])
+				commitSeq[i], _ = sh.AddBatch(all[i])
 			}
 		}(g)
 	}

@@ -59,6 +59,10 @@ type Window struct {
 
 	count int    // live intervals, ≤ capacity
 	seq   uint64 // total intervals ever added
+
+	// log, when set, persists batches before AddBatch applies them.
+	// Clones do not carry it: a frozen snapshot must never re-log.
+	log BatchLog
 }
 
 var (

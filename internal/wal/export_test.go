@@ -1,0 +1,20 @@
+package wal
+
+// Test-only exports so the external wal_test package (which must live
+// outside this package to use faultfs without an import cycle) can
+// reach the on-disk framing constants and in-flight state.
+
+const (
+	FrameHeaderSize = frameHeaderSize
+	PayloadMinSize  = payloadMinSize
+)
+
+// Magic returns the segment-file magic bytes.
+func Magic() []byte { return append([]byte(nil), magic...) }
+
+// OpStartNanos reports the start time of the in-flight file op (0 if
+// none) — used to detect that an append reached the injected stall.
+func (w *WAL) OpStartNanos() int64 { return w.opStart.Load() }
+
+// Dirty reports whether appended bytes are awaiting fsync.
+func (w *WAL) Dirty() bool { return w.dirty.Load() }

@@ -1,0 +1,177 @@
+// Package faultfs is a fault-injecting wal.FS for robustness tests:
+// it forwards to a real filesystem while injecting torn writes, short
+// writes, fsync errors, ENOSPC and disk stalls at precise points, so
+// the WAL's recovery and degradation contracts can be property-tested
+// without real hardware faults.
+//
+// The injected crash model matches what the WAL must survive: a "torn
+// write" persists a prefix of the requested bytes (as a crashed kernel
+// would) and then reports failure; a write budget models a disk
+// filling up mid-stream; BlockSync models an fsync that hangs on a
+// dying device.
+package faultfs
+
+import (
+	"errors"
+	"io/fs"
+	"sync"
+
+	"repro/internal/wal"
+)
+
+// ErrInjectedFull is the error surfaced once the write budget is
+// exhausted (the injected ENOSPC).
+var ErrInjectedFull = errors.New("faultfs: no space left on device (injected)")
+
+// ErrInjectedSync is the default injected fsync error.
+var ErrInjectedSync = errors.New("faultfs: fsync failed (injected)")
+
+// FS wraps an inner wal.FS (defaults to the real one) with injectable
+// faults. All knobs are safe to adjust concurrently with use.
+type FS struct {
+	Inner wal.FS
+
+	mu sync.Mutex
+	// writeBudget is the number of bytes writes may still persist; -1
+	// means unlimited. When a write crosses the budget, the prefix
+	// that fits is persisted (a torn write) and the write fails.
+	writeBudget int64
+	// syncErr, when non-nil, makes every Sync fail with it.
+	syncErr error
+	// syncBlock, when non-nil, makes Sync block until the channel is
+	// closed — an injected disk stall.
+	syncBlock chan struct{}
+	// written counts bytes actually persisted through this FS.
+	written int64
+}
+
+// New returns a pass-through FS over inner (nil means the real
+// filesystem) with no faults armed.
+func New(inner wal.FS) *FS {
+	if inner == nil {
+		inner = wal.OSFS{}
+	}
+	return &FS{Inner: inner, writeBudget: -1}
+}
+
+// LimitWrites arms the write budget: after n more persisted bytes,
+// writes tear (persist a prefix) and fail with ErrInjectedFull.
+func (f *FS) LimitWrites(n int64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = n
+}
+
+// UnlimitWrites disarms the write budget.
+func (f *FS) UnlimitWrites() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.writeBudget = -1
+}
+
+// FailSync makes every subsequent Sync fail with err (nil restores
+// normal fsync).
+func (f *FS) FailSync(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.syncErr = err
+}
+
+// BlockSync makes every subsequent Sync block until the returned
+// release function is called — an injected disk stall.
+func (f *FS) BlockSync() (release func()) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	ch := make(chan struct{})
+	f.syncBlock = ch
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			f.mu.Lock()
+			if f.syncBlock == ch {
+				f.syncBlock = nil
+			}
+			f.mu.Unlock()
+			close(ch)
+		})
+	}
+}
+
+// Written returns the bytes persisted through this FS so far.
+func (f *FS) Written() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.written
+}
+
+func (f *FS) MkdirAll(dir string, perm fs.FileMode) error { return f.Inner.MkdirAll(dir, perm) }
+
+func (f *FS) ReadDir(dir string) ([]fs.DirEntry, error) { return f.Inner.ReadDir(dir) }
+
+func (f *FS) Remove(name string) error { return f.Inner.Remove(name) }
+
+func (f *FS) Truncate(name string, size int64) error { return f.Inner.Truncate(name, size) }
+
+func (f *FS) OpenFile(name string, flag int, perm fs.FileMode) (wal.File, error) {
+	inner, err := f.Inner.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return &file{fs: f, inner: inner}, nil
+}
+
+// file wraps one open file with the owning FS's fault knobs.
+type file struct {
+	fs    *FS
+	inner wal.File
+}
+
+func (fl *file) Read(p []byte) (int, error) { return fl.inner.Read(p) }
+
+func (fl *file) Close() error { return fl.inner.Close() }
+
+// Write persists as much of p as the budget allows. A write that
+// crosses the budget is torn: the prefix that fits reaches the inner
+// file (as after a crash mid-write) and the call fails.
+func (fl *file) Write(p []byte) (int, error) {
+	fl.fs.mu.Lock()
+	budget := fl.fs.writeBudget
+	allowed := len(p)
+	if budget >= 0 && int64(allowed) > budget {
+		allowed = int(budget)
+	}
+	if budget >= 0 {
+		fl.fs.writeBudget = budget - int64(allowed)
+	}
+	fl.fs.mu.Unlock()
+
+	n := 0
+	var err error
+	if allowed > 0 {
+		n, err = fl.inner.Write(p[:allowed])
+	}
+	fl.fs.mu.Lock()
+	fl.fs.written += int64(n)
+	fl.fs.mu.Unlock()
+	if err != nil {
+		return n, err
+	}
+	if allowed < len(p) {
+		return n, ErrInjectedFull
+	}
+	return n, nil
+}
+
+func (fl *file) Sync() error {
+	fl.fs.mu.Lock()
+	block := fl.fs.syncBlock
+	serr := fl.fs.syncErr
+	fl.fs.mu.Unlock()
+	if block != nil {
+		<-block
+	}
+	if serr != nil {
+		return serr
+	}
+	return fl.inner.Sync()
+}

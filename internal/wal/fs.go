@@ -1,0 +1,53 @@
+package wal
+
+import (
+	"io"
+	"io/fs"
+	"os"
+)
+
+// FS is the filesystem surface the WAL needs. The default is the real
+// OS filesystem (OSFS); tests inject fault-laden implementations (see
+// internal/wal/faultfs) to exercise torn writes, short writes, fsync
+// errors, ENOSPC and disk stalls without touching real hardware.
+type FS interface {
+	// MkdirAll creates the directory and any missing parents.
+	MkdirAll(dir string, perm fs.FileMode) error
+	// OpenFile opens a file with os.OpenFile semantics.
+	OpenFile(name string, flag int, perm fs.FileMode) (File, error)
+	// ReadDir lists the directory, sorted by filename.
+	ReadDir(dir string) ([]fs.DirEntry, error)
+	// Remove deletes a file.
+	Remove(name string) error
+	// Truncate resizes the named file.
+	Truncate(name string, size int64) error
+}
+
+// File is the per-file surface: sequential reads during recovery,
+// appends and fsync during normal operation.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file to stable storage (fsync).
+	Sync() error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string, perm fs.FileMode) error { return os.MkdirAll(dir, perm) }
+
+func (OSFS) OpenFile(name string, flag int, perm fs.FileMode) (File, error) {
+	f, err := os.OpenFile(name, flag, perm)
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+func (OSFS) ReadDir(dir string) ([]fs.DirEntry, error) { return os.ReadDir(dir) }
+
+func (OSFS) Remove(name string) error { return os.Remove(name) }
+
+func (OSFS) Truncate(name string, size int64) error { return os.Truncate(name, size) }

@@ -1,0 +1,572 @@
+package wal_test
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/bitset"
+	"repro/internal/wal"
+	"repro/internal/wal/faultfs"
+)
+
+// mkBatch builds one batch of congested-path sets.
+func mkBatch(intervals ...[]int) []*bitset.Set {
+	out := make([]*bitset.Set, len(intervals))
+	for i, iv := range intervals {
+		out[i] = bitset.FromIndices(64, iv...)
+	}
+	return out
+}
+
+// flatten renders a batch as index slices for comparison.
+func flatten(batch []*bitset.Set) [][]int {
+	out := make([][]int, len(batch))
+	for i, s := range batch {
+		out[i] = s.Indices()
+	}
+	return out
+}
+
+// replayAll collects every replayed record.
+type replayed struct {
+	base  uint64
+	batch [][]int
+}
+
+func replayAll(t *testing.T, w *wal.WAL) []replayed {
+	t.Helper()
+	var out []replayed
+	if err := w.Replay(func(base uint64, batch []*bitset.Set) error {
+		out = append(out, replayed{base, flatten(batch)})
+		return nil
+	}); err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	return out
+}
+
+// openT opens a WAL with test-friendly defaults (no background sync
+// goroutine unless the test opts in).
+func openT(t *testing.T, opts wal.Options) *wal.WAL {
+	t.Helper()
+	if opts.Policy == wal.SyncInterval {
+		opts.Policy = wal.SyncOff
+	}
+	w, err := wal.Open(opts)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	return w
+}
+
+// recordSize is the on-disk size of one record holding the batch.
+func recordSize(batch []*bitset.Set) int {
+	size := wal.FrameHeaderSize + wal.PayloadMinSize
+	for _, s := range batch {
+		size += 4 + 4*s.Count()
+	}
+	return size
+}
+
+func TestRoundTripAndSeqResume(t *testing.T) {
+	dir := t.TempDir()
+	batches := [][]*bitset.Set{
+		mkBatch([]int{0, 3, 17}),
+		mkBatch([]int{5}, []int{}, []int{1, 2, 3}),
+		mkBatch([]int{63}),
+	}
+	w := openT(t, wal.Options{Dir: dir})
+	var want []replayed
+	var seq uint64
+	for _, b := range batches {
+		got, err := w.AppendBatch(b)
+		if err != nil {
+			t.Fatalf("append: %v", err)
+		}
+		want = append(want, replayed{seq, flatten(b)})
+		seq += uint64(len(b))
+		if got != seq {
+			t.Fatalf("append returned seq %d, want %d", got, seq)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+
+	w2 := openT(t, wal.Options{Dir: dir})
+	defer w2.Close()
+	rec := w2.Recovered()
+	if rec.Records != 3 || rec.Intervals != 5 || rec.FirstSeq != 0 || rec.LastSeq != 5 || rec.TruncatedBytes != 0 {
+		t.Fatalf("recovery stats: %+v", rec)
+	}
+	if got := replayAll(t, w2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("replay mismatch:\n got %v\nwant %v", got, want)
+	}
+	// Appends resume from the recovered high-water mark.
+	got, err := w2.AppendBatch(mkBatch([]int{9}))
+	if err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+	if got != 6 {
+		t.Fatalf("seq after recovery append = %d, want 6", got)
+	}
+}
+
+func TestEmptyLog(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, wal.Options{Dir: dir})
+	defer w.Close()
+	if rec := w.Recovered(); rec != (wal.RecoveryStats{}) {
+		t.Fatalf("fresh dir recovered %+v, want zero", rec)
+	}
+	if got := replayAll(t, w); len(got) != 0 {
+		t.Fatalf("fresh dir replayed %d records", len(got))
+	}
+	if _, err := w.AppendBatch(mkBatch([]int{1})); err != nil {
+		t.Fatalf("append on fresh log: %v", err)
+	}
+	// An opened-but-never-written log recovers as empty, not torn.
+	dir2 := t.TempDir()
+	w2 := openT(t, wal.Options{Dir: dir2})
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w3 := openT(t, wal.Options{Dir: dir2})
+	defer w3.Close()
+	if rec := w3.Recovered(); rec.Records != 0 || rec.TruncatedBytes != 0 {
+		t.Fatalf("empty segment recovered %+v", rec)
+	}
+}
+
+// onlySegment returns the path of the single segment file in dir.
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("want exactly one segment, have %d", len(entries))
+	}
+	return filepath.Join(dir, entries[0].Name())
+}
+
+func TestTornTailTruncation(t *testing.T) {
+	full := []replayed{
+		{0, [][]int{{0, 1}}},
+		{1, [][]int{{2}, {3}}},
+		{3, [][]int{{4, 5, 6}}},
+	}
+	lastLen := recordSize(mkBatch([]int{4, 5, 6}))
+	for _, cut := range []int{1, 7, 8, lastLen - 1} {
+		t.Run(fmt.Sprintf("cut=%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			w := openT(t, wal.Options{Dir: dir})
+			for _, r := range full {
+				sets := make([]*bitset.Set, len(r.batch))
+				for i, iv := range r.batch {
+					sets[i] = bitset.FromIndices(64, iv...)
+				}
+				if _, err := w.AppendBatch(sets); err != nil {
+					t.Fatal(err)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			seg := onlySegment(t, dir)
+			fi, err := os.Stat(seg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.Truncate(seg, fi.Size()-int64(cut)); err != nil {
+				t.Fatal(err)
+			}
+
+			w2 := openT(t, wal.Options{Dir: dir})
+			defer w2.Close()
+			rec := w2.Recovered()
+			if rec.Records != 2 || rec.LastSeq != 3 {
+				t.Fatalf("recovery after cut %d: %+v", cut, rec)
+			}
+			if rec.TruncatedBytes != int64(lastLen-cut) {
+				t.Fatalf("truncated %d bytes, want %d", rec.TruncatedBytes, lastLen-cut)
+			}
+			if got := replayAll(t, w2); !reflect.DeepEqual(got, full[:2]) {
+				t.Fatalf("replay after cut: %v", got)
+			}
+			// The log is clean again: append, close, reopen.
+			if _, err := w2.AppendBatch(mkBatch([]int{7})); err != nil {
+				t.Fatal(err)
+			}
+			if err := w2.Close(); err != nil {
+				t.Fatal(err)
+			}
+			w3 := openT(t, wal.Options{Dir: dir})
+			defer w3.Close()
+			if rec := w3.Recovered(); rec.Records != 3 || rec.LastSeq != 4 || rec.TruncatedBytes != 0 {
+				t.Fatalf("recovery after repair: %+v", rec)
+			}
+		})
+	}
+}
+
+// corruptAt flips one byte of the file at off.
+func corruptAt(t *testing.T, path string, off int64) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+	b[0] ^= 0xff
+	if _, err := f.WriteAt(b[:], off); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// A checksum failure with valid records after it must fail loudly:
+// truncating there would silently discard acknowledged data.
+func TestCorruptMidSegmentFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, wal.Options{Dir: dir})
+	r0 := mkBatch([]int{0, 1})
+	for _, b := range [][]*bitset.Set{r0, mkBatch([]int{2}), mkBatch([]int{3})} {
+		if _, err := w.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Flip a payload byte of the middle record.
+	off := int64(len(wal.Magic()) + recordSize(r0) + wal.FrameHeaderSize + wal.PayloadMinSize)
+	corruptAt(t, onlySegment(t, dir), off)
+	if _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncOff}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("open over mid-segment corruption: %v, want wal.ErrCorrupt", err)
+	}
+}
+
+// The same checksum failure in the final record IS the torn tail and
+// must be truncated, not fatal.
+func TestCorruptFinalRecordTruncates(t *testing.T) {
+	dir := t.TempDir()
+	w := openT(t, wal.Options{Dir: dir})
+	for _, b := range [][]*bitset.Set{mkBatch([]int{0, 1}), mkBatch([]int{2})} {
+		if _, err := w.AppendBatch(b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	seg := onlySegment(t, dir)
+	fi, err := os.Stat(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corruptAt(t, seg, fi.Size()-1)
+	w2 := openT(t, wal.Options{Dir: dir})
+	defer w2.Close()
+	rec := w2.Recovered()
+	if rec.Records != 1 || rec.LastSeq != 1 || rec.TruncatedBytes == 0 {
+		t.Fatalf("recovery over corrupt final record: %+v", rec)
+	}
+}
+
+// Corruption in a non-final segment is never a torn tail.
+func TestCorruptOlderSegmentFailsLoudly(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation after every record.
+	w := openT(t, wal.Options{Dir: dir, SegmentBytes: 16})
+	for i := 0; i < 4; i++ {
+		if _, err := w.AppendBatch(mkBatch([]int{i})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) < 2 {
+		t.Fatalf("want several segments, have %d", len(entries))
+	}
+	corruptAt(t, filepath.Join(dir, entries[0].Name()), int64(len(wal.Magic())+wal.FrameHeaderSize))
+	if _, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncOff}); !errors.Is(err, wal.ErrCorrupt) {
+		t.Fatalf("open over old-segment corruption: %v, want wal.ErrCorrupt", err)
+	}
+}
+
+func TestRetentionPruning(t *testing.T) {
+	dir := t.TempDir()
+	const horizon = 50
+	w := openT(t, wal.Options{Dir: dir, SegmentBytes: 256, Horizon: horizon})
+	const total = 400
+	for i := 0; i < total; i++ {
+		if _, err := w.AppendBatch(mkBatch([]int{i % 64})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := w.Stats()
+	if st.LastSeq != total {
+		t.Fatalf("seq = %d, want %d", st.LastSeq, total)
+	}
+	// 256-byte segments hold ~9 one-interval records each; without
+	// pruning there would be ~40 segments.
+	if st.Segments > 12 {
+		t.Fatalf("retention left %d segments", st.Segments)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Recovery with the head already pruned: replay starts past zero
+	// but still covers at least the horizon.
+	w2 := openT(t, wal.Options{Dir: dir, Horizon: horizon})
+	defer w2.Close()
+	rec := w2.Recovered()
+	if rec.FirstSeq == 0 || rec.LastSeq != total {
+		t.Fatalf("pruned recovery: %+v", rec)
+	}
+	if covered := rec.LastSeq - rec.FirstSeq; covered < horizon {
+		t.Fatalf("replay covers %d intervals, want >= %d", covered, horizon)
+	}
+	// Replayed records are contiguous from FirstSeq to LastSeq.
+	seq := rec.FirstSeq
+	for _, r := range replayAll(t, w2) {
+		if r.base != seq {
+			t.Fatalf("replay gap: record base %d, want %d", r.base, seq)
+		}
+		seq += uint64(len(r.batch))
+	}
+	if seq != rec.LastSeq {
+		t.Fatalf("replay ended at %d, want %d", seq, rec.LastSeq)
+	}
+}
+
+func TestFsyncErrorPropagation(t *testing.T) {
+	t.Run("per-batch", func(t *testing.T) {
+		ffs := faultfs.New(nil)
+		w, err := wal.Open(wal.Options{Dir: t.TempDir(), FS: ffs, Policy: wal.SyncPerBatch})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ffs.FailSync(faultfs.ErrInjectedSync)
+		if _, err := w.AppendBatch(mkBatch([]int{1})); !errors.Is(err, faultfs.ErrInjectedSync) {
+			t.Fatalf("append under failing fsync: %v", err)
+		}
+		// The failure latches: later appends fail without touching disk.
+		ffs.FailSync(nil)
+		if _, err := w.AppendBatch(mkBatch([]int{2})); !errors.Is(err, faultfs.ErrInjectedSync) {
+			t.Fatalf("append after latched failure: %v", err)
+		}
+		if w.Err() == nil {
+			t.Fatal("Err() not latched")
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		ffs := faultfs.New(nil)
+		// Manual Sync keeps the failure deterministic (no background
+		// goroutine: wal.SyncOff appends + explicit Sync models one tick).
+		w, err := wal.Open(wal.Options{Dir: t.TempDir(), FS: ffs, Policy: wal.SyncOff})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := w.AppendBatch(mkBatch([]int{1})); err != nil {
+			t.Fatal(err)
+		}
+		ffs.FailSync(faultfs.ErrInjectedSync)
+		if err := w.Sync(); !errors.Is(err, faultfs.ErrInjectedSync) {
+			t.Fatalf("sync: %v", err)
+		}
+		if _, err := w.AppendBatch(mkBatch([]int{2})); !errors.Is(err, faultfs.ErrInjectedSync) {
+			t.Fatalf("append after failed sync: %v", err)
+		}
+	})
+}
+
+func TestWriteBudgetENOSPC(t *testing.T) {
+	ffs := faultfs.New(nil)
+	w, err := wal.Open(wal.Options{Dir: t.TempDir(), FS: ffs, Policy: wal.SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AppendBatch(mkBatch([]int{1})); err != nil {
+		t.Fatal(err)
+	}
+	ffs.LimitWrites(4)
+	if _, err := w.AppendBatch(mkBatch([]int{2})); !errors.Is(err, faultfs.ErrInjectedFull) {
+		t.Fatalf("append past budget: %v", err)
+	}
+	ffs.UnlimitWrites()
+	if _, err := w.AppendBatch(mkBatch([]int{3})); !errors.Is(err, faultfs.ErrInjectedFull) {
+		t.Fatalf("append after latched ENOSPC: %v", err)
+	}
+}
+
+// A hung fsync must not queue appenders forever: concurrent appends
+// fail fast with wal.ErrStalled once the in-flight op exceeds the stall
+// timeout, and Stats stays responsive throughout.
+func TestStallFailFast(t *testing.T) {
+	ffs := faultfs.New(nil)
+	w, err := wal.Open(wal.Options{
+		Dir: t.TempDir(), FS: ffs,
+		Policy:       wal.SyncPerBatch,
+		StallTimeout: 30 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	release := ffs.BlockSync()
+	firstDone := make(chan error, 1)
+	go func() {
+		_, err := w.AppendBatch(mkBatch([]int{1}))
+		firstDone <- err
+	}()
+	// Wait until the first append is provably inside the hung fsync.
+	deadline := time.Now().Add(2 * time.Second)
+	for w.OpStartNanos() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first append never reached fsync")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	time.Sleep(40 * time.Millisecond) // exceed the stall timeout
+	if _, err := w.AppendBatch(mkBatch([]int{2})); !errors.Is(err, wal.ErrStalled) {
+		t.Fatalf("append behind hung fsync: %v, want wal.ErrStalled", err)
+	}
+	if st := w.Stats(); st.LastSeq != 1 {
+		t.Fatalf("stats during stall: %+v", st)
+	}
+	release()
+	if err := <-firstDone; err != nil {
+		t.Fatalf("first append after release: %v", err)
+	}
+	if _, err := w.AppendBatch(mkBatch([]int{3})); err != nil {
+		t.Fatalf("append after stall cleared: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashPointRecoveryProperty is the exactly-once property: crash
+// the log at a random byte (torn writes via the fault FS), recover,
+// and the replay must be exactly the batches whose records fully hit
+// disk before the crash — nothing lost before the torn tail, nothing
+// duplicated, nothing invented after it.
+func TestCrashPointRecoveryProperty(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		nBatches := 1 + rng.Intn(12)
+		batches := make([][]*bitset.Set, nBatches)
+		for i := range batches {
+			n := 1 + rng.Intn(4)
+			sets := make([]*bitset.Set, n)
+			for j := range sets {
+				s := bitset.New(64)
+				for p := 0; p < 64; p++ {
+					if rng.Intn(6) == 0 {
+						s.Add(p)
+					}
+				}
+				sets[j] = s
+			}
+			batches[i] = sets
+		}
+		// Record byte ranges: magic, then one record per batch.
+		total := int64(len(wal.Magic()))
+		ends := make([]int64, nBatches)
+		for i, b := range batches {
+			total += int64(recordSize(b))
+			ends[i] = total
+		}
+		budget := rng.Int63n(total + 1)
+
+		dir := t.TempDir()
+		ffs := faultfs.New(nil)
+		ffs.LimitWrites(budget)
+		w, err := wal.Open(wal.Options{Dir: dir, FS: ffs, Policy: wal.SyncOff})
+		if err == nil {
+			for _, b := range batches {
+				if _, err := w.AppendBatch(b); err != nil {
+					break // crashed mid-stream
+				}
+			}
+			w.Close()
+		}
+
+		// Recover with a healthy filesystem.
+		w2, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncOff})
+		if err != nil {
+			t.Fatalf("seed %d budget %d/%d: recovery failed: %v", seed, budget, total, err)
+		}
+		var want []replayed
+		var seq uint64
+		for i, b := range batches {
+			if ends[i] > budget {
+				break // this record did not fully reach disk
+			}
+			want = append(want, replayed{seq, flatten(b)})
+			seq += uint64(len(b))
+		}
+		got := replayAll(t, w2)
+		if len(want) == 0 {
+			want = nil
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d budget %d/%d: replay mismatch\n got %v\nwant %v", seed, budget, total, got, want)
+		}
+		if w2.Recovered().LastSeq != seq {
+			t.Fatalf("seed %d: recovered seq %d, want %d", seed, w2.Recovered().LastSeq, seq)
+		}
+		// The recovered log accepts appends and survives another cycle.
+		if _, err := w2.AppendBatch(mkBatch([]int{42})); err != nil {
+			t.Fatalf("seed %d: append after recovery: %v", seed, err)
+		}
+		if err := w2.Close(); err != nil {
+			t.Fatalf("seed %d: close: %v", seed, err)
+		}
+		w3, err := wal.Open(wal.Options{Dir: dir, Policy: wal.SyncOff})
+		if err != nil {
+			t.Fatalf("seed %d: second recovery: %v", seed, err)
+		}
+		if w3.Recovered().LastSeq != seq+1 || w3.Recovered().TruncatedBytes != 0 {
+			t.Fatalf("seed %d: second recovery stats %+v", seed, w3.Recovered())
+		}
+		w3.Close()
+	}
+}
+
+// The background interval syncer flushes dirty appends without help.
+func TestIntervalSyncLoop(t *testing.T) {
+	ffs := faultfs.New(nil)
+	w, err := wal.Open(wal.Options{Dir: t.TempDir(), FS: ffs, Policy: wal.SyncInterval, SyncEvery: 5 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if _, err := w.AppendBatch(mkBatch([]int{1})); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for w.Dirty() {
+		if time.Now().After(deadline) {
+			t.Fatal("interval syncer never flushed")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
