@@ -26,6 +26,7 @@ import (
 	"repro/internal/observe"
 	"repro/internal/server"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/wal"
 )
@@ -685,6 +686,42 @@ func BenchmarkQRColumnUpdate(b *testing.B) {
 	b.Run("refactor", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			linalg.FactorInPlace(wide.Clone())
+		}
+	})
+}
+
+// BenchmarkMetricsObserve pins the telemetry hot path at 0 allocs/op:
+// the instrumented ingest/epoch paths observe through pre-resolved
+// handles exactly like these, so the bench alloc gate (-allocs-for
+// MetricsObserve) guards the whole instrumentation layer.
+func BenchmarkMetricsObserve(b *testing.B) {
+	reg := telemetry.NewRegistry()
+	ctr := reg.Counter("bench_ops_total", "ops")
+	gauge := reg.Gauge("bench_depth", "depth")
+	hist := reg.Histogram("bench_latency_seconds", "latency", telemetry.ExpBuckets(1e-6, 4, 12))
+	child := reg.CounterVec("bench_labeled_total", "labeled ops", "kind").With("hot")
+	b.Run("counter", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			ctr.Inc()
+		}
+	})
+	b.Run("gauge", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			gauge.Set(int64(i))
+		}
+	})
+	b.Run("histogram", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			hist.Observe(float64(i%1000) * 1e-6)
+		}
+	})
+	b.Run("vec-child", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			child.Inc()
 		}
 	})
 }

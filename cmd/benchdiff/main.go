@@ -127,7 +127,7 @@ func human(ns float64) string {
 func main() {
 	failOver := flag.Float64("fail-over", 0, "exit non-zero when any benchmark's ns/op regresses by more than this percent (0 = never fail)")
 	allocsOver := flag.Float64("allocs-over", 0, "exit non-zero when a benchmark matching -allocs-for regresses allocs/op by more than this percent (0 = never fail)")
-	allocsFor := flag.String("allocs-for", "EpochSolve|PlanRepair|StreamIngest", "regexp of benchmarks whose allocs/op are gated by -allocs-over")
+	allocsFor := flag.String("allocs-for", "EpochSolve|PlanRepair|StreamIngest|MetricsObserve", "regexp of benchmarks whose allocs/op are gated by -allocs-over")
 	flag.Parse()
 	if flag.NArg() != 2 {
 		fmt.Fprintf(os.Stderr, "usage: benchdiff [-fail-over PCT] [-allocs-over PCT] [-allocs-for REGEX] <baseline> <fresh>\n")

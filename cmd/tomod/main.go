@@ -34,7 +34,14 @@
 //	GET  /v1/paths/congested   paths above ?min= congested fraction (observation-level)
 //	GET  /v1/status            window fill, epoch, solver lag and stats (+ per-shard, WAL, degraded state)
 //	GET  /v1/healthz           liveness probe
-//	GET  /v1/readyz            readiness probe (503 not_ready until the first epoch)
+//	GET  /v1/readyz            readiness probe (503 with a reason until the first epoch or while degraded)
+//	GET  /metrics              Prometheus text exposition (HTTP, ingest, WAL, solver)
+//
+// Logs are structured (log/slog): -log-format text|json and
+// -log-level debug|info|warn|error. SIGHUP logs a snapshot of the
+// metric totals. -pprof mounts net/http/pprof on the main listener;
+// -debug-addr starts a separate debug listener carrying pprof and
+// /metrics (useful to keep profiling off the public port).
 //
 // With -wal-dir every acknowledged observation batch is appended to a
 // checksummed write-ahead log before it is applied; on restart the
@@ -55,10 +62,12 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"syscall"
 	"time"
@@ -67,6 +76,7 @@ import (
 	"repro/internal/experiment"
 	"repro/internal/netsim"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/wal"
 )
@@ -96,6 +106,11 @@ func main() {
 		readTimeout       = flag.Duration("read-timeout", time.Minute, "serve: http.Server ReadTimeout (whole request, incl. body)")
 		idleTimeout       = flag.Duration("idle-timeout", 2*time.Minute, "serve: http.Server IdleTimeout for keep-alive connections")
 
+		logFormat = flag.String("log-format", "text", "log output format: text or json")
+		logLevel  = flag.String("log-level", "info", "minimum log level: debug, info, warn, or error")
+		pprofOn   = flag.Bool("pprof", false, "serve: mount net/http/pprof under /debug/pprof/ on the main listener")
+		debugAddr = flag.String("debug-addr", "", "serve: separate listen address for pprof and /metrics (implies profiling regardless of -pprof)")
+
 		loadgen   = flag.Bool("loadgen", false, "run as load generator instead of serving")
 		target    = flag.String("target", "http://localhost:9900", "loadgen: base URL of the daemon")
 		intervals = flag.Int("intervals", 10000, "loadgen: intervals to simulate and send")
@@ -107,29 +122,38 @@ func main() {
 	)
 	flag.Parse()
 
+	logger, err := buildLogger(os.Stderr, *logFormat, *logLevel)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "tomod: %v\n", err)
+		os.Exit(1)
+	}
+	// Process-wide default: the server package logs through its
+	// Config.Logger, but stray library logs should match too.
+	slog.SetDefault(logger)
+
 	top, err := loadTopology(*topoPath, *gen, *scaleName, *genSeed)
 	if err != nil {
-		log.Fatalf("tomod: %v", err)
+		fatal(logger, err)
 	}
-	log.Printf("topology: %d links, %d paths, %d correlation sets",
-		top.NumLinks(), top.NumPaths(), len(top.CorrSets))
+	logger.Info("topology loaded",
+		"links", top.NumLinks(), "paths", top.NumPaths(), "corr_sets", len(top.CorrSets))
 
 	if *loadgen {
 		scen, err := parseScenario(*scenario)
 		if err != nil {
-			log.Fatalf("tomod: %v", err)
+			fatal(logger, err)
 		}
 		simCfg := netsim.DefaultConfig(scen)
 		simCfg.PacketsPerPath = *packets
 		simCfg.PerfectE2E = *perfect
-		if err := runLoadGen(top, server.LoadConfig{
+		if err := runLoadGen(logger, top, server.LoadConfig{
 			Target:    *target,
 			Intervals: *intervals,
 			BatchSize: *batch,
 			Seed:      *simSeed,
 			Sim:       simCfg,
 		}); err != nil {
-			log.Fatalf("tomod: %v", err)
+			fatal(logger, err)
 		}
 		return
 	}
@@ -139,6 +163,7 @@ func main() {
 		RecomputeEvery: *recompute,
 		Algo:           *algo,
 		EpochEvery:     *epochEvery,
+		Logger:         logger,
 		SolverOpts: []estimator.Option{
 			estimator.WithMaxSubsetSize(*maxSubset),
 			estimator.WithAlwaysGoodTol(*tol),
@@ -148,7 +173,7 @@ func main() {
 	if *walDir != "" {
 		policy, err := wal.ParseSyncPolicy(*walFsync)
 		if err != nil {
-			log.Fatalf("tomod: %v", err)
+			fatal(logger, err)
 		}
 		cfg.WAL = wal.Options{
 			Dir:          *walDir,
@@ -162,8 +187,68 @@ func main() {
 		read:       *readTimeout,
 		idle:       *idleTimeout,
 	}
-	if err := serve(top, cfg, *listen, timeouts); err != nil {
-		log.Fatalf("tomod: %v", err)
+	// One startup line with the effective configuration, so a log scrape
+	// answers "what was this instance actually running with".
+	goVersion, revision := server.BuildInfo()
+	logger.Info("starting",
+		"listen", *listen,
+		"debug_addr", *debugAddr,
+		"pprof", *pprofOn || *debugAddr != "",
+		"algo", cfg.Algo,
+		"window", cfg.WindowSize,
+		"recompute", cfg.RecomputeEvery.String(),
+		"epoch_every", cfg.EpochEvery,
+		"max_subset", *maxSubset,
+		"tol", *tol,
+		"concurrency", *concurrency,
+		"wal_dir", *walDir,
+		"wal_fsync", *walFsync,
+		"log_format", *logFormat,
+		"log_level", *logLevel,
+		"go_version", goVersion,
+		"revision", revision,
+	)
+	if err := serve(logger, top, cfg, serveOpts{
+		listen:    *listen,
+		debugAddr: *debugAddr,
+		pprof:     *pprofOn,
+		timeouts:  timeouts,
+	}); err != nil {
+		fatal(logger, err)
+	}
+}
+
+// fatal logs the error and exits nonzero; the slog replacement for
+// log.Fatalf.
+func fatal(logger *slog.Logger, err error) {
+	logger.Error("fatal", "err", err)
+	os.Exit(1)
+}
+
+// buildLogger constructs the process logger from the -log-format and
+// -log-level flags.
+func buildLogger(w *os.File, format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (want debug, info, warn, or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(w, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
 	}
 }
 
@@ -216,34 +301,76 @@ func loadTopology(path, gen, scaleName string, seed int64) (*topology.Topology, 
 	}
 }
 
+// serveOpts carries the listener layout: the public address, an
+// optional separate debug address (pprof + /metrics), and whether to
+// expose pprof on the public listener.
+type serveOpts struct {
+	listen    string
+	debugAddr string
+	pprof     bool
+	timeouts  httpTimeouts
+}
+
 // serve runs the streaming service until SIGINT/SIGTERM, then shuts
 // down gracefully: stop accepting connections, stop the solver loop.
-func serve(top *topology.Topology, cfg server.Config, listen string, timeouts httpTimeouts) error {
+// SIGHUP logs a snapshot of the metric totals without interrupting
+// service.
+func serve(logger *slog.Logger, top *topology.Topology, cfg server.Config, opts serveOpts) error {
 	s, err := server.New(top, cfg)
 	if err != nil {
 		return err
 	}
-	if _, rec, ok := s.WALStats(); ok {
-		log.Printf("wal: recovered %d records (%d intervals, seq %d..%d, %d torn bytes truncated) from %s",
-			rec.Records, rec.Intervals, rec.FirstSeq, rec.LastSeq, rec.TruncatedBytes, cfg.WAL.Dir)
-	}
 	s.Start()
 	defer s.Close()
 
+	handler := http.Handler(s.Handler())
+	if opts.pprof && opts.debugAddr == "" {
+		// Profiling on the public listener: explicit opt-in only.
+		mux := http.NewServeMux()
+		mountPprof(mux)
+		mux.Handle("/", handler)
+		handler = mux
+	}
 	httpSrv := &http.Server{
-		Addr:              listen,
-		Handler:           s.Handler(),
-		ReadHeaderTimeout: timeouts.readHeader,
-		ReadTimeout:       timeouts.read,
-		IdleTimeout:       timeouts.idle,
+		Addr:              opts.listen,
+		Handler:           handler,
+		ReadHeaderTimeout: opts.timeouts.readHeader,
+		ReadTimeout:       opts.timeouts.read,
+		IdleTimeout:       opts.timeouts.idle,
 	}
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
 
-	errc := make(chan error, 1)
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	defer signal.Stop(hup)
 	go func() {
-		log.Printf("listening on %s (window %d intervals, recompute every %v)",
-			listen, cfg.WindowSize, cfg.RecomputeEvery)
+		for range hup {
+			logMetricTotals(logger)
+		}
+	}()
+
+	errc := make(chan error, 2)
+	var debugSrv *http.Server
+	if opts.debugAddr != "" {
+		mux := http.NewServeMux()
+		mountPprof(mux)
+		mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default()))
+		debugSrv = &http.Server{
+			Addr:              opts.debugAddr,
+			Handler:           mux,
+			ReadHeaderTimeout: opts.timeouts.readHeader,
+		}
+		go func() {
+			logger.Info("debug listener", "addr", opts.debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+	}
+	go func() {
+		logger.Info("listening",
+			"addr", opts.listen, "window", cfg.WindowSize, "recompute", cfg.RecomputeEvery.String())
 		errc <- httpSrv.ListenAndServe()
 	}()
 	select {
@@ -251,21 +378,66 @@ func serve(top *topology.Topology, cfg server.Config, listen string, timeouts ht
 		return err
 	case <-ctx.Done():
 	}
-	log.Printf("shutting down")
+	logger.Info("shutting down")
 	shutCtx, shutCancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer shutCancel()
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutCtx)
+	}
 	if err := httpSrv.Shutdown(shutCtx); err != nil {
 		return err
 	}
 	return nil
 }
 
+// mountPprof registers the net/http/pprof handlers on mux. Explicit
+// registration (rather than the package's init-time DefaultServeMux
+// side effect) keeps profiling strictly opt-in.
+func mountPprof(mux *http.ServeMux) {
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+}
+
+// logMetricTotals writes one log line per metric family summing its
+// series — the SIGHUP "where are the counters" snapshot for operators
+// without a scraper attached.
+func logMetricTotals(logger *slog.Logger) {
+	snap := telemetry.Default().Snapshot()
+	totals := make(map[string]float64)
+	for key, v := range snap {
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		// Histogram series: keep only the family's total observation
+		// count; buckets and sums would double-count.
+		if strings.HasSuffix(name, "_bucket") || strings.HasSuffix(name, "_sum") {
+			continue
+		}
+		totals[name] += v
+	}
+	names := make([]string, 0, len(totals))
+	for name := range totals {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	args := make([]any, 0, 2*len(names))
+	for _, name := range names {
+		args = append(args, name, totals[name])
+	}
+	logger.Info("metrics snapshot", args...)
+}
+
 // runLoadGen drives the simulator at the target and prints throughput
 // plus the daemon's final status.
-func runLoadGen(top *topology.Topology, cfg server.LoadConfig) error {
+func runLoadGen(logger *slog.Logger, top *topology.Topology, cfg server.LoadConfig) error {
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer cancel()
-	log.Printf("driving %d intervals at %s (batch %d)", cfg.Intervals, cfg.Target, cfg.BatchSize)
+	logger.Info("driving load",
+		"intervals", cfg.Intervals, "target", cfg.Target, "batch", cfg.BatchSize)
 	stats, err := server.RunLoadGen(ctx, top, cfg)
 	if err != nil {
 		return err

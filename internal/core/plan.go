@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/linalg"
@@ -49,6 +50,15 @@ type Plan struct {
 	// always-good drift instead of rebuilding.
 	repairs int
 
+	// Per-epoch stage durations, reset at the top of each
+	// ComputePlanned call and read back through StageTimes: how long
+	// the structural rebuild, the Repair re-key and the shared solve
+	// tail took for the epoch this plan just served. Telemetry-only —
+	// nothing in the solve depends on them.
+	lastBuild  time.Duration
+	lastRepair time.Duration
+	lastSolve  time.Duration
+
 	// Solve plan: the surviving equations and unknowns after the
 	// iterative identifiability reduction, and the retained QR
 	// factorization of the reduced 0/1 system.
@@ -72,6 +82,17 @@ type Plan struct {
 // via Repair rather than a rebuild. Callers use it to distinguish a
 // repaired epoch from a plainly warm one.
 func (pl *Plan) RepairCount() int { return pl.repairs }
+
+// StageTimes returns how long the last ComputePlanned epoch spent in
+// each stage: the cold structural rebuild (zero on warm epochs), the
+// Repair re-key (zero unless drift was absorbed), and the shared solve
+// tail. Batched drains (ComputePlannedBatch) report the build of the
+// last cold rebuild and the aggregate duration of the last flushed
+// multi-RHS solve — per-epoch attribution doesn't exist there by
+// construction.
+func (pl *Plan) StageTimes() (build, repair, solve time.Duration) {
+	return pl.lastBuild, pl.lastRepair, pl.lastSolve
+}
 
 // Compute runs the Correlation-complete algorithm over the recorded
 // observations. rec may be any observation store — an observe.Recorder
@@ -111,21 +132,30 @@ func ComputePlanned(ctx context.Context, top *topology.Topology, rec observe.Sto
 	if rec.NumPaths() != top.NumPaths() {
 		return nil, nil, fmt.Errorf("core: recorder has %d paths, topology has %d", rec.NumPaths(), top.NumPaths())
 	}
-	if prev != nil && prev.reusable(top, rec, cfg) {
-		res, err := prev.solveEpoch(ctx, rec)
-		if err != nil {
-			return nil, nil, err
+	if prev != nil {
+		prev.lastBuild, prev.lastRepair, prev.lastSolve = 0, 0, 0
+		if prev.reusable(top, rec, cfg) {
+			start := time.Now()
+			res, err := prev.solveEpoch(ctx, rec)
+			prev.lastSolve = time.Since(start)
+			if err != nil {
+				return nil, nil, err
+			}
+			return res, prev, nil
 		}
-		return res, prev, nil
 	}
+	start := time.Now()
 	plan, err := buildPlan(ctx, top, rec, cfg)
 	if err != nil {
 		return nil, nil, err
 	}
+	plan.lastBuild = time.Since(start)
+	start = time.Now()
 	res, err := plan.solveEpoch(ctx, rec)
 	if err != nil {
 		return nil, nil, err
 	}
+	plan.lastSolve = time.Since(start)
 	return res, plan, nil
 }
 
@@ -162,7 +192,10 @@ func (pl *Plan) reusable(top *topology.Topology, rec observe.Store, cfg Config) 
 	if cfg.DisablePlanRepair {
 		return false
 	}
-	return pl.Repair(good)
+	start := time.Now()
+	ok := pl.Repair(good)
+	pl.lastRepair = time.Since(start)
+	return ok
 }
 
 // Repair attempts to absorb a drift of the always-good path set into
@@ -244,10 +277,12 @@ func ComputePlannedBatch(ctx context.Context, top *topology.Topology, recs []obs
 		// the plan — structure, rows and factorization are untouched —
 		// so earlier stores of the run still solve over exactly the
 		// state their own sequential solve would have used.
+		start := time.Now()
 		batch, err := plan.SolveEpochBatch(ctx, pending)
 		if err != nil {
 			return err
 		}
+		plan.lastSolve = time.Since(start)
 		copy(results[end-len(pending):end], batch)
 		pending = pending[:0]
 		return nil
@@ -267,10 +302,12 @@ func ComputePlannedBatch(ctx context.Context, top *topology.Topology, recs []obs
 		if err := flush(i); err != nil {
 			return nil, nil, nil, err
 		}
+		start := time.Now()
 		fresh, err := buildPlan(ctx, top, rec, cfg)
 		if err != nil {
 			return nil, nil, nil, err
 		}
+		fresh.lastBuild = time.Since(start)
 		plan = fresh
 		pending = append(pending, rec)
 	}

@@ -3,6 +3,7 @@ package estimator
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/observe"
@@ -59,16 +60,28 @@ type SolveInfo struct {
 	// Repaired reports that the always-good set drifted and the plan
 	// was repaired across it rather than rebuilt (core.Plan.Repair).
 	Repaired bool
+
+	// Per-stage wall time of the epoch (core.Plan.StageTimes):
+	// BuildTime is the cold structural rebuild (zero on warm epochs),
+	// RepairTime the Repair re-key (zero unless drift was absorbed),
+	// SolveTime the shared solve tail. Zero on batched drains, where
+	// per-epoch attribution doesn't exist.
+	BuildTime  time.Duration
+	RepairTime time.Duration
+	SolveTime  time.Duration
 }
 
 // solveInfoFor derives how a ComputePlanned call used prev from the
 // returned plan and prev's repair count snapshotted before the call —
 // the one place this pattern lives for every warm solver.
 func solveInfoFor(prev, next *core.Plan, prevRepairs int) SolveInfo {
-	if prev == nil || next != prev {
-		return SolveInfo{}
+	info := SolveInfo{}
+	if prev != nil && next == prev {
+		info.Warm = true
+		info.Repaired = next.RepairCount() > prevRepairs
 	}
-	return SolveInfo{Warm: true, Repaired: next.RepairCount() > prevRepairs}
+	info.BuildTime, info.RepairTime, info.SolveTime = next.StageTimes()
+	return info
 }
 
 // ShardedSolver drives per-shard Correlation-complete solves over a

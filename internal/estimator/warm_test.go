@@ -149,7 +149,9 @@ func TestWarmSolverBatchMatchesSequential(t *testing.T) {
 	}
 	for i := range stores {
 		assertEstimatesMatch(t, "batch epoch", got[i], want[i])
-		if infos[i] != wantInfos[i] {
+		// Stage times are wall-clock telemetry and differ run to run;
+		// the contract is on how the plan served each epoch.
+		if infos[i].Warm != wantInfos[i].Warm || infos[i].Repaired != wantInfos[i].Repaired {
 			t.Fatalf("epoch %d info = %+v, sequential %+v", i, infos[i], wantInfos[i])
 		}
 	}

@@ -6,11 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
 	"sort"
 	"strconv"
+	"time"
 
 	"repro/internal/bitset"
 	"repro/internal/estimator"
+	"repro/internal/telemetry"
 )
 
 // maxIngestBody is the default Config.MaxIngestBytes (64 MiB is ~ a
@@ -36,6 +39,7 @@ const (
 	CodePayloadTooLarge = "payload_too_large" // ingest body exceeds MaxIngestBytes
 	CodeWALUnavailable  = "wal_unavailable"   // the write-ahead log cannot accept the batch (stalled or failed disk)
 	CodeNotReady        = "not_ready"         // readiness probe: no snapshot published yet
+	CodeSolverPanic     = "solver_panic"      // readiness probe: a contained solver panic has degraded the service
 )
 
 // Envelope is the versioned wrapper of every v1 response: exactly one
@@ -192,6 +196,16 @@ type StatusResponse struct {
 	EpochBacklog       int    `json:"epoch_backlog,omitempty"`
 	CheckpointsDropped uint64 `json:"checkpoints_dropped,omitempty"`
 
+	// Process identity and age, for fleet dashboards that correlate
+	// behavior changes with deploys: UptimeSeconds since process start,
+	// the Go toolchain that built the binary, the VCS revision stamped
+	// at build time (absent for `go run` / test binaries), and the
+	// solver's parallelism budget.
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	GoVersion     string  `json:"go_version"`
+	VCSRevision   string  `json:"vcs_revision,omitempty"`
+	GOMAXPROCS    int     `json:"gomaxprocs"`
+
 	// Shards lists each shard solver's independent epoch and lag;
 	// present only in sharded mode.
 	Shards []ShardStatus `json:"shards,omitempty"`
@@ -268,7 +282,42 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("GET /v1/epochs", s.handleEpochs)
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
-	return mux
+	mux.Handle("GET /metrics", telemetry.Handler(telemetry.Default()))
+	return withMetrics(mux)
+}
+
+// statusRecorder captures the response code for the request metrics; a
+// handler that never calls WriteHeader implicitly answered 200.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// withMetrics instruments every request with the in-flight gauge, the
+// per-route latency histogram and the per-route/code counter. The
+// route label is the mux pattern the request dispatched to (set on the
+// request by ServeMux before the handler runs), so cardinality is
+// bounded by the route table — client-controlled paths never mint new
+// series.
+func withMetrics(h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		metricHTTPInFlight.Inc()
+		defer metricHTTPInFlight.Dec()
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		start := time.Now()
+		h.ServeHTTP(sr, r)
+		route := r.Pattern
+		if route == "" {
+			route = "unmatched"
+		}
+		metricHTTPDuration.With(route).Observe(time.Since(start).Seconds())
+		metricHTTPRequests.With(route, strconv.Itoa(sr.code)).Inc()
+	})
 }
 
 // writeData wraps v in the versioned envelope.
@@ -301,10 +350,12 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	if err := dec.Decode(&req); err != nil {
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
+			rejTooLarge.Inc()
 			writeError(w, http.StatusRequestEntityTooLarge, CodePayloadTooLarge,
 				"body exceeds the %d-byte ingest limit; split the batch", tooLarge.Limit)
 			return
 		}
+		rejBadRequest.Inc()
 		writeError(w, http.StatusBadRequest, CodeBadRequest, "decoding body: %v", err)
 		return
 	}
@@ -314,6 +365,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		set := bitset.New(numPaths)
 		for _, p := range iv.CongestedPaths {
 			if p < 0 || p >= numPaths {
+				rejBadPath.Inc()
 				writeError(w, http.StatusBadRequest, CodeBadRequest,
 					"interval %d: path %d outside universe [0,%d)", i, p, numPaths)
 				return
@@ -328,6 +380,7 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 		// its own (retry soon), a latched write/fsync failure needs a
 		// restart — either way the client should back off and retry
 		// rather than treat the observations as accepted.
+		rejWAL.Inc()
 		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, CodeWALUnavailable, "durable ingest unavailable: %v", err)
 		return
@@ -340,10 +393,25 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleReadyz reports readiness: WAL recovery is complete (it is
-// synchronous in New, so reaching a handler implies it) and the first
-// snapshot has been published, i.e. queries will not 503 with
-// no_snapshot.
+// synchronous in New, so reaching a handler implies it), the first
+// snapshot has been published (queries will not 503 with no_snapshot),
+// and the service is not degraded — a latched WAL failure (ingest is
+// refusing batches until restart) or an uncleared solver panic both
+// answer 503 with the reason, so a load balancer stops routing to a
+// wedged instance instead of feeding it traffic it can only half
+// serve.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.wal != nil {
+		if err := s.wal.Err(); err != nil {
+			writeError(w, http.StatusServiceUnavailable, CodeWALUnavailable,
+				"degraded: durable ingest unavailable until restart: %v", err)
+			return
+		}
+	}
+	if reason, _ := s.degraded.Load().(string); reason != "" {
+		writeError(w, http.StatusServiceUnavailable, CodeSolverPanic, "degraded: %s", reason)
+		return
+	}
 	if !s.Ready() {
 		writeError(w, http.StatusServiceUnavailable, CodeNotReady, "no solver snapshot published yet")
 		return
@@ -563,11 +631,17 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	// IngestedSeq ≥ SnapshotSeq and the lag subtraction cannot wrap.
 	snap := s.Latest()
 	st := StatusResponse{
-		Algorithm:   s.cfg.Algo,
-		IngestedSeq: s.Seq(),
-		WindowCap:   s.cfg.WindowSize,
-		NumLinks:    s.top.NumLinks(),
-		NumPaths:    s.top.NumPaths(),
+		Algorithm:     s.cfg.Algo,
+		IngestedSeq:   s.Seq(),
+		WindowCap:     s.cfg.WindowSize,
+		NumLinks:      s.top.NumLinks(),
+		NumPaths:      s.top.NumPaths(),
+		UptimeSeconds: Uptime().Seconds(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+	}
+	st.GoVersion, st.VCSRevision = BuildInfo()
+	if st.VCSRevision == "unknown" {
+		st.VCSRevision = ""
 	}
 	st.EpochBacklog, st.CheckpointsDropped = s.backlogStats()
 	if snap != nil {

@@ -40,7 +40,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -50,6 +52,7 @@ import (
 	"repro/internal/estimator"
 	"repro/internal/observe"
 	"repro/internal/stream"
+	"repro/internal/telemetry"
 	"repro/internal/topology"
 	"repro/internal/wal"
 )
@@ -102,6 +105,11 @@ type Config struct {
 	// MaxIngestBytes bounds one POST /v1/observations body (default
 	// 64 MiB, ~ a day of intervals on the paper-scale path universe).
 	MaxIngestBytes int64
+
+	// Logger receives the service's structured log events (WAL
+	// recovery, epoch publishes at debug, solver errors and panics,
+	// ingest failures). nil means slog.Default().
+	Logger *slog.Logger
 }
 
 // withDefaults fills the zero values.
@@ -309,9 +317,15 @@ type EpochSummary struct {
 
 // Server is the streaming tomography service.
 type Server struct {
-	top *topology.Topology
-	cfg Config
-	est estimator.Estimator // the epoch solver, resolved from cfg.Algo
+	top    *topology.Topology
+	cfg    Config
+	est    estimator.Estimator // the epoch solver, resolved from cfg.Algo
+	logger *slog.Logger
+
+	// shardLag holds the per-shard lag gauges, resolved once in New so
+	// the shard solver loops never pay a labeled lookup; nil outside
+	// sharded mode.
+	shardLag []*telemetry.Gauge
 
 	// warmSolver carries the correlation-complete structural plan
 	// across unsharded epochs (nil for other algorithms): the loop no
@@ -381,11 +395,16 @@ func New(top *topology.Topology, cfg Config) (*Server, error) {
 	if _, err := estimator.Apply(cfg.SolverOpts...); err != nil {
 		return nil, err
 	}
+	logger := cfg.Logger
+	if logger == nil {
+		logger = slog.Default()
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		top:        top,
 		cfg:        cfg,
 		est:        est,
+		logger:     logger,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		stop:       make(chan struct{}),
@@ -405,8 +424,10 @@ func New(top *topology.Topology, cfg Config) (*Server, error) {
 		s.shardedWin = stream.NewSharded(top.NumPaths(), cfg.WindowSize, part.PathShards(), part.NumShards())
 		s.win = s.shardedWin
 		s.shardStates = make([]*shardState, sv.NumShards())
+		s.shardLag = make([]*telemetry.Gauge, sv.NumShards())
 		for i := range s.shardStates {
 			s.shardStates[i] = &shardState{}
+			s.shardLag[i] = metricShardLag.With(strconv.Itoa(i))
 		}
 	} else {
 		if cfg.Algo == estimator.CorrelationComplete {
@@ -460,6 +481,13 @@ func (s *Server) openWAL() error {
 	s.win.SetLog(w)
 	s.wal = w
 	s.walRecovered = rec
+	s.logger.Info("wal recovered",
+		"dir", opts.Dir,
+		"records", rec.Records,
+		"intervals", rec.Intervals,
+		"first_seq", rec.FirstSeq,
+		"last_seq", rec.LastSeq,
+		"truncated_bytes", rec.TruncatedBytes)
 	return nil
 }
 
@@ -528,6 +556,8 @@ func (s *Server) guardPanic(fn func()) (err error) {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("%w: %v", ErrSolverPanic, r)
 			s.setDegraded(err.Error())
+			metricSolverPanics.Inc()
+			s.logger.Error("solver panicked", "panic", fmt.Sprint(r))
 		}
 	}()
 	fn()
@@ -572,8 +602,16 @@ func (s *Server) DegradedReason() string {
 // Retry-After. A stalled WAL disk fails fast (wal.ErrStalled) instead
 // of wedging every ingest request behind the hung fsync.
 func (s *Server) Ingest(batch []*bitset.Set) (uint64, error) {
+	n := uint64(len(batch))
 	if s.sharded != nil {
-		return s.shardedWin.AddBatch(batch)
+		seq, err := s.shardedWin.AddBatch(batch)
+		if err != nil {
+			s.logger.Warn("ingest failed", "seq", seq, "error", err)
+			return seq, err
+		}
+		metricIngestBatches.Inc()
+		metricIngestIntervals.Add(n)
+		return seq, nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -587,6 +625,7 @@ func (s *Server) Ingest(batch []*bitset.Set) (uint64, error) {
 		}
 		seq, err := s.win.AddBatch(batch[:n])
 		if err != nil {
+			s.logger.Warn("ingest failed", "seq", seq, "error", err)
 			return seq, err
 		}
 		batch = batch[n:]
@@ -596,9 +635,13 @@ func (s *Server) Ingest(batch []*bitset.Set) (uint64, error) {
 				dropped := len(s.backlog) - s.cfg.MaxEpochBacklog
 				s.backlog = append(s.backlog[:0], s.backlog[dropped:]...)
 				s.backlogDropped += uint64(dropped)
+				metricCheckpointsDropped.Add(uint64(dropped))
 			}
+			metricBacklog.Set(int64(len(s.backlog)))
 		}
 	}
+	metricIngestBatches.Inc()
+	metricIngestIntervals.Add(n)
 	return s.win.Seq(), nil
 }
 
@@ -693,6 +736,9 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return snap // cancelled: do not publish, do not consume an epoch
 	}
+	if err == nil {
+		observeSolveMetrics(info.Warm, info.Repaired, info.BuildTime, info.RepairTime, info.SolveTime)
+	}
 	s.publish(snap)
 	return snap
 }
@@ -711,6 +757,7 @@ func (s *Server) drainBacklog(ctx context.Context) (*Snapshot, error) {
 	s.mu.Lock()
 	pending := s.backlog
 	s.backlog = nil
+	metricBacklog.Set(0)
 	s.mu.Unlock()
 	if len(pending) == 0 {
 		return nil, nil
@@ -758,7 +805,9 @@ func (s *Server) drainBacklog(ctx context.Context) (*Snapshot, error) {
 			if over := len(s.backlog) - s.cfg.MaxEpochBacklog; over > 0 {
 				s.backlog = append(s.backlog[:0], s.backlog[over:]...)
 				s.backlogDropped += uint64(over)
+				metricCheckpointsDropped.Add(uint64(over))
 			}
+			metricBacklog.Set(int64(len(s.backlog)))
 			s.mu.Unlock()
 			return snap, err // not published, no epoch consumed
 		}
@@ -766,13 +815,17 @@ func (s *Server) drainBacklog(ctx context.Context) (*Snapshot, error) {
 		s.mu.Lock()
 		s.backlogDropped += uint64(len(pending))
 		s.mu.Unlock()
+		metricCheckpointsDropped.Add(uint64(len(pending)))
 		return snap, err
 	}
 	// One publish per checkpoint, oldest first; the batch's cost is
-	// amortized evenly across the drained epochs.
+	// amortized evenly across the drained epochs. Stage histograms get
+	// nothing here: a batched drain has no per-epoch stage attribution
+	// (estimator.SolveInfo documents the zero times).
 	share := time.Duration(int64(time.Since(start)) / int64(len(pending)))
 	var newest *Snapshot
 	for i, w := range pending {
+		observeSolveMetrics(infos[i].Warm, infos[i].Repaired, 0, 0, 0)
 		snap := &Snapshot{
 			Algo:        s.cfg.Algo,
 			Est:         ests[i],
@@ -800,16 +853,41 @@ func (s *Server) drainBacklog(ctx context.Context) (*Snapshot, error) {
 // consumes its epoch and enters the history but never rolls the latest
 // snapshot backwards in ingest sequence.
 func (s *Server) publish(snap *Snapshot) {
+	// The lag gauge reads the live sequence before taking publishMu
+	// (Seq takes the ingest lock; keep the two disjoint).
+	lag := int64(s.Seq() - snap.SeqHigh)
 	s.publishMu.Lock()
 	defer s.publishMu.Unlock()
 	snap.Epoch = s.epoch.Add(1)
 	if cur := s.snap.Load(); cur == nil || (cur.Epoch < snap.Epoch && cur.SeqHigh <= snap.SeqHigh) {
 		s.snap.Store(snap)
+		metricEpochLag.Set(lag)
 	}
 	if snap.Err == nil {
 		s.setDegraded("") // a clean epoch ends solver-panic degradation
 	}
 	s.appendHistoryLocked(snap)
+	s.logEpoch(snap)
+}
+
+// logEpoch emits one structured event per published epoch: debug on a
+// clean solve (these are frequent), warn on an error snapshot.
+func (s *Server) logEpoch(snap *Snapshot) {
+	if snap.Err != nil {
+		s.logger.Warn("epoch solve failed",
+			"epoch", snap.Epoch,
+			"seq_high", snap.SeqHigh,
+			"error", snap.Err.Error())
+		return
+	}
+	s.logger.Debug("epoch published",
+		"epoch", snap.Epoch,
+		"seq_high", snap.SeqHigh,
+		"t", snap.T,
+		"warm", snap.Warm,
+		"repaired", snap.Repaired,
+		"shards", len(snap.Shards),
+		"compute_ms", float64(snap.ComputeTime)/float64(time.Millisecond))
 }
 
 // epochHistoryCap bounds the history ring behind GET /v1/epochs.
@@ -910,6 +988,9 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 			st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = results[sid], full.Seq(), full.T(), infos[sid].Warm, infos[sid].Repaired, nil
 			st.epoch++
 			st.computeTime = durs[sid]
+			observeSolveMetrics(infos[sid].Warm, infos[sid].Repaired,
+				infos[sid].BuildTime, infos[sid].RepairTime, infos[sid].SolveTime)
+			s.shardLag[sid].Set(0) // solved at the clone's own sequence
 		}
 		blocks[sid] = st.res
 		shards[sid] = s.shardInfoLocked(sid)
@@ -989,6 +1070,7 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 	if err != nil {
 		st.err = err
 		s.publishMu.Unlock()
+		s.logger.Warn("shard solve failed", "shard", sid, "seq", ring.Seq(), "error", err.Error())
 		return // keep the shard's previous block; merged snapshot unchanged
 	}
 	if ring.Seq() < st.seqHigh {
@@ -998,7 +1080,17 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 	st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = res, ring.Seq(), ring.T(), info.Warm, info.Repaired, nil
 	st.epoch++
 	st.computeTime = time.Since(start)
+	shardEpoch, computeTime := st.epoch, st.computeTime
 	s.publishMu.Unlock()
+	observeSolveMetrics(info.Warm, info.Repaired, info.BuildTime, info.RepairTime, info.SolveTime)
+	s.shardLag[sid].Set(int64(s.shardedWin.Seq() - ring.Seq()))
+	s.logger.Debug("shard epoch published",
+		"shard", sid,
+		"epoch", shardEpoch,
+		"seq_high", ring.Seq(),
+		"warm", info.Warm,
+		"repaired", info.Repaired,
+		"compute_ms", float64(computeTime)/float64(time.Millisecond))
 	s.publishMerged()
 }
 
@@ -1076,15 +1168,18 @@ func (s *Server) publishMerged() {
 // got there first; either way the epoch was consumed and is recorded
 // in the history ring.
 func (s *Server) storeSnapshotGuarded(snap *Snapshot) {
+	lag := int64(s.Seq() - snap.SeqHigh)
 	s.publishMu.Lock()
 	defer s.publishMu.Unlock()
 	if cur := s.snap.Load(); cur == nil || cur.Epoch < snap.Epoch {
 		s.snap.Store(snap)
+		metricEpochLag.Set(lag)
 	}
 	if snap.Err == nil {
 		s.setDegraded("") // a clean epoch ends solver-panic degradation
 	}
 	s.appendHistoryLocked(snap)
+	s.logEpoch(snap)
 }
 
 // run is the solver loop: one potential epoch per tick, skipped when
@@ -1125,6 +1220,8 @@ func (s *Server) tickSafely(fn func()) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.setDegraded(fmt.Sprintf("solver loop panic: %v", r))
+			metricSolverPanics.Inc()
+			s.logger.Error("solver loop panicked", "panic", fmt.Sprint(r))
 		}
 	}()
 	fn()

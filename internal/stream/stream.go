@@ -144,6 +144,7 @@ func (w *Window) evict() {
 		return true
 	})
 	w.count--
+	metricEvictions.Inc()
 }
 
 // T returns the number of live intervals (≤ Cap).

@@ -1,0 +1,32 @@
+//go:build !race
+
+package telemetry
+
+import "testing"
+
+// Alloc assertions are skipped under -race: the race runtime's
+// instrumentation allocates and would make these flaky, and the alloc
+// gate in CI runs without -race anyway (same split as
+// internal/stream).
+
+func TestCounterIncZeroAlloc(t *testing.T) {
+	c := NewRegistry().Counter("alloc_total", "")
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op, want 0", n)
+	}
+}
+
+func TestGaugeSetZeroAlloc(t *testing.T) {
+	g := NewRegistry().Gauge("alloc_gauge", "")
+	if n := testing.AllocsPerRun(1000, func() { g.Set(7) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op, want 0", n)
+	}
+}
+
+func TestHistogramObserveZeroAlloc(t *testing.T) {
+	h := NewRegistry().Histogram("alloc_seconds", "", ExpBuckets(1e-6, 4, 12))
+	v := 0.0
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(v); v += 1e-7 }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op, want 0", n)
+	}
+}

@@ -1,0 +1,84 @@
+package telemetry
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+)
+
+// contentType is the Prometheus text exposition format content type.
+const contentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// WritePrometheus renders every family in the text exposition format:
+// families sorted by name, children by label string, histograms as
+// cumulative _bucket series plus _sum and _count. The output is
+// byte-stable for a given metric state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(helpEscaper.Replace(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.kind.String())
+		bw.WriteByte('\n')
+		if f.kind == kindGaugeFunc {
+			writeSeries(bw, f.name, "", f.fn())
+			continue
+		}
+		for _, c := range f.sortedChildren() {
+			switch f.kind {
+			case kindCounter:
+				writeSeries(bw, f.name, c.labels, float64(c.counter.Value()))
+			case kindGauge:
+				writeSeries(bw, f.name, c.labels, float64(c.gauge.Value()))
+			case kindHistogram:
+				cum := uint64(0)
+				for i, b := range c.hist.bounds {
+					cum += c.hist.counts[i].Load()
+					writeSeries(bw, f.name+"_bucket", mergeLabels(c.labels, "le", formatFloat(b)), float64(cum))
+				}
+				cum += c.hist.counts[len(c.hist.bounds)].Load()
+				writeSeries(bw, f.name+"_bucket", mergeLabels(c.labels, "le", "+Inf"), float64(cum))
+				writeSeries(bw, f.name+"_sum", c.labels, c.hist.Sum())
+				writeSeries(bw, f.name+"_count", c.labels, float64(c.hist.Count()))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// writeSeries writes one `name{labels} value` line.
+func writeSeries(bw *bufio.Writer, name, labels string, v float64) {
+	bw.WriteString(name)
+	bw.WriteString(labels)
+	bw.WriteByte(' ')
+	bw.WriteString(formatFloat(v))
+	bw.WriteByte('\n')
+}
+
+// formatFloat renders a sample or bucket-bound value: integers without
+// a decimal point, everything else in shortest round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// Handler returns an http.Handler serving r in the text exposition
+// format — mount it at GET /metrics.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", contentType)
+		r.WritePrometheus(w)
+	})
+}

@@ -1,0 +1,397 @@
+// Package telemetry is the daemon's dependency-free metrics kernel: a
+// registry of atomic counters, gauges and fixed-bucket histograms —
+// optionally labeled — that renders the Prometheus text exposition
+// format for GET /metrics and exposes a Snapshot view so tests assert
+// on metric values without scraping.
+//
+// Design constraints, in order:
+//
+//   - stdlib only (the module has an empty go.mod and keeps it);
+//   - the observation hot path — Counter.Add, Gauge.Set,
+//     Histogram.Observe — is lock-free, allocation-free and safe from
+//     any goroutine, because it runs inside the epoch solver loop and
+//     the ingest path, both of which the bench alloc gate pins at
+//     0 allocs/op;
+//   - registration is init-time work: instrumented packages declare
+//     package-level metric vars against Default(), and hot paths hold
+//     pre-resolved *Counter/*Histogram handles rather than calling
+//     Vec.With per observation (With takes a lock and builds a key).
+//
+// Rendering is deliberately boring: families sorted by name, children
+// sorted by label string, histograms expanded to cumulative _bucket /
+// _sum / _count series — byte-stable across scrapes of the same state,
+// which the golden tests rely on.
+package telemetry
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing value.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is an integer value that can go up and down (in-flight
+// requests, backlog depth, lag, 0/1 state flags).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the value.
+func (g *Gauge) Set(v int64) { g.v.Store(v) }
+
+// Add adds delta (negative to decrement).
+func (g *Gauge) Add(delta int64) { g.v.Add(delta) }
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.v.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.v.Add(-1) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram is a fixed-bucket distribution. Buckets are upper bounds in
+// ascending order; an implicit +Inf bucket catches the rest. Observe is
+// lock-free: one atomic add on the bucket, one on the count, and a CAS
+// loop on the float sum.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; counts[len(bounds)] is +Inf
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		s := math.Float64frombits(old) + v
+		if h.sum.CompareAndSwap(old, math.Float64bits(s)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 { return h.count.Load() }
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sum.Load()) }
+
+// ExpBuckets returns count upper bounds growing geometrically from
+// start by factor: the standard shape for latency histograms.
+func ExpBuckets(start, factor float64, count int) []float64 {
+	if start <= 0 || factor <= 1 || count < 1 {
+		panic("telemetry: ExpBuckets needs start > 0, factor > 1, count >= 1")
+	}
+	b := make([]float64, count)
+	for i := range b {
+		b[i] = start
+		start *= factor
+	}
+	return b
+}
+
+// metricKind discriminates a family's value type.
+type metricKind int
+
+const (
+	kindCounter metricKind = iota
+	kindGauge
+	kindGaugeFunc
+	kindHistogram
+)
+
+func (k metricKind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindHistogram:
+		return "histogram"
+	default:
+		return "gauge"
+	}
+}
+
+// child is one label combination's metric instance.
+type child struct {
+	labels  string // rendered {a="b",c="d"}, "" when unlabeled
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+}
+
+// family is one registered metric name: its metadata and children.
+type family struct {
+	name   string
+	help   string
+	kind   metricKind
+	labels []string
+	bounds []float64 // histogram families
+
+	fn func() float64 // kindGaugeFunc
+
+	mu       sync.Mutex
+	children map[string]*child
+}
+
+// getChild returns (creating if needed) the child for the given label
+// values.
+func (f *family) getChild(values []string) *child {
+	if len(values) != len(f.labels) {
+		panic(fmt.Sprintf("telemetry: metric %s has %d labels, got %d values", f.name, len(f.labels), len(values)))
+	}
+	key := renderLabels(f.labels, values)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	c := f.children[key]
+	if c == nil {
+		c = &child{labels: key}
+		switch f.kind {
+		case kindCounter:
+			c.counter = &Counter{}
+		case kindGauge:
+			c.gauge = &Gauge{}
+		case kindHistogram:
+			c.hist = &Histogram{bounds: f.bounds, counts: make([]atomic.Uint64, len(f.bounds)+1)}
+		}
+		f.children[key] = c
+	}
+	return c
+}
+
+// sortedChildren returns the children ordered by label string, the
+// render and snapshot order.
+func (f *family) sortedChildren() []*child {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]*child, 0, len(f.children))
+	for _, c := range f.children {
+		out = append(out, c)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].labels < out[j].labels })
+	return out
+}
+
+// Registry is a set of metric families. The zero value is not usable;
+// call NewRegistry, or use Default for the process-wide registry every
+// instrumented package registers against.
+type Registry struct {
+	mu   sync.Mutex
+	fams map[string]*family
+}
+
+// NewRegistry returns an empty registry. Tests use private registries
+// for golden rendering; production code uses Default.
+func NewRegistry() *Registry { return &Registry{fams: map[string]*family{}} }
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry, the one GET /metrics
+// serves.
+func Default() *Registry { return defaultRegistry }
+
+// register installs (or re-resolves) a family. Registering the same
+// name again with the same kind and labels returns the existing family,
+// so package-level registration is idempotent across tests; a kind or
+// label-shape conflict panics — it is a programmer error caught at
+// init.
+func (r *Registry) register(name, help string, kind metricKind, labels []string, bounds []float64, fn func() float64) *family {
+	checkName(name)
+	for _, l := range labels {
+		checkName(l)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f := r.fams[name]; f != nil {
+		if f.kind != kind || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("telemetry: metric %s re-registered as %s with %d labels (have %s with %d)",
+				name, kind, len(labels), f.kind, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("telemetry: metric %s re-registered with label %q, have %q", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{name: name, help: help, kind: kind, labels: labels, bounds: bounds, fn: fn, children: map[string]*child{}}
+	r.fams[name] = f
+	return f
+}
+
+// Counter registers (or returns) an unlabeled counter.
+func (r *Registry) Counter(name, help string) *Counter {
+	return r.register(name, help, kindCounter, nil, nil, nil).getChild(nil).counter
+}
+
+// Gauge registers (or returns) an unlabeled gauge.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, help, kindGauge, nil, nil, nil).getChild(nil).gauge
+}
+
+// GaugeFunc registers a gauge whose value is computed at scrape time
+// (uptime, GOMAXPROCS). fn must be safe to call from any goroutine.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, help, kindGaugeFunc, nil, nil, fn)
+}
+
+// Histogram registers (or returns) an unlabeled histogram with the
+// given upper bounds (ascending; +Inf implicit).
+func (r *Registry) Histogram(name, help string, buckets []float64) *Histogram {
+	f := r.register(name, help, kindHistogram, nil, buckets, nil)
+	return f.getChild(nil).hist
+}
+
+// CounterVec registers (or returns) a labeled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) *CounterVec {
+	return &CounterVec{f: r.register(name, help, kindCounter, labels, nil, nil)}
+}
+
+// GaugeVec registers (or returns) a labeled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) *GaugeVec {
+	return &GaugeVec{f: r.register(name, help, kindGauge, labels, nil, nil)}
+}
+
+// HistogramVec registers (or returns) a labeled histogram family.
+func (r *Registry) HistogramVec(name, help string, buckets []float64, labels ...string) *HistogramVec {
+	return &HistogramVec{f: r.register(name, help, kindHistogram, labels, buckets, nil)}
+}
+
+// CounterVec is a counter family with labels; With resolves one label
+// combination's counter. Hot paths resolve once and hold the handle.
+type CounterVec struct{ f *family }
+
+// With returns the counter for the given label values (in declaration
+// order), creating it on first use.
+func (v *CounterVec) With(values ...string) *Counter { return v.f.getChild(values).counter }
+
+// GaugeVec is a gauge family with labels.
+type GaugeVec struct{ f *family }
+
+// With returns the gauge for the given label values.
+func (v *GaugeVec) With(values ...string) *Gauge { return v.f.getChild(values).gauge }
+
+// HistogramVec is a histogram family with labels.
+type HistogramVec struct{ f *family }
+
+// With returns the histogram for the given label values.
+func (v *HistogramVec) With(values ...string) *Histogram { return v.f.getChild(values).hist }
+
+// Snapshot flattens every metric into a map keyed by the exposition
+// series name — `name` or `name{a="b"}`; histograms contribute
+// `name_count…`, `name_sum…` and cumulative `name_bucket{…,le="…"}`
+// entries — so tests assert on values without scraping and parsing.
+func (r *Registry) Snapshot() map[string]float64 {
+	out := map[string]float64{}
+	for _, f := range r.sortedFamilies() {
+		if f.kind == kindGaugeFunc {
+			out[f.name] = f.fn()
+			continue
+		}
+		for _, c := range f.sortedChildren() {
+			switch f.kind {
+			case kindCounter:
+				out[f.name+c.labels] = float64(c.counter.Value())
+			case kindGauge:
+				out[f.name+c.labels] = float64(c.gauge.Value())
+			case kindHistogram:
+				out[f.name+"_count"+c.labels] = float64(c.hist.Count())
+				out[f.name+"_sum"+c.labels] = c.hist.Sum()
+				cum := uint64(0)
+				for i, b := range c.hist.bounds {
+					cum += c.hist.counts[i].Load()
+					out[f.name+"_bucket"+mergeLabels(c.labels, "le", formatFloat(b))] = float64(cum)
+				}
+				cum += c.hist.counts[len(c.hist.bounds)].Load()
+				out[f.name+"_bucket"+mergeLabels(c.labels, "le", "+Inf")] = float64(cum)
+			}
+		}
+	}
+	return out
+}
+
+// sortedFamilies returns the families in name order, the render order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]*family, 0, len(r.fams))
+	for _, f := range r.fams {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}
+
+// labelEscaper escapes label values for the exposition format.
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+// helpEscaper escapes HELP text.
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+// renderLabels renders {a="x",b="y"} for the given names and values;
+// "" when unlabeled.
+func renderLabels(names, values []string) string {
+	if len(names) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(n)
+		sb.WriteString(`="`)
+		sb.WriteString(labelEscaper.Replace(values[i]))
+		sb.WriteString(`"`)
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// mergeLabels appends one extra label to an already-rendered label
+// string (used for histograms' le).
+func mergeLabels(rendered, name, value string) string {
+	extra := name + `="` + labelEscaper.Replace(value) + `"`
+	if rendered == "" {
+		return "{" + extra + "}"
+	}
+	return rendered[:len(rendered)-1] + "," + extra + "}"
+}
+
+// checkName panics unless name is a valid exposition metric/label name.
+func checkName(name string) {
+	if name == "" {
+		panic("telemetry: empty metric or label name")
+	}
+	for i, r := range name {
+		alpha := (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || r == '_' || r == ':'
+		if !alpha && !(i > 0 && r >= '0' && r <= '9') {
+			panic(fmt.Sprintf("telemetry: invalid metric or label name %q", name))
+		}
+	}
+}

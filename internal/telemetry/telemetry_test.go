@@ -1,0 +1,236 @@
+package telemetry
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestGoldenRender pins the full exposition output: family ordering by
+// name, child ordering by label string, HELP/TYPE lines, cumulative
+// histogram buckets, and the +Inf tail.
+func TestGoldenRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_requests_total", "Total requests.")
+	c.Add(3)
+	g := r.Gauge("test_in_flight", "In-flight requests.")
+	g.Set(2)
+	cv := r.CounterVec("test_codes_total", "Responses by code.", "route", "code")
+	cv.With("/v1/status", "200").Add(5)
+	cv.With("/v1/status", "404").Inc()
+	cv.With("/v1/epochs", "200").Add(2)
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.1, 0.5})
+	h.Observe(0.05)
+	h.Observe(0.3)
+	h.Observe(0.3)
+	h.Observe(2)
+	r.GaugeFunc("test_uptime_seconds", "Uptime.", func() float64 { return 42.5 })
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	want := `# HELP test_codes_total Responses by code.
+# TYPE test_codes_total counter
+test_codes_total{route="/v1/epochs",code="200"} 2
+test_codes_total{route="/v1/status",code="200"} 5
+test_codes_total{route="/v1/status",code="404"} 1
+# HELP test_in_flight In-flight requests.
+# TYPE test_in_flight gauge
+test_in_flight 2
+# HELP test_latency_seconds Latency.
+# TYPE test_latency_seconds histogram
+test_latency_seconds_bucket{le="0.1"} 1
+test_latency_seconds_bucket{le="0.5"} 3
+test_latency_seconds_bucket{le="+Inf"} 4
+test_latency_seconds_sum 2.65
+test_latency_seconds_count 4
+# HELP test_requests_total Total requests.
+# TYPE test_requests_total counter
+test_requests_total 3
+# HELP test_uptime_seconds Uptime.
+# TYPE test_uptime_seconds gauge
+test_uptime_seconds 42.5
+`
+	if got := sb.String(); got != want {
+		t.Errorf("render mismatch:\ngot:\n%s\nwant:\n%s", got, want)
+	}
+
+	// Rendering twice must be byte-identical (stable ordering).
+	var sb2 strings.Builder
+	r.WritePrometheus(&sb2)
+	if sb2.String() != sb.String() {
+		t.Error("render is not byte-stable across calls")
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("snap_total", "").Add(7)
+	r.GaugeVec("snap_lag", "", "shard").With("3").Set(11)
+	h := r.Histogram("snap_dur", "", []float64{1, 10})
+	h.Observe(0.5)
+	h.Observe(5)
+	h.Observe(50)
+
+	s := r.Snapshot()
+	for k, want := range map[string]float64{
+		"snap_total":                 7,
+		`snap_lag{shard="3"}`:        11,
+		"snap_dur_count":             3,
+		"snap_dur_sum":               55.5,
+		`snap_dur_bucket{le="1"}`:    1,
+		`snap_dur_bucket{le="10"}`:   2,
+		`snap_dur_bucket{le="+Inf"}`: 3,
+	} {
+		if got := s[k]; got != want {
+			t.Errorf("Snapshot[%q] = %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "", "path").With("a\"b\\c\nd").Inc()
+	var sb strings.Builder
+	r.WritePrometheus(&sb)
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(sb.String(), want) {
+		t.Errorf("escaped series %q not found in:\n%s", want, sb.String())
+	}
+}
+
+// TestIdempotentRegistration: registering the same name with the same
+// shape returns the same underlying metric (package-level vars must
+// survive repeated Server construction); a shape conflict panics.
+func TestIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("idem_total", "")
+	b := r.Counter("idem_total", "")
+	a.Inc()
+	if b.Value() != 1 {
+		t.Error("re-registration did not return the same counter")
+	}
+	v1 := r.CounterVec("idem_vec_total", "", "k")
+	v2 := r.CounterVec("idem_vec_total", "", "k")
+	v1.With("x").Add(2)
+	if v2.With("x").Value() != 2 {
+		t.Error("re-registered vec did not share children")
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("kind conflict did not panic")
+			}
+		}()
+		r.Gauge("idem_total", "")
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("label conflict did not panic")
+			}
+		}()
+		r.CounterVec("idem_vec_total", "", "other")
+	}()
+}
+
+func TestNameValidation(t *testing.T) {
+	r := NewRegistry()
+	for _, bad := range []string{"", "9starts_with_digit", "has-dash", "has space"} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("name %q did not panic", bad)
+				}
+			}()
+			r.Counter(bad, "")
+		}()
+	}
+	// Valid names must not panic.
+	r.Counter("ok_name_total", "")
+	r.Counter("Also:OK_123", "")
+}
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(0.001, 10, 4)
+	want := []float64{0.001, 0.01, 0.1, 1}
+	for i := range want {
+		if math.Abs(b[i]-want[i]) > 1e-12 {
+			t.Errorf("bucket %d = %v, want %v", i, b[i], want[i])
+		}
+	}
+}
+
+func TestHandler(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("handler_total", "").Inc()
+	rec := httptest.NewRecorder()
+	Handler(r).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != contentType {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "handler_total 1") {
+		t.Errorf("body missing series:\n%s", rec.Body.String())
+	}
+}
+
+// TestConcurrentHotPath hammers counters, gauges and histograms from
+// many goroutines while a reader renders and snapshots — run under
+// -race in CI. Totals must come out exact: these are atomics, not
+// approximations.
+func TestConcurrentHotPath(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "")
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_hist", "", []float64{1, 2, 4})
+	cv := r.CounterVec("conc_vec_total", "", "w")
+
+	const workers, perWorker = 8, 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			child := cv.With("shared")
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(i % 5))
+				child.Inc()
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			var sb strings.Builder
+			r.WritePrometheus(&sb)
+			r.Snapshot()
+		}
+	}()
+	wg.Wait()
+	<-done
+
+	const n = workers * perWorker
+	if c.Value() != n {
+		t.Errorf("counter = %d, want %d", c.Value(), n)
+	}
+	if g.Value() != 0 {
+		t.Errorf("gauge = %d, want 0", g.Value())
+	}
+	if h.Count() != n {
+		t.Errorf("histogram count = %d, want %d", h.Count(), n)
+	}
+	wantSum := float64(workers) * perWorker / 5 * (0 + 1 + 2 + 3 + 4)
+	if math.Abs(h.Sum()-wantSum) > 1e-6 {
+		t.Errorf("histogram sum = %v, want %v", h.Sum(), wantSum)
+	}
+	if cv.With("shared").Value() != n {
+		t.Errorf("vec counter = %d, want %d", cv.With("shared").Value(), n)
+	}
+}

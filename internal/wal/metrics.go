@@ -1,0 +1,22 @@
+package wal
+
+import "repro/internal/telemetry"
+
+// WAL operational metrics, process-wide (every log in the process
+// shares them; a daemon runs one). All hot-path observations are
+// single atomic ops so the 0-alloc append contract holds through the
+// instrumented path — the bench alloc gate pins it.
+var (
+	metricAppends = telemetry.Default().Counter("tomod_wal_appends_total",
+		"Batches appended to the write-ahead log.")
+	metricBytesWritten = telemetry.Default().Counter("tomod_wal_bytes_written_total",
+		"Record bytes written to WAL segments (excludes segment headers).")
+	// fsync spans ~100µs (page cache hit / fast NVMe) to multi-second
+	// stalls; the top buckets are where StallTimeout territory begins.
+	metricFsyncSeconds = telemetry.Default().Histogram("tomod_wal_fsync_duration_seconds",
+		"Wall time of WAL fsync calls.", telemetry.ExpBuckets(1e-4, 4, 10))
+	metricRotations = telemetry.Default().Counter("tomod_wal_segment_rotations_total",
+		"Segment rotations (each is a durability point and may prune the retention head).")
+	metricDegraded = telemetry.Default().Gauge("tomod_wal_degraded",
+		"1 once a write or fsync failure has latched the log into the failed state (clears only on restart).")
+)

@@ -280,6 +280,7 @@ func (w *WAL) Err() error {
 
 func (w *WAL) fail(err error) error {
 	w.failure.CompareAndSwap(nil, err)
+	metricDegraded.Set(1)
 	return err
 }
 
@@ -674,6 +675,8 @@ func (w *WAL) AppendBatch(batch []*bitset.Set) (uint64, error) {
 	w.segs[len(w.segs)-1].bytes = w.segBytes
 	w.bytes.Add(int64(len(buf)))
 	w.seq.Add(uint64(len(batch)))
+	metricAppends.Inc()
+	metricBytesWritten.Add(uint64(len(buf)))
 	switch w.opts.Policy {
 	case SyncPerBatch:
 		if err := w.syncLocked(); err != nil {
@@ -770,9 +773,11 @@ func (w *WAL) syncLocked() error {
 		return nil
 	}
 	w.dirty.Store(false)
-	w.opStart.Store(time.Now().UnixNano())
+	start := time.Now()
+	w.opStart.Store(start.UnixNano())
 	err := w.file.Sync()
 	w.opStart.Store(0)
+	metricFsyncSeconds.Observe(time.Since(start).Seconds())
 	if err != nil {
 		return w.fail(fmt.Errorf("wal: fsync: %w", err))
 	}
@@ -814,6 +819,7 @@ func (w *WAL) rotateLocked() error {
 	if err := w.newSegmentLocked(); err != nil {
 		return w.fail(err)
 	}
+	metricRotations.Inc()
 	w.pruneLocked()
 	return nil
 }
