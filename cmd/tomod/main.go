@@ -50,6 +50,25 @@
 // sequence. -wal-fsync trades durability for latency: batch (sync
 // every ack), interval (background sync, default), off.
 //
+// Cluster mode splits the sharded daemon across processes along the
+// correlation-set partition seam. Workers own disjoint shard sets
+// (rings, warm plans, per-shard WALs under -wal-dir/shard-<k>) and
+// serve the internal /c1/* API; the coordinator owns the public /v1/*
+// surface, fans ingest out to the fleet, and merges per-shard blocks —
+// bit-identical to a single sharded process over the same intervals:
+//
+//	tomod -role worker -topology topo.json -listen :9101 -wal-dir w0-wal
+//	tomod -role worker -topology topo.json -listen :9102 -wal-dir w1-wal
+//	tomod -role coordinator -topology topo.json -listen :9900 \
+//	      -peers http://127.0.0.1:9101,http://127.0.0.1:9102
+//
+// Shard k lives on peer k mod N (peer order is the placement, so keep
+// -peers stable across coordinator restarts). While any worker is
+// unreachable, ingest answers 503 shard_unavailable and queries serve
+// the last merged snapshot; a restarted worker replays its per-shard
+// WALs and the coordinator streams it the missed suffix before ingest
+// resumes. /v1/status carries the per-worker placement and health.
+//
 // Load-generator mode drives simulated netsim intervals at a running
 // daemon (the topology must be the same file/generation):
 //
@@ -72,6 +91,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/estimator"
 	"repro/internal/experiment"
 	"repro/internal/netsim"
@@ -89,6 +109,9 @@ func main() {
 		genSeed   = flag.Int64("genseed", 1, "generated-topology seed")
 
 		listen      = flag.String("listen", ":9900", "serve: HTTP listen address")
+		role        = flag.String("role", "standalone", "serve: process role: standalone, coordinator, or worker")
+		peers       = flag.String("peers", "", "coordinator: comma-separated worker base URLs; shard k lives on peer k mod N")
+		workerID    = flag.String("worker-id", "", "worker: placement identity to enforce (empty = adopt the coordinator's)")
 		window      = flag.Int("window", 1000, "serve: sliding-window capacity in intervals")
 		recompute   = flag.Duration("recompute", 2*time.Second, "serve: solver recompute cadence")
 		algo        = flag.String("algo", estimator.CorrelationComplete, "serve: epoch estimator (see /v1/estimators)")
@@ -158,6 +181,37 @@ func main() {
 		return
 	}
 
+	switch *role {
+	case "standalone", "coordinator", "worker":
+	default:
+		fatal(logger, fmt.Errorf("unknown -role %q (want standalone, coordinator, or worker)", *role))
+	}
+
+	if *role == "worker" {
+		wk := cluster.NewWorker(cluster.WorkerConfig{
+			ID:       *workerID,
+			Topology: top,
+			WALDir:   *walDir,
+			Logger:   logger,
+		})
+		defer wk.Close()
+		logger.Info("starting worker",
+			"listen", *listen, "worker_id", *workerID, "wal_dir", *walDir)
+		if err := runHTTP(logger, wk.Handler(), serveOpts{
+			listen:    *listen,
+			debugAddr: *debugAddr,
+			pprof:     *pprofOn,
+			timeouts: httpTimeouts{
+				readHeader: *readHeaderTimeout,
+				read:       *readTimeout,
+				idle:       *idleTimeout,
+			},
+		}); err != nil {
+			fatal(logger, err)
+		}
+		return
+	}
+
 	cfg := server.Config{
 		WindowSize:     *window,
 		RecomputeEvery: *recompute,
@@ -182,6 +236,36 @@ func main() {
 			SegmentBytes: *walSegBytes,
 		}
 	}
+	if *role == "coordinator" {
+		specs, err := parsePeers(*peers)
+		if err != nil {
+			fatal(logger, err)
+		}
+		// Cluster scatter-gather exists only along the partition seam:
+		// reject an explicitly conflicting -algo, default the rest.
+		algoSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "algo" {
+				algoSet = true
+			}
+		})
+		if algoSet && cfg.Algo != estimator.CorrelationCompleteSharded {
+			fatal(logger, fmt.Errorf("-role coordinator requires -algo %s (got %q)",
+				estimator.CorrelationCompleteSharded, cfg.Algo))
+		}
+		cfg.Algo = estimator.CorrelationCompleteSharded
+		coord, err := cluster.NewCoordinator(cluster.CoordinatorConfig{
+			Topology:   top,
+			Workers:    specs,
+			WindowSize: cfg.WindowSize,
+			SolverOpts: cfg.SolverOpts,
+			Logger:     logger,
+		})
+		if err != nil {
+			fatal(logger, err)
+		}
+		cfg.Backend = coord
+	}
 	timeouts := httpTimeouts{
 		readHeader: *readHeaderTimeout,
 		read:       *readTimeout,
@@ -192,6 +276,8 @@ func main() {
 	goVersion, revision := server.BuildInfo()
 	logger.Info("starting",
 		"listen", *listen,
+		"role", *role,
+		"peers", *peers,
 		"debug_addr", *debugAddr,
 		"pprof", *pprofOn || *debugAddr != "",
 		"algo", cfg.Algo,
@@ -322,8 +408,13 @@ func serve(logger *slog.Logger, top *topology.Topology, cfg server.Config, opts 
 	}
 	s.Start()
 	defer s.Close()
+	return runHTTP(logger, s.Handler(), opts)
+}
 
-	handler := http.Handler(s.Handler())
+// runHTTP serves handler on the configured listeners until
+// SIGINT/SIGTERM, with the optional debug listener and SIGHUP metric
+// snapshots; serve mode and worker mode share it.
+func runHTTP(logger *slog.Logger, handler http.Handler, opts serveOpts) error {
 	if opts.pprof && opts.debugAddr == "" {
 		// Profiling on the public listener: explicit opt-in only.
 		mux := http.NewServeMux()
@@ -369,8 +460,7 @@ func serve(logger *slog.Logger, top *topology.Topology, cfg server.Config, opts 
 		}()
 	}
 	go func() {
-		logger.Info("listening",
-			"addr", opts.listen, "window", cfg.WindowSize, "recompute", cfg.RecomputeEvery.String())
+		logger.Info("listening", "addr", opts.listen)
 		errc <- httpSrv.ListenAndServe()
 	}()
 	select {
@@ -388,6 +478,24 @@ func serve(logger *slog.Logger, top *topology.Topology, cfg server.Config, opts 
 		return err
 	}
 	return nil
+}
+
+// parsePeers splits the -peers list into worker specs; peer order is
+// the shard placement, so the same list must be passed across
+// coordinator restarts.
+func parsePeers(peers string) ([]cluster.WorkerSpec, error) {
+	var specs []cluster.WorkerSpec
+	for _, addr := range strings.Split(peers, ",") {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		specs = append(specs, cluster.WorkerSpec{Addr: addr})
+	}
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("-role coordinator requires -peers (comma-separated worker URLs)")
+	}
+	return specs, nil
 }
 
 // mountPprof registers the net/http/pprof handlers on mux. Explicit

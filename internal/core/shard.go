@@ -1,0 +1,25 @@
+package core
+
+import "repro/internal/bitset"
+
+// NewShardResult reconstructs a per-shard Result from its exported
+// fields, e.g. after decoding one from a wire format. The result is
+// suitable as an input to MergeResults, which reads only the exported
+// block fields (Subsets, PathSets, Rank, Nullity, ClampedRows) and
+// re-derives the global link partitions itself; per-link queries on the
+// shard result alone are not supported because it carries no observe
+// store.
+func NewShardResult(subsets []SubsetResult, pathSets []*bitset.Set, rank, nullity, clampedRows int) *Result {
+	r := &Result{
+		Subsets:     subsets,
+		PathSets:    pathSets,
+		Rank:        rank,
+		Nullity:     nullity,
+		ClampedRows: clampedRows,
+		index:       make(map[string]int, len(subsets)),
+	}
+	for i, s := range subsets {
+		r.index[s.Links.Key()] = i
+	}
+	return r
+}

@@ -36,10 +36,11 @@ const (
 	CodeSolverFailed  = "solver_failed"  // the estimator returned an error
 	CodeInternal      = "internal_error" // server-side failure unrelated to the solve
 
-	CodePayloadTooLarge = "payload_too_large" // ingest body exceeds MaxIngestBytes
-	CodeWALUnavailable  = "wal_unavailable"   // the write-ahead log cannot accept the batch (stalled or failed disk)
-	CodeNotReady        = "not_ready"         // readiness probe: no snapshot published yet
-	CodeSolverPanic     = "solver_panic"      // readiness probe: a contained solver panic has degraded the service
+	CodePayloadTooLarge  = "payload_too_large" // ingest body exceeds MaxIngestBytes
+	CodeWALUnavailable   = "wal_unavailable"   // the write-ahead log cannot accept the batch (stalled or failed disk)
+	CodeNotReady         = "not_ready"         // readiness probe: no snapshot published yet
+	CodeSolverPanic      = "solver_panic"      // readiness probe: a contained solver panic has degraded the service
+	CodeShardUnavailable = "shard_unavailable" // cluster mode: a shard's worker is unreachable (retry after it rejoins)
 )
 
 // Envelope is the versioned wrapper of every v1 response: exactly one
@@ -210,6 +211,11 @@ type StatusResponse struct {
 	// present only in sharded mode.
 	Shards []ShardStatus `json:"shards,omitempty"`
 
+	// Cluster reports the coordinator's worker fleet — per-worker shard
+	// placement, health state and acknowledged sequence — present only
+	// in cluster mode (-role coordinator).
+	Cluster *ClusterStatus `json:"cluster,omitempty"`
+
 	// Degraded reports a contained failure: a recovered solver panic
 	// (cleared by the next clean epoch) or a latched WAL failure
 	// (persists until restart). The daemon keeps serving its last good
@@ -376,12 +382,21 @@ func (s *Server) handleObservations(w http.ResponseWriter, r *http.Request) {
 	}
 	seq, err := s.Ingest(batch)
 	if err != nil {
+		w.Header().Set("Retry-After", "1")
+		if errors.Is(err, ErrShardUnavailable) {
+			// A shard-owning worker is unreachable: nothing was applied
+			// (the fan-out rejects before the local window advances), so
+			// the client can retry the identical batch once the worker
+			// rejoins — workers deduplicate by base sequence.
+			rejShard.Inc()
+			writeError(w, http.StatusServiceUnavailable, CodeShardUnavailable, "cluster ingest unavailable: %v", err)
+			return
+		}
 		// The WAL cannot persist the batch: a stalled disk clears on
 		// its own (retry soon), a latched write/fsync failure needs a
 		// restart — either way the client should back off and retry
 		// rather than treat the observations as accepted.
 		rejWAL.Inc()
-		w.Header().Set("Retry-After", "1")
 		writeError(w, http.StatusServiceUnavailable, CodeWALUnavailable, "durable ingest unavailable: %v", err)
 		return
 	}
@@ -407,6 +422,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 				"degraded: durable ingest unavailable until restart: %v", err)
 			return
 		}
+	}
+	if cs := s.clusterStatus(); cs != nil && len(cs.UnreachableShards) > 0 {
+		writeError(w, http.StatusServiceUnavailable, CodeShardUnavailable,
+			"degraded: %d shard(s) unavailable (workers unreachable); serving last merged snapshot", len(cs.UnreachableShards))
+		return
 	}
 	if reason, _ := s.degraded.Load().(string); reason != "" {
 		writeError(w, http.StatusServiceUnavailable, CodeSolverPanic, "degraded: %s", reason)
@@ -669,8 +689,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	} else {
 		st.LagIntervals = st.IngestedSeq
 	}
-	if s.sharded != nil {
+	if s.backend != nil {
 		st.Shards = s.shardStatuses(st.IngestedSeq)
+	}
+	if cs := s.clusterStatus(); cs != nil {
+		st.Cluster = cs
 	}
 	if reason := s.DegradedReason(); reason != "" {
 		st.Degraded = true

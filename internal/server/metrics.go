@@ -26,6 +26,7 @@ var (
 	rejBadPath    = metricIngestRejected.With("bad_path")
 	rejTooLarge   = metricIngestRejected.With("payload_too_large")
 	rejWAL        = metricIngestRejected.With("wal_unavailable")
+	rejShard      = metricIngestRejected.With("shard_unavailable")
 
 	metricHTTPRequests = telemetry.Default().CounterVec("tomod_http_requests_total",
 		"HTTP requests served, by route pattern and response code.", "route", "code")

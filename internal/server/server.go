@@ -106,6 +106,15 @@ type Config struct {
 	// 64 MiB, ~ a day of intervals on the paper-scale path universe).
 	MaxIngestBytes int64
 
+	// Backend overrides where per-shard solves happen (sharded algo
+	// only; New rejects it otherwise). nil means the in-process
+	// estimator.ShardedSolver. The cluster coordinator plugs in here:
+	// its backend forwards ingest to shard-owning workers
+	// (BatchForwarder), fetches their solved blocks (SolveShard) and
+	// reports worker health (ClusterReporter), while the server keeps
+	// its own full window for merging and observation-level queries.
+	Backend ShardBackend
+
 	// Logger receives the service's structured log events (WAL
 	// recovery, epoch publishes at debug, solver errors and panics,
 	// ingest failures). nil means slog.Default().
@@ -334,10 +343,11 @@ type Server struct {
 	// by computeMu (one solver loop owns it).
 	warmSolver *estimator.WarmSolver
 
-	// Sharded mode: the warm-start solver, the partitioned window
-	// (aliasing win, internally locked with per-shard granularity) and
-	// one state per shard. All nil/empty otherwise.
-	sharded     *estimator.ShardedSolver
+	// Sharded mode: the shard-solve backend (in-process warm solver or
+	// the cluster coordinator), the partitioned window (aliasing win,
+	// internally locked with per-shard granularity) and one state per
+	// shard. All nil/empty otherwise.
+	backend     ShardBackend
 	shardedWin  *stream.Sharded
 	shardStates []*shardState
 	publishMu   sync.Mutex // guards shardStates' published fields, snapshot assembly + history
@@ -414,21 +424,27 @@ func New(top *topology.Topology, cfg Config) (*Server, error) {
 			cancel()
 			return nil, errors.New("server: EpochEvery applies to unsharded modes only (shard epochs are already per-shard)")
 		}
-		sv, err := estimator.NewShardedSolver(top, cfg.SolverOpts...)
-		if err != nil {
-			cancel()
-			return nil, err
+		if cfg.Backend != nil {
+			s.backend = cfg.Backend
+		} else {
+			sv, err := estimator.NewShardedSolver(top, cfg.SolverOpts...)
+			if err != nil {
+				cancel()
+				return nil, err
+			}
+			s.backend = &localBackend{sv: sv}
 		}
-		part := sv.Partition()
-		s.sharded = sv
-		s.shardedWin = stream.NewSharded(top.NumPaths(), cfg.WindowSize, part.PathShards(), part.NumShards())
+		s.shardedWin = stream.NewSharded(top.NumPaths(), cfg.WindowSize, s.backend.PathShards(), s.backend.NumShards())
 		s.win = s.shardedWin
-		s.shardStates = make([]*shardState, sv.NumShards())
-		s.shardLag = make([]*telemetry.Gauge, sv.NumShards())
+		s.shardStates = make([]*shardState, s.backend.NumShards())
+		s.shardLag = make([]*telemetry.Gauge, s.backend.NumShards())
 		for i := range s.shardStates {
 			s.shardStates[i] = &shardState{}
 			s.shardLag[i] = metricShardLag.With(strconv.Itoa(i))
 		}
+	} else if cfg.Backend != nil {
+		cancel()
+		return nil, errors.New("server: Config.Backend requires the sharded algorithm (correlation-complete-sharded)")
 	} else {
 		if cfg.Algo == estimator.CorrelationComplete {
 			ws, err := estimator.NewWarmSolver(top, cfg.SolverOpts...)
@@ -505,7 +521,10 @@ func (s *Server) Algo() string { return s.cfg.Algo }
 // per shard in sharded mode, a single supervised loop otherwise.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
-		if s.sharded != nil {
+		if s.backend != nil {
+			if lc, ok := s.backend.(BackendLifecycle); ok {
+				lc.Start(s.shardedWin)
+			}
 			for sid := range s.shardStates {
 				s.wg.Add(1)
 				go s.runShard(sid)
@@ -525,6 +544,9 @@ func (s *Server) Close() {
 		close(s.stop)
 	})
 	s.wg.Wait()
+	if lc, ok := s.backend.(BackendLifecycle); ok {
+		lc.Close() // after the solver loops: no more backend solves in flight
+	}
 	if s.wal != nil {
 		s.wal.Close() // flushes the tail; safe after ingest has stopped
 	}
@@ -568,8 +590,9 @@ func (s *Server) setDegraded(reason string) { s.degraded.Store(reason) }
 
 // DegradedReason returns why the service is degraded ("" when
 // healthy): the latest contained solver panic — cleared by the next
-// clean publish — or a latched WAL failure, which persists until
-// restart (see the wal package's degradation contract).
+// clean publish — a latched WAL failure, which persists until restart
+// (see the wal package's degradation contract), or unreachable cluster
+// shards, which clear when the owning workers rejoin and catch up.
 func (s *Server) DegradedReason() string {
 	if v, _ := s.degraded.Load().(string); v != "" {
 		return v
@@ -579,7 +602,19 @@ func (s *Server) DegradedReason() string {
 			return "wal: " + err.Error()
 		}
 	}
+	if cs := s.clusterStatus(); cs != nil && len(cs.UnreachableShards) > 0 {
+		return fmt.Sprintf("cluster: %d shard(s) unavailable (workers unreachable)", len(cs.UnreachableShards))
+	}
 	return ""
+}
+
+// clusterStatus returns the backend's worker report, or nil outside
+// cluster mode.
+func (s *Server) clusterStatus() *ClusterStatus {
+	if r, ok := s.backend.(ClusterReporter); ok {
+		return r.ClusterStatus()
+	}
+	return nil
 }
 
 // Ingest appends a batch of interval observations to the live window,
@@ -603,7 +638,22 @@ func (s *Server) DegradedReason() string {
 // of wedging every ingest request behind the hung fsync.
 func (s *Server) Ingest(batch []*bitset.Set) (uint64, error) {
 	n := uint64(len(batch))
-	if s.sharded != nil {
+	if s.backend != nil {
+		fw, _ := s.backend.(BatchForwarder)
+		if fw != nil {
+			// Cluster mode: forward to the shard owners first, then apply
+			// locally — serialized under mu so base sequences are
+			// consistent. A retry after a partial failure is safe either
+			// way: workers deduplicate by base seq, and the local window
+			// only advances once the whole fan-out has accepted.
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			base := s.shardedWin.Seq()
+			if err := fw.Forward(base, batch); err != nil {
+				s.logger.Warn("ingest fan-out failed", "seq", base, "error", err)
+				return base, err
+			}
+		}
 		seq, err := s.shardedWin.AddBatch(batch)
 		if err != nil {
 			s.logger.Warn("ingest failed", "seq", seq, "error", err)
@@ -647,7 +697,7 @@ func (s *Server) Ingest(batch []*bitset.Set) (uint64, error) {
 
 // Seq returns the total number of intervals ingested.
 func (s *Server) Seq() uint64 {
-	if s.sharded != nil {
+	if s.backend != nil {
 		return s.shardedWin.Seq()
 	}
 	s.mu.Lock()
@@ -688,7 +738,7 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 	if ctx == nil {
 		ctx = s.baseCtx
 	}
-	if s.sharded != nil {
+	if s.backend != nil {
 		return s.recomputeSharded(ctx)
 	}
 	s.computeMu.Lock()
@@ -935,19 +985,17 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	defer s.computeMu.Unlock()
 	full := s.shardedWin.Clone()
 	start := time.Now()
-	results := make([]*core.Result, len(s.shardStates))
-	infos := make([]estimator.SolveInfo, len(s.shardStates))
+	solves := make([]ShardSolve, len(s.shardStates))
 	durs := make([]time.Duration, len(s.shardStates))
 	for sid, st := range s.shardStates {
 		st.mu.Lock()
 		shardStart := time.Now()
-		var res *core.Result
-		var info estimator.SolveInfo
+		var sol ShardSolve
 		var err error
 		if perr := s.guardPanic(func() {
-			res, info, err = s.sharded.SolveShard(ctx, sid, full.Shard(sid))
+			sol, err = s.backend.SolveShard(ctx, sid, full.Shard(sid))
 		}); perr != nil {
-			res, err = nil, perr
+			sol, err = ShardSolve{}, perr
 		}
 		durs[sid] = time.Since(shardStart)
 		st.mu.Unlock()
@@ -974,8 +1022,7 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 			s.storeSnapshotGuarded(snap)
 			return snap
 		}
-		results[sid] = res
-		infos[sid] = info
+		solves[sid] = sol
 	}
 	// Publish every shard's block, unless a background shard epoch has
 	// already published a newer one (then its state — and its block —
@@ -984,12 +1031,13 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	blocks := make([]*core.Result, len(s.shardStates))
 	shards := make([]ShardInfo, len(s.shardStates))
 	for sid, st := range s.shardStates {
-		if full.Seq() >= st.seqHigh {
-			st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = results[sid], full.Seq(), full.T(), infos[sid].Warm, infos[sid].Repaired, nil
+		sol := solves[sid]
+		if sol.SeqHigh >= st.seqHigh {
+			st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = sol.Res, sol.SeqHigh, sol.T, sol.Info.Warm, sol.Info.Repaired, nil
 			st.epoch++
 			st.computeTime = durs[sid]
-			observeSolveMetrics(infos[sid].Warm, infos[sid].Repaired,
-				infos[sid].BuildTime, infos[sid].RepairTime, infos[sid].SolveTime)
+			observeSolveMetrics(sol.Info.Warm, sol.Info.Repaired,
+				sol.Info.BuildTime, sol.Info.RepairTime, sol.Info.SolveTime)
 			s.shardLag[sid].Set(0) // solved at the clone's own sequence
 		}
 		blocks[sid] = st.res
@@ -998,7 +1046,7 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	epoch := s.epoch.Add(1)
 	s.publishMu.Unlock()
 	var est *estimator.Estimate
-	mergeErr := s.guardPanic(func() { est = s.sharded.Merge(blocks, full) })
+	mergeErr := s.guardPanic(func() { est = s.backend.Merge(blocks, full) })
 	snap := &Snapshot{
 		Epoch:       epoch,
 		Algo:        s.cfg.Algo,
@@ -1058,13 +1106,12 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 	// mid-fan-out on other shards no longer stalls this solve.
 	ring := s.shardedWin.CloneShard(sid)
 	start := time.Now()
-	var res *core.Result
-	var info estimator.SolveInfo
+	var sol ShardSolve
 	var err error
 	if perr := s.guardPanic(func() {
-		res, info, err = s.sharded.SolveShard(ctx, sid, ring)
+		sol, err = s.backend.SolveShard(ctx, sid, ring)
 	}); perr != nil {
-		res, err = nil, perr
+		sol, err = ShardSolve{}, perr
 	}
 	s.publishMu.Lock()
 	if err != nil {
@@ -1073,23 +1120,28 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 		s.logger.Warn("shard solve failed", "shard", sid, "seq", ring.Seq(), "error", err.Error())
 		return // keep the shard's previous block; merged snapshot unchanged
 	}
-	if ring.Seq() < st.seqHigh {
+	if sol.SeqHigh < st.seqHigh {
 		s.publishMu.Unlock()
 		return // stale: a newer block for this shard was already published
 	}
-	st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = res, ring.Seq(), ring.T(), info.Warm, info.Repaired, nil
+	st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = sol.Res, sol.SeqHigh, sol.T, sol.Info.Warm, sol.Info.Repaired, nil
 	st.epoch++
 	st.computeTime = time.Since(start)
 	shardEpoch, computeTime := st.epoch, st.computeTime
 	s.publishMu.Unlock()
-	observeSolveMetrics(info.Warm, info.Repaired, info.BuildTime, info.RepairTime, info.SolveTime)
-	s.shardLag[sid].Set(int64(s.shardedWin.Seq() - ring.Seq()))
+	observeSolveMetrics(sol.Info.Warm, sol.Info.Repaired, sol.Info.BuildTime, sol.Info.RepairTime, sol.Info.SolveTime)
+	live := s.shardedWin.Seq()
+	if live >= sol.SeqHigh {
+		s.shardLag[sid].Set(int64(live - sol.SeqHigh))
+	} else {
+		s.shardLag[sid].Set(0) // a remote solve may run ahead of the local window
+	}
 	s.logger.Debug("shard epoch published",
 		"shard", sid,
 		"epoch", shardEpoch,
-		"seq_high", ring.Seq(),
-		"warm", info.Warm,
-		"repaired", info.Repaired,
+		"seq_high", sol.SeqHigh,
+		"warm", sol.Info.Warm,
+		"repaired", sol.Info.Repaired,
 		"compute_ms", float64(computeTime)/float64(time.Millisecond))
 	s.publishMerged()
 }
@@ -1098,7 +1150,7 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 // holds publishMu.
 func (s *Server) shardInfoLocked(sid int) ShardInfo {
 	st := s.shardStates[sid]
-	paths, links := s.sharded.ShardSize(sid)
+	paths, links := s.backend.ShardSize(sid)
 	return ShardInfo{
 		Shard:       sid,
 		Epoch:       st.epoch,
@@ -1143,7 +1195,7 @@ func (s *Server) publishMerged() {
 
 	full := s.shardedWin.Clone()
 	var est *estimator.Estimate
-	if perr := s.guardPanic(func() { est = s.sharded.Merge(results, full) }); perr != nil {
+	if perr := s.guardPanic(func() { est = s.backend.Merge(results, full) }); perr != nil {
 		return // keep the previous snapshot; degraded_reason is set
 	}
 	snap := &Snapshot{

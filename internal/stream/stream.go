@@ -160,6 +160,11 @@ func (w *Window) NumPaths() int { return w.numPaths }
 // covers sequence numbers [Seq−T, Seq).
 func (w *Window) Seq() uint64 { return w.seq }
 
+// SeqLow returns the sequence number of the oldest live interval, i.e.
+// Seq−T. Intervals below SeqLow have been evicted from the ring and can
+// no longer be replayed from this window.
+func (w *Window) SeqLow() uint64 { return w.seq - uint64(w.count) }
+
 // CongestedAt returns the congested-path set of the t-th live interval,
 // oldest first (t in [0, T())). The result must not be modified and is
 // valid only until the next Add, which may reuse the row's storage; the

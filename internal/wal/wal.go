@@ -163,6 +163,15 @@ type Options struct {
 	// StallTimeout bounds how long an append waits behind an in-flight
 	// file operation before failing fast with ErrStalled (default 2s).
 	StallTimeout time.Duration
+
+	// InitialSeq re-bases an empty log: when the directory holds no
+	// records, the first appended record carries this base sequence
+	// instead of 0, so a store fast-forwarded with ResetSeq and its log
+	// agree on numbering. Cluster workers use it when a shard is reset
+	// past the coordinator's window (the old log is discarded and a
+	// fresh one starts at the resync base). Ignored when recovery finds
+	// any records.
+	InitialSeq uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -249,6 +258,13 @@ func Open(opts Options) (*WAL, error) {
 	}
 	if err := w.scan(); err != nil {
 		return nil, err
+	}
+	if w.recovered.Records == 0 && opts.InitialSeq > 0 {
+		// Empty log: re-base the numbering before the active segment is
+		// created, so the segment name and first record base agree.
+		w.seq.Store(opts.InitialSeq)
+		w.recovered.FirstSeq = opts.InitialSeq
+		w.recovered.LastSeq = opts.InitialSeq
 	}
 	if err := w.openActive(); err != nil {
 		return nil, err
