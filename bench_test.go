@@ -616,6 +616,120 @@ func BenchmarkPlanRepair(b *testing.B) {
 	})
 }
 
+// frontierMoveFixture builds the Small-sparse streaming state behind
+// BenchmarkFrontierMoveRepair: a warm plan over a full window plus a
+// drifted twin in which an always-good path that is the sole cover of
+// at least one good link turned congested — drift that moves the §5.2
+// frontier, which tier-1 Repair must reject and only the tier-2
+// numerical patch (core.Plan.RepairNumeric) can absorb warm.
+func frontierMoveFixture(b *testing.B) (top *topology.Topology, cfg core.Config, base, drifted *stream.Window) {
+	b.Helper()
+	top, err := experiment.BuildTopology(experiment.Sparse, experiment.Small(), 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg = core.Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02, NumericalPlanRepair: true, NumericalRepairMaxFrac: 1}
+	const intervals, capacity = 1200, 1000
+	rng := rand.New(rand.NewSource(1))
+	mc := netsim.DefaultConfig(netsim.RandomCongestion)
+	mc.PerfectE2E = true
+	model, err := netsim.NewModel(top, mc, intervals, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stream2 := make([]*bitset.Set, intervals)
+	base = stream.NewWindow(top.NumPaths(), capacity)
+	for t := 0; t < intervals; t++ {
+		stream2[t] = model.Interval(t, rng).CongestedPaths.Clone()
+		base.Add(stream2[t])
+	}
+	// Pick an always-good path that uniquely vouches for some link:
+	// congesting it shrinks the good-link set, moving the frontier.
+	good := base.AlwaysGoodPaths(cfg.AlwaysGoodTol)
+	goodLinks := top.LinksOf(good)
+	ctx := context.Background()
+	var candidates []int
+	good.ForEach(func(p int) bool {
+		rest := good.Clone()
+		rest.Remove(p)
+		if !top.LinksOf(rest).Equal(goodLinks) {
+			candidates = append(candidates, p)
+		}
+		return true
+	})
+	// Among the frontier-moving candidates, use the first whose drift
+	// the numerical repair actually absorbs in both directions (rank
+	// loss on this fixture would fall back cold and benchmark nothing).
+	for _, drift := range candidates {
+		d := stream.NewWindow(top.NumPaths(), capacity)
+		for t := 0; t < intervals; t++ {
+			s := stream2[t]
+			if t%5 == 0 {
+				s = s.Clone()
+				s.Add(drift)
+			}
+			d.Add(s)
+		}
+		_, plan, err := core.ComputePlanned(ctx, top, base, cfg, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, next, err := core.ComputePlanned(ctx, top, d, cfg, plan); err != nil || next != plan {
+			continue
+		}
+		if _, next, err := core.ComputePlanned(ctx, top, base, cfg, plan); err != nil || next != plan || plan.NumericRepairCount() != 2 {
+			continue
+		}
+		return top, cfg, base, d
+	}
+	b.Fatal("no always-good path drifts the frontier numerically repairably; fixture unusable")
+	return nil, core.Config{}, nil, nil
+}
+
+// BenchmarkFrontierMoveRepair measures an epoch solve across a
+// frontier-moving always-good drift with the factorization patched in
+// place (tier-2, core.Plan.RepairNumeric) against the cold rebuild the
+// same drift forces with the option off. The two windows alternate, so
+// every repaired iteration patches across a fresh frontier move —
+// links leave and re-enter the potentially-congested set each time.
+func BenchmarkFrontierMoveRepair(b *testing.B) {
+	top, cfg, base, drifted := frontierMoveFixture(b)
+	ctx := context.Background()
+	stores := []*stream.Window{base, drifted}
+	_, plan, err := core.ComputePlanned(ctx, top, base, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("repaired-numeric", func(b *testing.B) {
+		// Align the alternation so iteration 0 (base) is itself a
+		// frontier move, whatever state the previous b.N run left.
+		if _, _, err := core.ComputePlanned(ctx, top, drifted, cfg, plan); err != nil {
+			b.Fatal(err)
+		}
+		before := plan.NumericRepairCount()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := core.ComputePlanned(ctx, top, stores[i%2], cfg, plan); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if got := plan.NumericRepairCount() - before; got != b.N {
+			b.Fatalf("%d of %d iterations were tier-2 repairs", got, b.N)
+		}
+		b.ReportMetric(float64(plan.NumericRepairCount()), "repairs")
+	})
+	b.Run("cold-rebuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Compute(ctx, top, stores[i%2], cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkEpochSolveBatch measures draining a lag burst of K window
 // checkpoints: K sequential warm epoch solves versus one batched
 // multi-RHS solve over the same retained factorization (identical

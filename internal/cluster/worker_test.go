@@ -284,8 +284,8 @@ func TestWorkerWALRecoveryTwoShards(t *testing.T) {
 		want.BuildNs, want.RepairNs, want.SolveNs = 0, 0, 0
 		// A recovered solve is cold where the original may have been
 		// warm; only the solved block itself must match.
-		res.Warm, res.Repaired = false, false
-		want.Warm, want.Repaired = false, false
+		res.Warm, res.Repaired, res.RepairedNumeric, res.RepairFailed = false, false, false, false
+		want.Warm, want.Repaired, want.RepairedNumeric, want.RepairFailed = false, false, false, false
 		if !reflect.DeepEqual(&want, &res) {
 			t.Fatalf("shard %d: recovered block differs from pre-restart block\n got %+v\nwant %+v", k, res, want)
 		}

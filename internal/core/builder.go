@@ -23,10 +23,12 @@ type builder struct {
 
 	// corrSets is the correlation-set universe of this run: the
 	// restriction from cfg.RestrictCorrSets, or every set. When
-	// restricted, restrictPaths holds the shard's paths (nil otherwise)
-	// and alwaysGoodPaths/goodLinks/potLinks are confined to the shard.
+	// restricted, restrictPaths holds the shard's paths and shardLinks
+	// its links (nil otherwise) and alwaysGoodPaths/goodLinks/potLinks
+	// are confined to the shard.
 	corrSets      []int
 	restrictPaths *bitset.Set
+	shardLinks    *bitset.Set
 
 	// The unknown universe Ê: potentially congested correlation
 	// subsets, each identified by its bitset key.
@@ -80,6 +82,7 @@ func newBuilder(top *topology.Topology, rec observe.Store, cfg Config) *builder 
 			shardLinks.Add(li)
 		}
 	}
+	b.shardLinks = shardLinks
 	b.restrictPaths = top.PathsOf(shardLinks)
 	b.alwaysGoodPaths = b.alwaysGoodPaths.Intersect(b.restrictPaths)
 	b.goodLinks = top.LinksOf(b.alwaysGoodPaths)

@@ -89,7 +89,30 @@ type Config struct {
 	// knob exists as an operational escape hatch and for the repair ≡
 	// rebuild property tests.
 	DisablePlanRepair bool
+
+	// NumericalPlanRepair enables the tier-2 repair (Plan.RepairNumeric)
+	// for drift that moves the good-link frontier: the retained QR
+	// factorization is patched column-by-column instead of rebuilt.
+	// Off by default because it trades the bit-identity contract for
+	// coverage — a patched epoch is numerically, not bitwise, equivalent
+	// to the rebuild it skipped (see DESIGN.md "Plan repair"). Tier-1
+	// repair still runs first and stays bit-identical.
+	NumericalPlanRepair bool
+
+	// NumericalRepairMaxFrac caps how large a frontier move the tier-2
+	// repair absorbs: when the potentially-congested link set's
+	// symmetric difference exceeds this fraction of the (union) link
+	// universe, the repair declines and the cold rebuild runs — past
+	// that point patching costs more than it saves and drifts further
+	// from the rebuild's structural selection. 0 means the default
+	// (DefaultNumericalRepairMaxFrac).
+	NumericalRepairMaxFrac float64
 }
+
+// DefaultNumericalRepairMaxFrac is the Δ gate used when
+// Config.NumericalRepairMaxFrac is zero: frontier moves touching more
+// than a quarter of the potentially-congested universe rebuild cold.
+const DefaultNumericalRepairMaxFrac = 0.25
 
 // DefaultConfig returns the configuration used by the experiments:
 // subsets up to size 2, strict always-good definition.

@@ -38,17 +38,28 @@ type Plan struct {
 	goodKey string
 
 	// Structural output of the builder.
-	subsets   []subsetEntry
-	index     map[string]int
-	pathSets  []*bitset.Set
-	rows      [][]int
-	potLinks  *bitset.Set
-	goodLinks *bitset.Set
-	restrict  *bitset.Set // paths of the restriction; nil when unrestricted
+	subsets    []subsetEntry
+	index      map[string]int
+	pathSets   []*bitset.Set
+	rows       [][]int
+	potLinks   *bitset.Set
+	goodLinks  *bitset.Set
+	restrict   *bitset.Set // paths of the restriction; nil when unrestricted
+	shardLinks *bitset.Set // links of the restriction; nil when unrestricted
 
 	// repairs counts how many times Repair patched this plan across an
-	// always-good drift instead of rebuilding.
-	repairs int
+	// always-good drift instead of rebuilding; numRepairs counts the
+	// tier-2 frontier moves RepairNumeric absorbed.
+	repairs    int
+	numRepairs int
+
+	// repairFailed records that this epoch's repair attempt lost — the
+	// drift was outside every repair tier's class — so the caller can
+	// distinguish "cold because drift was unrepairable" from "cold
+	// because topology/config changed". Carried onto the fresh plan the
+	// rebuild produces, together with the attempt's duration in
+	// lastRepair.
+	repairFailed bool
 
 	// Per-epoch stage durations, reset at the top of each
 	// ComputePlanned call and read back through StageTimes: how long
@@ -82,6 +93,18 @@ type Plan struct {
 // via Repair rather than a rebuild. Callers use it to distinguish a
 // repaired epoch from a plainly warm one.
 func (pl *Plan) RepairCount() int { return pl.repairs }
+
+// NumericRepairCount returns how many frontier moves this plan absorbed
+// via the tier-2 RepairNumeric patch rather than a rebuild.
+func (pl *Plan) NumericRepairCount() int { return pl.numRepairs }
+
+// RepairFailed reports whether the epoch this plan last served fell
+// back to a cold rebuild after a repair attempt lost — as opposed to a
+// cold epoch caused by a topology/config change, where no repair was
+// attempted. On a fresh plan the flag (and the attempt's duration in
+// StageTimes' repair slot) is carried over from the invalidated
+// predecessor.
+func (pl *Plan) RepairFailed() bool { return pl.repairFailed }
 
 // StageTimes returns how long the last ComputePlanned epoch spent in
 // each stage: the cold structural rebuild (zero on warm epochs), the
@@ -121,10 +144,14 @@ func Compute(ctx context.Context, top *topology.Topology, rec observe.Store, cfg
 // the warm path ran. When the always-good set has drifted, Repair is
 // attempted first: a drift that provably leaves the structural phase
 // unchanged is absorbed in O(Δ) and the retained factorization keeps
-// serving (prev is again returned, with RepairCount incremented).
+// serving (prev is again returned, with RepairCount incremented). With
+// Config.NumericalPlanRepair set, a frontier move that tier-1 rejects
+// is then offered to RepairNumeric, which patches the factorization
+// column-by-column (NumericRepairCount increments; results are
+// numerically, not bitwise, equivalent to the rebuild skipped).
 // Otherwise the from-scratch path runs and a fresh plan is returned.
-// Warm, repaired and cold paths all share the final solve code, so
-// their results are bit-identical by construction.
+// Warm, tier-1-repaired and cold paths all share the final solve code,
+// so their results are bit-identical by construction.
 func ComputePlanned(ctx context.Context, top *topology.Topology, rec observe.Store, cfg Config, prev *Plan) (*Result, *Plan, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -150,6 +177,15 @@ func ComputePlanned(ctx context.Context, top *topology.Topology, rec observe.Sto
 		return nil, nil, err
 	}
 	plan.lastBuild = time.Since(start)
+	if prev != nil {
+		// The failed repair attempt's cost belongs to this epoch: carry
+		// its duration (zero when no repair was attempted) and verdict
+		// onto the plan that actually serves the epoch, so stage timing
+		// doesn't silently drop exactly the epochs where repair was
+		// tried and lost.
+		plan.lastRepair = prev.lastRepair
+		plan.repairFailed = prev.repairFailed
+	}
 	start = time.Now()
 	res, err := plan.solveEpoch(ctx, rec)
 	if err != nil {
@@ -177,8 +213,12 @@ func buildPlan(ctx context.Context, top *topology.Topology, rec observe.Store, c
 // reusable reports whether the plan can serve this epoch: the
 // topology and config must match, and the store's always-good path set
 // (within the plan's restriction) must either be unchanged or drift
-// within Repair's provably structure-preserving class.
+// within a repair tier's class — tier-1 Repair's provably
+// structure-preserving (bit-identical) re-key first, then, when
+// enabled, tier-2 RepairNumeric's factorization patch across frontier
+// moves.
 func (pl *Plan) reusable(top *topology.Topology, rec observe.Store, cfg Config) bool {
+	pl.lastRepair, pl.repairFailed = 0, false
 	if pl.top != top || !configsEqual(pl.cfg, cfg) {
 		return false
 	}
@@ -194,7 +234,11 @@ func (pl *Plan) reusable(top *topology.Topology, rec observe.Store, cfg Config) 
 	}
 	start := time.Now()
 	ok := pl.Repair(good)
+	if !ok && cfg.NumericalPlanRepair {
+		ok = pl.RepairNumeric(good)
+	}
 	pl.lastRepair = time.Since(start)
+	pl.repairFailed = !ok
 	return ok
 }
 
@@ -245,10 +289,15 @@ func (pl *Plan) Repair(good *bitset.Set) bool {
 // EpochInfo describes how one epoch of a batched solve used the
 // carried-forward plan: Warm means the structural phase was skipped,
 // Repaired that the plan additionally absorbed an always-good drift
-// via Repair.
+// via the tier-1 re-key, RepairedNumeric that the tier-2 factorization
+// patch absorbed a frontier move, and RepairFailed that a cold rebuild
+// ran because a repair attempt lost (rather than because topology or
+// config changed).
 type EpochInfo struct {
-	Warm     bool
-	Repaired bool
+	Warm            bool
+	Repaired        bool
+	RepairedNumeric bool
+	RepairFailed    bool
 }
 
 // ComputePlannedBatch solves one epoch per store, carrying the plan
@@ -273,10 +322,12 @@ func ComputePlannedBatch(ctx context.Context, top *topology.Topology, recs []obs
 		if len(pending) == 0 {
 			return nil
 		}
-		// A repair inside the pending run is sound: Repair only re-keys
-		// the plan — structure, rows and factorization are untouched —
-		// so earlier stores of the run still solve over exactly the
-		// state their own sequential solve would have used.
+		// A tier-1 repair inside the pending run is sound: Repair only
+		// re-keys the plan — structure, rows and factorization are
+		// untouched — so earlier stores of the run still solve over
+		// exactly the state their own sequential solve would have used.
+		// A tier-2 repair is not (it rewrites the factorization), which
+		// is why the loop below drains the run before attempting one.
 		start := time.Now()
 		batch, err := plan.SolveEpochBatch(ctx, pending)
 		if err != nil {
@@ -292,9 +343,29 @@ func ComputePlannedBatch(ctx context.Context, top *topology.Topology, recs []obs
 			return nil, nil, nil, fmt.Errorf("core: recorder has %d paths, topology has %d", rec.NumPaths(), top.NumPaths())
 		}
 		if plan != nil {
-			repairs := plan.RepairCount()
+			// With tier-2 enabled, any always-good drift may rewrite the
+			// retained factorization in place; the pending run must be
+			// solved against the pre-repair state first, exactly as the
+			// sequential chain would have.
+			if cfg.NumericalPlanRepair && !cfg.DisablePlanRepair && len(pending) > 0 &&
+				plan.top == top && configsEqual(plan.cfg, cfg) {
+				good := rec.AlwaysGoodPaths(cfg.AlwaysGoodTol)
+				if plan.restrict != nil {
+					good = good.Intersect(plan.restrict)
+				}
+				if good.Key() != plan.goodKey {
+					if err := flush(i); err != nil {
+						return nil, nil, nil, err
+					}
+				}
+			}
+			repairs, numeric := plan.RepairCount(), plan.NumericRepairCount()
 			if plan.reusable(top, rec, cfg) {
-				infos[i] = EpochInfo{Warm: true, Repaired: plan.RepairCount() > repairs}
+				infos[i] = EpochInfo{
+					Warm:            true,
+					Repaired:        plan.RepairCount() > repairs,
+					RepairedNumeric: plan.NumericRepairCount() > numeric,
+				}
 				pending = append(pending, rec)
 				continue
 			}
@@ -308,6 +379,13 @@ func ComputePlannedBatch(ctx context.Context, top *topology.Topology, recs []obs
 			return nil, nil, nil, err
 		}
 		fresh.lastBuild = time.Since(start)
+		if plan != nil {
+			// Same carry as ComputePlanned: a failed repair attempt's
+			// duration and verdict travel onto the fresh plan.
+			fresh.lastRepair = plan.lastRepair
+			fresh.repairFailed = plan.repairFailed
+			infos[i].RepairFailed = plan.repairFailed
+		}
 		plan = fresh
 		pending = append(pending, rec)
 	}
@@ -326,6 +404,8 @@ func configsEqual(a, b Config) bool {
 		a.DisableSinglePathRegistration != b.DisableSinglePathRegistration ||
 		a.Concurrency != b.Concurrency ||
 		a.DisablePlanRepair != b.DisablePlanRepair ||
+		a.NumericalPlanRepair != b.NumericalPlanRepair ||
+		a.NumericalRepairMaxFrac != b.NumericalRepairMaxFrac ||
 		len(a.RestrictCorrSets) != len(b.RestrictCorrSets) {
 		return false
 	}
@@ -344,16 +424,17 @@ func configsEqual(a, b Config) bool {
 // on the plan; only the right-hand sides remain per-epoch work.
 func (b *builder) plan(ctx context.Context) (*Plan, error) {
 	pl := &Plan{
-		top:       b.top,
-		cfg:       b.cfg,
-		goodKey:   b.alwaysGoodPaths.Key(),
-		subsets:   b.subsets,
-		index:     b.index,
-		pathSets:  b.pathSets,
-		rows:      b.rows,
-		potLinks:  b.potLinks,
-		goodLinks: b.goodLinks,
-		restrict:  b.restrictPaths,
+		top:        b.top,
+		cfg:        b.cfg,
+		goodKey:    b.alwaysGoodPaths.Key(),
+		subsets:    b.subsets,
+		index:      b.index,
+		pathSets:   b.pathSets,
+		rows:       b.rows,
+		potLinks:   b.potLinks,
+		goodLinks:  b.goodLinks,
+		restrict:   b.restrictPaths,
+		shardLinks: b.shardLinks,
 	}
 	nCols := len(b.subsets)
 	if len(b.rows) == 0 {

@@ -55,11 +55,13 @@ func init() {
 // solver configuration.
 func (s Settings) coreConfig() core.Config {
 	return core.Config{
-		MaxSubsetSize:     s.MaxSubsetSize,
-		AlwaysGoodTol:     s.AlwaysGoodTol,
-		MaxEnumPathSets:   s.MaxEnumPathSets,
-		Concurrency:       s.Concurrency,
-		DisablePlanRepair: s.DisablePlanRepair,
+		MaxSubsetSize:          s.MaxSubsetSize,
+		AlwaysGoodTol:          s.AlwaysGoodTol,
+		MaxEnumPathSets:        s.MaxEnumPathSets,
+		Concurrency:            s.Concurrency,
+		DisablePlanRepair:      s.DisablePlanRepair,
+		NumericalPlanRepair:    s.NumericalPlanRepair,
+		NumericalRepairMaxFrac: s.NumericalRepairMaxFrac,
 	}
 }
 

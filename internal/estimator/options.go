@@ -34,6 +34,16 @@ type Settings struct {
 	// always-good drift in the Correlation-complete solvers (see
 	// core.Plan.Repair); results are bit-identical either way.
 	DisablePlanRepair bool
+	// NumericalPlanRepair additionally enables the tier-2 numerical
+	// repair (core.Plan.RepairNumeric): frontier-moving drift patches
+	// the retained factorization in place instead of rebuilding.
+	// Repaired epochs are numerically — not bitwise — equivalent to the
+	// rebuild they skip, which is why this is off by default.
+	NumericalPlanRepair bool
+	// NumericalRepairMaxFrac caps the frontier delta a tier-2 repair
+	// absorbs, as a fraction of the potentially-congested link universe;
+	// 0 means core.DefaultNumericalRepairMaxFrac.
+	NumericalRepairMaxFrac float64
 }
 
 // DefaultSettings mirrors the configuration of the paper's experiments:
@@ -168,6 +178,34 @@ func WithSeed(seed int64) Option {
 func WithPlanRepair(enabled bool) Option {
 	return func(s *Settings) error {
 		s.DisablePlanRepair = !enabled
+		return nil
+	}
+}
+
+// WithNumericalPlanRepair enables the tier-2 numerical plan repair in
+// the warm Correlation-complete solvers: drift that moves the
+// good-link frontier — which tier-1 repair must reject — patches the
+// retained factorization in place (core.Plan.RepairNumeric) instead of
+// forcing a cold rebuild. Unlike tier-1, a tier-2-served epoch is
+// numerically rather than bitwise equivalent to the rebuild it
+// skipped, so this is opt-in and off by default.
+func WithNumericalPlanRepair(enabled bool) Option {
+	return func(s *Settings) error {
+		s.NumericalPlanRepair = enabled
+		return nil
+	}
+}
+
+// WithNumericalRepairMaxFrac caps how large a frontier move the tier-2
+// repair absorbs, as a fraction of the potentially-congested link
+// universe; larger drifts rebuild cold. 0 means the solver default
+// (core.DefaultNumericalRepairMaxFrac); the fraction must lie in [0, 1].
+func WithNumericalRepairMaxFrac(frac float64) Option {
+	return func(s *Settings) error {
+		if frac < 0 || frac > 1 {
+			return fmt.Errorf("estimator: WithNumericalRepairMaxFrac(%v): fraction must be in [0,1]", frac)
+		}
+		s.NumericalRepairMaxFrac = frac
 		return nil
 	}
 }

@@ -57,28 +57,43 @@ type SolveInfo struct {
 	// previous plan's factorization served this epoch (whether the
 	// always-good set held or Repair absorbed its drift).
 	Warm bool
-	// Repaired reports that the always-good set drifted and the plan
-	// was repaired across it rather than rebuilt (core.Plan.Repair).
+	// Repaired reports that the always-good set drifted within the
+	// good-link frontier and the plan was re-keyed across it rather
+	// than rebuilt (tier-1, core.Plan.Repair; bit-identical).
 	Repaired bool
+	// RepairedNumeric reports that the drift moved the frontier and the
+	// plan's factorization was patched in place (tier-2,
+	// core.Plan.RepairNumeric; numerically equivalent). Only ever set
+	// when the solver runs with WithNumericalPlanRepair(true).
+	RepairedNumeric bool
+	// RepairFailed reports that this epoch rebuilt cold after a repair
+	// attempt failed — the drift was unrepairable — as opposed to a
+	// rebuild forced by a config or topology change, where no attempt
+	// was made. RepairTime then holds the failed attempt's duration.
+	RepairFailed bool
 
 	// Per-stage wall time of the epoch (core.Plan.StageTimes):
 	// BuildTime is the cold structural rebuild (zero on warm epochs),
-	// RepairTime the Repair re-key (zero unless drift was absorbed),
-	// SolveTime the shared solve tail. Zero on batched drains, where
-	// per-epoch attribution doesn't exist.
+	// RepairTime the repair attempt — tier-1 re-key, tier-2 patch, or a
+	// failed probe that fell back cold — and SolveTime the shared solve
+	// tail. Zero on batched drains, where per-epoch attribution doesn't
+	// exist.
 	BuildTime  time.Duration
 	RepairTime time.Duration
 	SolveTime  time.Duration
 }
 
 // solveInfoFor derives how a ComputePlanned call used prev from the
-// returned plan and prev's repair count snapshotted before the call —
+// returned plan and prev's repair counts snapshotted before the call —
 // the one place this pattern lives for every warm solver.
-func solveInfoFor(prev, next *core.Plan, prevRepairs int) SolveInfo {
+func solveInfoFor(prev, next *core.Plan, prevRepairs, prevNumeric int) SolveInfo {
 	info := SolveInfo{}
 	if prev != nil && next == prev {
 		info.Warm = true
 		info.Repaired = next.RepairCount() > prevRepairs
+		info.RepairedNumeric = next.NumericRepairCount() > prevNumeric
+	} else {
+		info.RepairFailed = next.RepairFailed()
 	}
 	info.BuildTime, info.RepairTime, info.SolveTime = next.StageTimes()
 	return info
@@ -161,16 +176,16 @@ func (sv *ShardedSolver) SolveShard(ctx context.Context, shard int, obs observe.
 		return nil, SolveInfo{}, fmt.Errorf("estimator: shard %d outside [0,%d)", shard, len(sv.plans))
 	}
 	prev := sv.plans[shard]
-	prevRepairs := 0
+	prevRepairs, prevNumeric := 0, 0
 	if prev != nil {
-		prevRepairs = prev.RepairCount()
+		prevRepairs, prevNumeric = prev.RepairCount(), prev.NumericRepairCount()
 	}
 	res, plan, err := core.ComputePlanned(ctx, sv.top, obs, sv.shardConfig(shard), prev)
 	if err != nil {
 		return nil, SolveInfo{}, err
 	}
 	sv.plans[shard] = plan
-	return res, solveInfoFor(prev, plan, prevRepairs), nil
+	return res, solveInfoFor(prev, plan, prevRepairs, prevNumeric), nil
 }
 
 // Merge assembles the per-shard results (in shard order; nil entries

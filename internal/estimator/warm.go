@@ -46,16 +46,16 @@ func (ws *WarmSolver) Estimate(ctx context.Context, obs observe.Store) (*Estimat
 		return nil, SolveInfo{}, err
 	}
 	prev := ws.plan
-	prevRepairs := 0
+	prevRepairs, prevNumeric := 0, 0
 	if prev != nil {
-		prevRepairs = prev.RepairCount()
+		prevRepairs, prevNumeric = prev.RepairCount(), prev.NumericRepairCount()
 	}
 	res, plan, err := core.ComputePlanned(ctx, ws.top, obs, ws.settings.coreConfig(), prev)
 	if err != nil {
 		return nil, SolveInfo{}, err
 	}
 	ws.plan = plan
-	return estimateFromResult(CorrelationComplete, ws.top, res), solveInfoFor(prev, plan, prevRepairs), nil
+	return estimateFromResult(CorrelationComplete, ws.top, res), solveInfoFor(prev, plan, prevRepairs, prevNumeric), nil
 }
 
 // EstimateBatch computes one epoch per store, draining every maximal
@@ -79,7 +79,12 @@ func (ws *WarmSolver) EstimateBatch(ctx context.Context, stores []observe.Store)
 	infos := make([]SolveInfo, len(results))
 	for i, res := range results {
 		out[i] = estimateFromResult(CorrelationComplete, ws.top, res)
-		infos[i] = SolveInfo{Warm: epochInfos[i].Warm, Repaired: epochInfos[i].Repaired}
+		infos[i] = SolveInfo{
+			Warm:            epochInfos[i].Warm,
+			Repaired:        epochInfos[i].Repaired,
+			RepairedNumeric: epochInfos[i].RepairedNumeric,
+			RepairFailed:    epochInfos[i].RepairFailed,
+		}
 	}
 	return out, infos, nil
 }

@@ -15,31 +15,40 @@ var ErrRankDeficient = errors.New("linalg: matrix is rank deficient")
 // the diagonal, and the diagonal of R is kept separately in rdiag).
 //
 // The factorization supports incremental column edits. AppendCol
-// widens the system by one column bit-identically to a from-scratch
-// refactor of the widened matrix. DeleteCol narrows it by chasing the
-// introduced subdiagonal with Givens rotations, which switches the
-// factorization into a patched form: R is materialized densely and Qᵀ
-// gains a trailing rotation list. Both forms solve through the same
-// entry points.
+// widens the system by one column — bit-identically to a from-scratch
+// refactor of the widened matrix while the factorization is in pure
+// Householder form. DeleteCol narrows it by chasing the introduced
+// subdiagonal with Givens rotations, which switches the factorization
+// into a patched form: R is materialized densely and Qᵀ gains a
+// chronological list of trailing transforms (the Givens rotations, and
+// one fresh dense reflector per subsequent AppendCol). Deletes and
+// appends interleave freely in the patched form; its solves are
+// numerically equivalent — not bit-identical — to a refactor. Both
+// forms solve through the same entry points.
 type QR struct {
 	qr    *Matrix
 	rdiag []float64
 	m, n  int
 
 	// Patched form, populated by the first DeleteCol: r is the dense
-	// current R (rRows×n), hrdiag the original rdiag (reflector k
-	// exists iff hrdiag[k] != 0), nhh the original reflector count, and
-	// givens the rotations Qᵀ gained. All zero in pure Householder form.
+	// current R, hrdiag the original rdiag (reflector k exists iff
+	// hrdiag[k] != 0), nhh the original reflector count, and ops the
+	// trailing Qᵀ transforms in chronological order. All zero in pure
+	// Householder form.
 	r      *Matrix
 	hrdiag []float64
 	nhh    int
-	givens []givensRot
+	ops    []qtOp
 }
 
-// givensRot is one plane rotation on rows (k, k+1) of the implicit Qᵀ.
-type givensRot struct {
-	k    int
-	c, s float64
+// qtOp is one trailing transform of the implicit Qᵀ: a plane rotation
+// on rows (k, k+1) when house is nil, otherwise a dense Householder
+// reflector over rows k..k+len(house)-1 stored in the LINPACK
+// convention (house[0] = w_k/nrm + 1, house[i] = w_{k+i}/nrm).
+type qtOp struct {
+	k     int
+	c, s  float64
+	house []float64
 }
 
 // patched reports whether columns have been deleted, switching solves
@@ -103,17 +112,20 @@ func FactorInPlace(a *Matrix) *QR {
 // AppendCol widens the factored system by one column: the retained
 // reflectors are applied to it in factorization order and one new
 // reflector is computed — exactly the operations FactorInPlace would
-// have performed had the column been present, so the result is
-// bit-identical to refactoring the widened matrix from scratch
-// (property-tested). Cost is O(m·n) against O(m·n²) for the refactor.
-// It must not be called after DeleteCol: the Givens-patched form no
-// longer matches FactorInPlace's operation order.
+// have performed had the column been present, so in pure Householder
+// form the result is bit-identical to refactoring the widened matrix
+// from scratch (property-tested). Cost is O(m·n) against O(m·n²) for
+// the refactor. On a column-deleted (patched) factorization the append
+// routes through appendColPatched: still O(m·n), numerically
+// equivalent to the refactor but not bitwise (the transform sequences
+// differ).
 func (f *QR) AppendCol(col []float64) {
-	if f.patched() {
-		panic("linalg: AppendCol on a column-deleted factorization")
-	}
 	if len(col) != f.m {
 		panic("linalg: AppendCol dimension mismatch")
+	}
+	if f.patched() {
+		f.appendColPatched(col)
+		return
 	}
 	m, n := f.m, f.n
 	grown := NewMatrix(m, n+1)
@@ -222,13 +234,88 @@ func (f *QR) DeleteCol(j int) {
 			r.Set(k, jj, c*x+s*y)
 			r.Set(k+1, jj, -s*x+c*y)
 		}
-		f.givens = append(f.givens, givensRot{k: k, c: c, s: s})
+		f.ops = append(f.ops, qtOp{k: k, c: c, s: s})
 	}
-	// Keep rdiag in sync for the rank checks.
+	f.syncRdiag()
+}
+
+// appendColPatched widens a column-deleted factorization: the new
+// column is rotated into the current Q basis (Qᵀ·col), its top n
+// entries become R's new column, and one fresh dense reflector —
+// appended to the trailing transform list — zeroes the remaining mass
+// below the new diagonal. Existing R columns are untouched: they are
+// zero in rows ≥ n, where the new reflector acts.
+func (f *QR) appendColPatched(col []float64) {
+	w := make([]float64, f.m)
+	copy(w, col)
+	f.applyQT(w)
+	n, r := f.n, f.r
+	rows := r.Rows
+	if n < f.m && rows < n+1 {
+		rows = n + 1 // room for the new diagonal entry
+	}
+	grown := NewMatrix(rows, n+1)
+	for i := 0; i < r.Rows; i++ {
+		copy(grown.Row(i)[:n], r.Row(i))
+	}
+	for i := 0; i < rows && i < n; i++ {
+		grown.Set(i, n, w[i])
+	}
+	if n < f.m {
+		nrm := 0.0
+		for i := n; i < f.m; i++ {
+			nrm = math.Hypot(nrm, w[i])
+		}
+		if nrm != 0 {
+			if w[n] < 0 {
+				nrm = -nrm
+			}
+			v := make([]float64, f.m-n)
+			for i := range v {
+				v[i] = w[n+i] / nrm
+			}
+			v[0]++
+			f.ops = append(f.ops, qtOp{k: n, house: v})
+			grown.Set(n, n, -nrm)
+		}
+		// nrm == 0 leaves the diagonal entry 0: the appended column is
+		// linearly dependent and the rank checks will report it.
+	}
+	f.r = grown
+	f.n = n + 1
+	f.syncRdiag()
+}
+
+// syncRdiag re-derives rdiag from the dense R diagonal so the rank
+// checks stay valid across patched-form edits.
+func (f *QR) syncRdiag() {
 	f.rdiag = f.rdiag[:0]
-	for k := 0; k < min(r.Rows, f.n); k++ {
-		f.rdiag = append(f.rdiag, r.At(k, k))
+	for k := 0; k < min(f.r.Rows, f.n); k++ {
+		f.rdiag = append(f.rdiag, f.r.At(k, k))
 	}
+}
+
+// Clone returns an independent deep copy of the factorization: edits
+// and solves on the clone never touch the original. The plan-repair
+// path stages its column edits on a clone so a failed repair leaves
+// the retained factorization intact.
+func (f *QR) Clone() *QR {
+	g := &QR{qr: f.qr.Clone(), m: f.m, n: f.n, nhh: f.nhh}
+	g.rdiag = append([]float64(nil), f.rdiag...)
+	if f.r != nil {
+		g.r = f.r.Clone()
+	}
+	if f.hrdiag != nil {
+		g.hrdiag = append([]float64(nil), f.hrdiag...)
+	}
+	if len(f.ops) > 0 {
+		// Exact-capacity copy: appends on either copy reallocate
+		// instead of sharing the backing array. The house vectors are
+		// immutable once created, so sharing them is safe.
+		g.ops = make([]qtOp, len(f.ops))
+		copy(g.ops, f.ops)
+	}
+	return g
 }
 
 // rankTol returns the tolerance under which an R diagonal entry is
@@ -281,7 +368,8 @@ func (f *QR) FullColumnRank() bool {
 
 // applyQT overwrites b (length m) with Qᵀ·b: the Householder
 // reflectors in factorization order, then — in the patched form — the
-// Givens rotations the column deletions appended.
+// trailing transforms the column edits appended, in chronological
+// order.
 func (f *QR) applyQT(b []float64) {
 	diag, kmax := f.rdiag, min(f.m, f.n)
 	if f.patched() {
@@ -300,10 +388,26 @@ func (f *QR) applyQT(b []float64) {
 			b[i] += s * f.qr.At(i, k)
 		}
 	}
-	for _, g := range f.givens {
-		x, y := b[g.k], b[g.k+1]
-		b[g.k] = g.c*x + g.s*y
-		b[g.k+1] = -g.s*x + g.c*y
+	for _, op := range f.ops {
+		op.apply(b)
+	}
+}
+
+// apply applies the trailing transform to b in place.
+func (op qtOp) apply(b []float64) {
+	if op.house == nil {
+		x, y := b[op.k], b[op.k+1]
+		b[op.k] = op.c*x + op.s*y
+		b[op.k+1] = -op.s*x + op.c*y
+		return
+	}
+	var s float64
+	for i, vi := range op.house {
+		s += vi * b[op.k+i]
+	}
+	s = -s / op.house[0]
+	for i, vi := range op.house {
+		b[op.k+i] += s * vi
 	}
 }
 
@@ -421,10 +525,8 @@ func (f *QR) SolveLeastSquaresBatchInto(xs, bs [][]float64, scratch []float64) e
 	}
 	for v := range bs {
 		qtb := scratch[v*f.m : (v+1)*f.m]
-		for _, g := range f.givens {
-			x, y := qtb[g.k], qtb[g.k+1]
-			qtb[g.k] = g.c*x + g.s*y
-			qtb[g.k+1] = -g.s*x + g.c*y
+		for _, op := range f.ops {
+			op.apply(qtb)
 		}
 		if len(xs[v]) != f.n {
 			panic("linalg: SolveLeastSquaresBatchInto solution size mismatch")

@@ -277,6 +277,163 @@ func TestSolveIntoAllocationFree(t *testing.T) {
 	}
 }
 
+// Interleaved DeleteCol/AppendCol chains — the edit sequence the
+// tier-2 plan repair issues — must keep solving the current system to
+// within tolerance of a from-scratch factorization, and the rank
+// checks must stay in sync across every edit.
+func TestQuickDeleteAppendInterleavedMatchesRefactor(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 6 + rng.Intn(12)
+		n := 2 + rng.Intn(m-3)
+		a := randomMatrix(rng, m, n)
+		b := make([]float64, m)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		fac := FactorInPlace(a.Clone())
+		for step := 0; step < 6; step++ {
+			if a.Cols > 1 && (rng.Intn(2) == 0 || a.Cols >= m) {
+				j := rng.Intn(a.Cols)
+				fac.DeleteCol(j)
+				a = a.DropCol(j)
+			} else {
+				col := make([]float64, m)
+				for i := range col {
+					col[i] = rng.NormFloat64()
+				}
+				fac.AppendCol(col)
+				wide := NewMatrix(m, a.Cols+1)
+				for i := 0; i < m; i++ {
+					copy(wide.Row(i)[:a.Cols], a.Row(i))
+					wide.Set(i, a.Cols, col[i])
+				}
+				a = wide
+			}
+			ref := Factor(a)
+			if fac.FullColumnRank() != ref.FullColumnRank() {
+				return false
+			}
+			want, errW := ref.SolveLeastSquares(b)
+			got, errG := fac.SolveLeastSquares(b)
+			if (errW == nil) != (errG == nil) {
+				return false
+			}
+			if errW != nil {
+				continue
+			}
+			for k := range want {
+				if !almostEqual(want[k], got[k], 1e-8) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Appending a duplicate of a surviving column onto a column-deleted
+// factorization must be reported as rank loss, not solved: this is the
+// incremental identifiability check the tier-2 repair falls back on.
+func TestAppendColAfterDeleteRankLoss(t *testing.T) {
+	a := FromRows([][]float64{
+		{1, 0, 1},
+		{0, 1, 1},
+		{1, 1, 0},
+		{0, 0, 1},
+	})
+	f := Factor(a)
+	f.DeleteCol(1)
+	f.AppendCol([]float64{1, 0, 1, 0}) // duplicates surviving column 0
+	if f.FullColumnRank() {
+		t.Fatal("duplicate appended column reported full column rank")
+	}
+	if _, err := f.SolveLeastSquares([]float64{1, 2, 3, 4}); err != ErrRankDeficient {
+		t.Fatalf("want ErrRankDeficient, got %v", err)
+	}
+}
+
+// The batch solve must agree with the sequential solve on a
+// factorization that has been both column-deleted and column-appended
+// (reflector trailing transforms, not just Givens rotations).
+func TestSolveBatchOnDeleteAppendFactorization(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	a := randomMatrix(rng, 16, 6)
+	f := Factor(a)
+	f.DeleteCol(4)
+	f.DeleteCol(1)
+	for j := 0; j < 2; j++ {
+		col := make([]float64, 16)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+		f.AppendCol(col)
+	}
+	bs := make([][]float64, 4)
+	for k := range bs {
+		bs[k] = make([]float64, 16)
+		for i := range bs[k] {
+			bs[k][i] = rng.NormFloat64()
+		}
+	}
+	xs, err := f.SolveLeastSquaresBatch(bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range bs {
+		want, err := f.SolveLeastSquares(bs[k])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if xs[k][j] != want[j] {
+				t.Fatalf("rhs %d x[%d]: batch %v != sequential %v", k, j, xs[k][j], want[j])
+			}
+		}
+	}
+}
+
+// Clone must be deep: edits on the clone leave the original's
+// solutions bit-identical, in both the pure and patched forms.
+func TestCloneIsolatesEdits(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for _, patch := range []bool{false, true} {
+		a := randomMatrix(rng, 12, 5)
+		f := Factor(a)
+		if patch {
+			f.DeleteCol(3)
+		}
+		b := make([]float64, 12)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		before, err := f.SolveLeastSquares(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g := f.Clone()
+		g.DeleteCol(0)
+		col := make([]float64, 12)
+		for i := range col {
+			col[i] = rng.NormFloat64()
+		}
+		g.AppendCol(col)
+		after, err := f.SolveLeastSquares(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k := range before {
+			if before[k] != after[k] {
+				t.Fatalf("patched=%v: clone edit disturbed original x[%d]: %v != %v",
+					patch, k, before[k], after[k])
+			}
+		}
+	}
+}
+
 // NullSpaceInsertColumn must produce exactly the null space of the
 // system with a zero column spliced in.
 func TestQuickNullSpaceInsertColumn(t *testing.T) {

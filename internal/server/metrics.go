@@ -5,6 +5,7 @@ import (
 	"runtime/debug"
 	"time"
 
+	"repro/internal/estimator"
 	"repro/internal/telemetry"
 )
 
@@ -36,10 +37,14 @@ var (
 		"HTTP request latency by route pattern.", telemetry.ExpBuckets(1e-4, 4, 10), "route")
 
 	metricEpochSolves = telemetry.Default().CounterVec("tomod_epoch_solves_total",
-		"Published epoch solves by plan path: cold (structural rebuild), warm (carried-forward plan), repaired (warm after Plan.Repair absorbed drift).", "path")
-	solvesCold     = metricEpochSolves.With("cold")
-	solvesWarm     = metricEpochSolves.With("warm")
-	solvesRepaired = metricEpochSolves.With("repaired")
+		"Published epoch solves by plan path: cold (structural rebuild), warm (carried-forward plan), repaired (warm after the tier-1 Plan.Repair re-key), repaired_numeric (warm after the tier-2 Plan.RepairNumeric factorization patch).", "path")
+	solvesCold            = metricEpochSolves.With("cold")
+	solvesWarm            = metricEpochSolves.With("warm")
+	solvesRepaired        = metricEpochSolves.With("repaired")
+	solvesRepairedNumeric = metricEpochSolves.With("repaired_numeric")
+
+	metricRepairFailed = telemetry.Default().Counter("tomod_plan_repair_failed_total",
+		"Cold epoch solves that first attempted a plan repair and failed — the drift was unrepairable — as opposed to cold solves forced by a config or topology change.")
 
 	// Stage buckets span ~1µs (a Plan.Repair re-key) to ~4s (a large
 	// cold rebuild): repair lives in the first buckets, warm solve
@@ -99,25 +104,31 @@ func BuildInfo() (goVersion, revision string) {
 func Uptime() time.Duration { return time.Since(processStart) }
 
 // observeSolveMetrics records one published epoch's plan path and
-// per-stage wall time. Stage times of zero are skipped rather than
-// observed: a warm epoch has no rebuild and an unrepaired one no
-// repair, and batched drains carry no per-epoch attribution at all.
-func observeSolveMetrics(warm, repaired bool, build, repair, solve time.Duration) {
+// per-stage wall time from its SolveInfo. Stage times of zero are
+// skipped rather than observed: a warm epoch has no rebuild and an
+// unrepaired one no repair, and batched drains carry no per-epoch
+// attribution at all.
+func observeSolveMetrics(info estimator.SolveInfo) {
 	switch {
-	case repaired:
+	case info.RepairedNumeric:
+		solvesRepairedNumeric.Inc()
+	case info.Repaired:
 		solvesRepaired.Inc()
-	case warm:
+	case info.Warm:
 		solvesWarm.Inc()
 	default:
 		solvesCold.Inc()
 	}
-	if build > 0 {
-		stageRebuild.Observe(build.Seconds())
+	if info.RepairFailed {
+		metricRepairFailed.Inc()
 	}
-	if repair > 0 {
-		stageRepair.Observe(repair.Seconds())
+	if info.BuildTime > 0 {
+		stageRebuild.Observe(info.BuildTime.Seconds())
 	}
-	if solve > 0 {
-		stageSolve.Observe(solve.Seconds())
+	if info.RepairTime > 0 {
+		stageRepair.Observe(info.RepairTime.Seconds())
+	}
+	if info.SolveTime > 0 {
+		stageSolve.Observe(info.SolveTime.Seconds())
 	}
 }

@@ -178,11 +178,17 @@ type Snapshot struct {
 
 	// Warm reports that the epoch solver skipped the structural phase
 	// (carried-forward plan); Repaired that the plan additionally
-	// absorbed an always-good drift via repair rather than a rebuild.
-	// Always false outside the warm correlation-complete loop (sharded
-	// mode reports the same per shard in Shards).
-	Warm     bool
-	Repaired bool
+	// absorbed an always-good drift via the tier-1 re-key, and
+	// RepairedNumeric via the tier-2 factorization patch
+	// (core.Plan.RepairNumeric; requires WithNumericalPlanRepair).
+	// RepairFailed marks a cold epoch whose repair attempt failed, as
+	// opposed to one forced by a config or topology change. Always
+	// false outside the warm correlation-complete loop (sharded mode
+	// reports the same per shard in Shards).
+	Warm            bool
+	Repaired        bool
+	RepairedNumeric bool
+	RepairFailed    bool
 
 	ComputedAt  time.Time
 	ComputeTime time.Duration
@@ -283,11 +289,15 @@ type ShardInfo struct {
 	T       int
 
 	// Warm reports whether the structural plan was carried forward from
-	// the shard's previous epoch; Repaired whether it was repaired
-	// across an always-good drift rather than rebuilt (see
-	// core.ComputePlanned and core.Plan.Repair).
-	Warm     bool
-	Repaired bool
+	// the shard's previous epoch; Repaired whether it was re-keyed
+	// across an always-good drift (tier-1, core.Plan.Repair) and
+	// RepairedNumeric whether its factorization was patched across a
+	// frontier move (tier-2, core.Plan.RepairNumeric). RepairFailed
+	// marks a cold shard epoch whose repair attempt failed.
+	Warm            bool
+	Repaired        bool
+	RepairedNumeric bool
+	RepairFailed    bool
 
 	ComputeTime time.Duration
 
@@ -301,27 +311,31 @@ type ShardInfo struct {
 type shardState struct {
 	mu sync.Mutex
 
-	res         *core.Result
-	seqHigh     uint64
-	t           int
-	epoch       uint64
-	warm        bool
-	repaired    bool
-	computeTime time.Duration
-	err         error
+	res             *core.Result
+	seqHigh         uint64
+	t               int
+	epoch           uint64
+	warm            bool
+	repaired        bool
+	repairedNumeric bool
+	repairFailed    bool
+	computeTime     time.Duration
+	err             error
 }
 
 // EpochSummary is one published epoch's record in the server's bounded
 // history ring, the backing of GET /v1/epochs.
 type EpochSummary struct {
-	Epoch       uint64
-	SeqHigh     uint64
-	T           int
-	Warm        bool
-	Repaired    bool
-	ComputedAt  time.Time
-	ComputeTime time.Duration
-	Err         string
+	Epoch           uint64
+	SeqHigh         uint64
+	T               int
+	Warm            bool
+	Repaired        bool
+	RepairedNumeric bool
+	RepairFailed    bool
+	ComputedAt      time.Time
+	ComputeTime     time.Duration
+	Err             string
 }
 
 // Server is the streaming tomography service.
@@ -368,6 +382,14 @@ type Server struct {
 	computeMu sync.Mutex // serializes solver runs
 	epoch     atomic.Uint64
 	snap      atomic.Pointer[Snapshot]
+
+	// tiers holds the server's own cumulative epoch-solve counts by
+	// plan path for /v1/status (the tomod_epoch_solves_total counters
+	// in metrics.go are process-wide, which tests sharing a registry
+	// cannot read per server).
+	tiers struct {
+		cold, warm, repaired, repairedNumeric, repairFailed atomic.Uint64
+	}
 
 	// wal is the write-ahead log behind the window (nil when
 	// durability is disabled); walRecovered the recovery record of the
@@ -564,6 +586,48 @@ func (s *Server) WALStats() (st wal.Stats, rec wal.RecoveryStats, ok bool) {
 		return wal.Stats{}, wal.RecoveryStats{}, false
 	}
 	return s.wal.Stats(), s.walRecovered, true
+}
+
+// SolveTierCounts is the server's cumulative published-epoch count by
+// plan path, as served on /v1/status. RepairFailed counts cold solves
+// whose repair attempt failed and overlaps Cold; the other four
+// partition the total.
+type SolveTierCounts struct {
+	Cold            uint64 `json:"cold"`
+	Warm            uint64 `json:"warm"`
+	Repaired        uint64 `json:"repaired"`
+	RepairedNumeric uint64 `json:"repaired_numeric"`
+	RepairFailed    uint64 `json:"repair_failed"`
+}
+
+// SolveTiers returns the cumulative per-tier epoch-solve counts.
+func (s *Server) SolveTiers() SolveTierCounts {
+	return SolveTierCounts{
+		Cold:            s.tiers.cold.Load(),
+		Warm:            s.tiers.warm.Load(),
+		Repaired:        s.tiers.repaired.Load(),
+		RepairedNumeric: s.tiers.repairedNumeric.Load(),
+		RepairFailed:    s.tiers.repairFailed.Load(),
+	}
+}
+
+// observeSolve records one published epoch's plan path on both the
+// process-wide metrics and the server's own /v1/status counters.
+func (s *Server) observeSolve(info estimator.SolveInfo) {
+	switch {
+	case info.RepairedNumeric:
+		s.tiers.repairedNumeric.Add(1)
+	case info.Repaired:
+		s.tiers.repaired.Add(1)
+	case info.Warm:
+		s.tiers.warm.Add(1)
+	default:
+		s.tiers.cold.Add(1)
+	}
+	if info.RepairFailed {
+		s.tiers.repairFailed.Add(1)
+	}
+	observeSolveMetrics(info)
 }
 
 // ErrSolverPanic wraps a panic recovered from an estimator call: the
@@ -768,26 +832,28 @@ func (s *Server) Recompute(ctx context.Context) *Snapshot {
 		est, err = nil, perr
 	}
 	snap := &Snapshot{
-		Algo:        s.cfg.Algo,
-		Est:         est,
-		Window:      w,
-		SeqHigh:     w.Seq(),
-		T:           w.T(),
-		Warm:        info.Warm,
-		Repaired:    info.Repaired,
-		ComputedAt:  time.Now(),
-		ComputeTime: time.Since(start),
-		Err:         err,
-		top:         s.top,
-		opts:        s.cfg.SolverOpts,
-		lifetime:    s.baseCtx,
-		byAlgo:      map[string]*algoCell{},
+		Algo:            s.cfg.Algo,
+		Est:             est,
+		Window:          w,
+		SeqHigh:         w.Seq(),
+		T:               w.T(),
+		Warm:            info.Warm,
+		Repaired:        info.Repaired,
+		RepairedNumeric: info.RepairedNumeric,
+		RepairFailed:    info.RepairFailed,
+		ComputedAt:      time.Now(),
+		ComputeTime:     time.Since(start),
+		Err:             err,
+		top:             s.top,
+		opts:            s.cfg.SolverOpts,
+		lifetime:        s.baseCtx,
+		byAlgo:          map[string]*algoCell{},
 	}
 	if err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
 		return snap // cancelled: do not publish, do not consume an epoch
 	}
 	if err == nil {
-		observeSolveMetrics(info.Warm, info.Repaired, info.BuildTime, info.RepairTime, info.SolveTime)
+		s.observeSolve(info)
 	}
 	s.publish(snap)
 	return snap
@@ -875,21 +941,23 @@ func (s *Server) drainBacklog(ctx context.Context) (*Snapshot, error) {
 	share := time.Duration(int64(time.Since(start)) / int64(len(pending)))
 	var newest *Snapshot
 	for i, w := range pending {
-		observeSolveMetrics(infos[i].Warm, infos[i].Repaired, 0, 0, 0)
+		s.observeSolve(infos[i]) // stage times are zero on batched drains
 		snap := &Snapshot{
-			Algo:        s.cfg.Algo,
-			Est:         ests[i],
-			Window:      w,
-			SeqHigh:     w.Seq(),
-			T:           w.T(),
-			Warm:        infos[i].Warm,
-			Repaired:    infos[i].Repaired,
-			ComputedAt:  time.Now(),
-			ComputeTime: share,
-			top:         s.top,
-			opts:        s.cfg.SolverOpts,
-			lifetime:    s.baseCtx,
-			byAlgo:      map[string]*algoCell{},
+			Algo:            s.cfg.Algo,
+			Est:             ests[i],
+			Window:          w,
+			SeqHigh:         w.Seq(),
+			T:               w.T(),
+			Warm:            infos[i].Warm,
+			Repaired:        infos[i].Repaired,
+			RepairedNumeric: infos[i].RepairedNumeric,
+			RepairFailed:    infos[i].RepairFailed,
+			ComputedAt:      time.Now(),
+			ComputeTime:     share,
+			top:             s.top,
+			opts:            s.cfg.SolverOpts,
+			lifetime:        s.baseCtx,
+			byAlgo:          map[string]*algoCell{},
 		}
 		s.publish(snap)
 		newest = snap
@@ -936,6 +1004,8 @@ func (s *Server) logEpoch(snap *Snapshot) {
 		"t", snap.T,
 		"warm", snap.Warm,
 		"repaired", snap.Repaired,
+		"repaired_numeric", snap.RepairedNumeric,
+		"repair_failed", snap.RepairFailed,
 		"shards", len(snap.Shards),
 		"compute_ms", float64(snap.ComputeTime)/float64(time.Millisecond))
 }
@@ -947,13 +1017,15 @@ const epochHistoryCap = 64
 // publishMu.
 func (s *Server) appendHistoryLocked(snap *Snapshot) {
 	sum := EpochSummary{
-		Epoch:       snap.Epoch,
-		SeqHigh:     snap.SeqHigh,
-		T:           snap.T,
-		Warm:        snap.Warm,
-		Repaired:    snap.Repaired,
-		ComputedAt:  snap.ComputedAt,
-		ComputeTime: snap.ComputeTime,
+		Epoch:           snap.Epoch,
+		SeqHigh:         snap.SeqHigh,
+		T:               snap.T,
+		Warm:            snap.Warm,
+		Repaired:        snap.Repaired,
+		RepairedNumeric: snap.RepairedNumeric,
+		RepairFailed:    snap.RepairFailed,
+		ComputedAt:      snap.ComputedAt,
+		ComputeTime:     snap.ComputeTime,
 	}
 	if snap.Err != nil {
 		sum.Err = snap.Err.Error()
@@ -1033,11 +1105,12 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	for sid, st := range s.shardStates {
 		sol := solves[sid]
 		if sol.SeqHigh >= st.seqHigh {
-			st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = sol.Res, sol.SeqHigh, sol.T, sol.Info.Warm, sol.Info.Repaired, nil
+			st.res, st.seqHigh, st.t, st.err = sol.Res, sol.SeqHigh, sol.T, nil
+			st.warm, st.repaired = sol.Info.Warm, sol.Info.Repaired
+			st.repairedNumeric, st.repairFailed = sol.Info.RepairedNumeric, sol.Info.RepairFailed
 			st.epoch++
 			st.computeTime = durs[sid]
-			observeSolveMetrics(sol.Info.Warm, sol.Info.Repaired,
-				sol.Info.BuildTime, sol.Info.RepairTime, sol.Info.SolveTime)
+			s.observeSolve(sol.Info)
 			s.shardLag[sid].Set(0) // solved at the clone's own sequence
 		}
 		blocks[sid] = st.res
@@ -1124,12 +1197,14 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 		s.publishMu.Unlock()
 		return // stale: a newer block for this shard was already published
 	}
-	st.res, st.seqHigh, st.t, st.warm, st.repaired, st.err = sol.Res, sol.SeqHigh, sol.T, sol.Info.Warm, sol.Info.Repaired, nil
+	st.res, st.seqHigh, st.t, st.err = sol.Res, sol.SeqHigh, sol.T, nil
+	st.warm, st.repaired = sol.Info.Warm, sol.Info.Repaired
+	st.repairedNumeric, st.repairFailed = sol.Info.RepairedNumeric, sol.Info.RepairFailed
 	st.epoch++
 	st.computeTime = time.Since(start)
 	shardEpoch, computeTime := st.epoch, st.computeTime
 	s.publishMu.Unlock()
-	observeSolveMetrics(sol.Info.Warm, sol.Info.Repaired, sol.Info.BuildTime, sol.Info.RepairTime, sol.Info.SolveTime)
+	s.observeSolve(sol.Info)
 	live := s.shardedWin.Seq()
 	if live >= sol.SeqHigh {
 		s.shardLag[sid].Set(int64(live - sol.SeqHigh))
@@ -1142,6 +1217,8 @@ func (s *Server) solveShard(ctx context.Context, sid int) {
 		"seq_high", sol.SeqHigh,
 		"warm", sol.Info.Warm,
 		"repaired", sol.Info.Repaired,
+		"repaired_numeric", sol.Info.RepairedNumeric,
+		"repair_failed", sol.Info.RepairFailed,
 		"compute_ms", float64(computeTime)/float64(time.Millisecond))
 	s.publishMerged()
 }
@@ -1152,15 +1229,17 @@ func (s *Server) shardInfoLocked(sid int) ShardInfo {
 	st := s.shardStates[sid]
 	paths, links := s.backend.ShardSize(sid)
 	return ShardInfo{
-		Shard:       sid,
-		Epoch:       st.epoch,
-		SeqHigh:     st.seqHigh,
-		T:           st.t,
-		Warm:        st.warm,
-		Repaired:    st.repaired,
-		ComputeTime: st.computeTime,
-		Paths:       paths,
-		Links:       links,
+		Shard:           sid,
+		Epoch:           st.epoch,
+		SeqHigh:         st.seqHigh,
+		T:               st.t,
+		Warm:            st.warm,
+		Repaired:        st.repaired,
+		RepairedNumeric: st.repairedNumeric,
+		RepairFailed:    st.repairFailed,
+		ComputeTime:     st.computeTime,
+		Paths:           paths,
+		Links:           links,
 	}
 }
 
