@@ -14,6 +14,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strconv"
 	"testing"
 
@@ -728,6 +729,37 @@ func BenchmarkFrontierMoveRepair(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkColdPlanBuild measures the full structural phase — subset
+// enumeration, seed rows, augmentation, identifiability reduction and
+// QR — from scratch at the Small-sparse scale: the serial build against
+// the gang-parallel build at GOMAXPROCS workers. The outputs are
+// bit-identical (the metamorphic concurrency suite in internal/core
+// pins the full plan across worker counts); only the wall clock and the
+// per-build allocation count differ.
+func BenchmarkColdPlanBuild(b *testing.B) {
+	top, cfg, base, _ := planRepairFixture(b)
+	ctx := context.Background()
+	for _, bc := range []struct {
+		name string
+		conc int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.GOMAXPROCS(0)},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			c := cfg
+			c.Concurrency = bc.conc
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := core.ComputePlanned(ctx, top, base, c, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkEpochSolveBatch measures draining a lag burst of K window

@@ -119,7 +119,7 @@ func main() {
 		maxSubset   = flag.Int("maxsubset", 2, "serve: Correlation-complete max subset size")
 		tol         = flag.Float64("tol", 0.02, "serve: always-good congested-fraction tolerance")
 		numRepair   = flag.Bool("numerical-plan-repair", false, "serve: enable tier-2 numerical plan repair across good-link frontier moves (numerically, not bitwise, equivalent to a rebuild)")
-		epochEvery  = flag.Int("epoch-every", 0, "serve: also publish one epoch per N ingested intervals (0 = time-based only; unsharded algos)")
+		epochEvery  = flag.Int("epoch-every", 0, "serve: also publish one epoch per N ingested intervals (0 = time-based only)")
 
 		walDir      = flag.String("wal-dir", "", "serve: write-ahead log directory for durable ingest (empty = no durability)")
 		walFsync    = flag.String("wal-fsync", "interval", "serve: WAL fsync policy: batch, interval, or off")

@@ -56,10 +56,20 @@ func (s *Set) grow(i int) {
 	}
 }
 
-// Add inserts i into the set, growing the universe if needed.
+// Add inserts i into the set, growing the universe if needed. An Add
+// within the universe the set was created with never reallocates — the
+// fast path below avoids even the grow call, since Add sits on the
+// solver's subset-construction hot loop.
 func (s *Set) Add(i int) {
 	if i < 0 {
 		panic("bitset: negative index")
+	}
+	if w := i / wordBits; w < len(s.words) {
+		s.words[w] |= 1 << uint(i%wordBits)
+		if i+1 > s.n {
+			s.n = i + 1
+		}
+		return
 	}
 	s.grow(i)
 	s.words[i/wordBits] |= 1 << uint(i%wordBits)
@@ -251,6 +261,20 @@ func (s *Set) Indices() []int {
 	return out
 }
 
+// AppendIndices appends the elements of s in increasing order to dst
+// and returns the extended slice — the allocation-free companion of
+// Indices for callers with a reusable buffer.
+func (s *Set) AppendIndices(dst []int) []int {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			dst = append(dst, wi*wordBits+b)
+			w &= w - 1
+		}
+	}
+	return dst
+}
+
 // ForEach calls fn for each element in increasing order. If fn returns
 // false, iteration stops.
 func (s *Set) ForEach(fn func(i int) bool) {
@@ -280,6 +304,21 @@ func (s *Set) Key() string {
 		binary.LittleEndian.PutUint64(buf[i*8:], s.words[i])
 	}
 	return string(buf)
+}
+
+// AppendKey appends the Key encoding to dst and returns the extended
+// slice. Combined with a map lookup through a string conversion
+// (m[string(buf)]), it makes key-based lookups allocation-free on the
+// solver's candidate-evaluation hot path.
+func (s *Set) AppendKey(dst []byte) []byte {
+	end := len(s.words)
+	for end > 0 && s.words[end-1] == 0 {
+		end--
+	}
+	for i := 0; i < end; i++ {
+		dst = binary.LittleEndian.AppendUint64(dst, s.words[i])
+	}
+	return dst
 }
 
 // String renders the set as "{a, b, c}".

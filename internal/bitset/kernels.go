@@ -1,0 +1,242 @@
+// Fused word-algebra kernels. The solvers and the windowed stores
+// repeatedly need "combine two sets and count" or "combine into an
+// existing buffer" — composing the primitive ops (Union then Count,
+// Clone then IntersectWith) allocates an intermediate set per call on
+// hot paths. The kernels below fuse the word loop, allocate nothing,
+// and unroll four words per iteration; each is property-tested against
+// its composed form.
+package bitset
+
+import "math/bits"
+
+// UnionCount returns |s ∪ t| without materializing the union.
+func (s *Set) UnionCount(t *Set) int {
+	a, b := s.words, t.words
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	n := len(b)
+	c := 0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c += bits.OnesCount64(a[i] | b[i])
+		c += bits.OnesCount64(a[i+1] | b[i+1])
+		c += bits.OnesCount64(a[i+2] | b[i+2])
+		c += bits.OnesCount64(a[i+3] | b[i+3])
+	}
+	for ; i < n; i++ {
+		c += bits.OnesCount64(a[i] | b[i])
+	}
+	return c + PopCountWords(a[n:])
+}
+
+// IntersectCount returns |s ∩ t| without materializing the
+// intersection.
+func (s *Set) IntersectCount(t *Set) int {
+	a, b := s.words, t.words
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	c := 0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c += bits.OnesCount64(a[i] & b[i])
+		c += bits.OnesCount64(a[i+1] & b[i+1])
+		c += bits.OnesCount64(a[i+2] & b[i+2])
+		c += bits.OnesCount64(a[i+3] & b[i+3])
+	}
+	for ; i < n; i++ {
+		c += bits.OnesCount64(a[i] & b[i])
+	}
+	return c
+}
+
+// DifferenceCount returns |s \ t| without materializing the difference.
+func (s *Set) DifferenceCount(t *Set) int {
+	a, b := s.words, t.words
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	c := 0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c += bits.OnesCount64(a[i] &^ b[i])
+		c += bits.OnesCount64(a[i+1] &^ b[i+1])
+		c += bits.OnesCount64(a[i+2] &^ b[i+2])
+		c += bits.OnesCount64(a[i+3] &^ b[i+3])
+	}
+	for ; i < n; i++ {
+		c += bits.OnesCount64(a[i] &^ b[i])
+	}
+	return c + PopCountWords(a[n:])
+}
+
+// SymmetricDifferenceCount returns |s △ t| without materializing the
+// symmetric difference.
+func (s *Set) SymmetricDifferenceCount(t *Set) int {
+	a, b := s.words, t.words
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	n := len(b)
+	c := 0
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		c += bits.OnesCount64(a[i] ^ b[i])
+		c += bits.OnesCount64(a[i+1] ^ b[i+1])
+		c += bits.OnesCount64(a[i+2] ^ b[i+2])
+		c += bits.OnesCount64(a[i+3] ^ b[i+3])
+	}
+	for ; i < n; i++ {
+		c += bits.OnesCount64(a[i] ^ b[i])
+	}
+	return c + PopCountWords(a[n:])
+}
+
+// reuse resizes s to w words and universe n, reusing the backing array
+// when it is large enough. The caller must overwrite every word.
+func (s *Set) reuse(w, n int) {
+	if cap(s.words) < w {
+		s.words = make([]uint64, w)
+	} else {
+		s.words = s.words[:w]
+	}
+	s.n = n
+}
+
+// AndNotInto computes dst = s \ t, reusing dst's storage (growing it
+// only when too small). dst may alias s or t. Returns dst.
+func (s *Set) AndNotInto(t, dst *Set) *Set {
+	a, b := s.words, t.words
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	dst.reuse(len(a), s.n)
+	d := dst.words
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d[i] = a[i] &^ b[i]
+		d[i+1] = a[i+1] &^ b[i+1]
+		d[i+2] = a[i+2] &^ b[i+2]
+		d[i+3] = a[i+3] &^ b[i+3]
+	}
+	for ; i < n; i++ {
+		d[i] = a[i] &^ b[i]
+	}
+	copy(d[n:], a[n:])
+	return dst
+}
+
+// IntersectInto computes dst = s ∩ t, reusing dst's storage (growing
+// it only when too small). dst may alias s or t. Returns dst.
+func (s *Set) IntersectInto(t, dst *Set) *Set {
+	a, b := s.words, t.words
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	un := s.n
+	if t.n < un {
+		un = t.n
+	}
+	dst.reuse(n, un)
+	d := dst.words
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d[i] = a[i] & b[i]
+		d[i+1] = a[i+1] & b[i+1]
+		d[i+2] = a[i+2] & b[i+2]
+		d[i+3] = a[i+3] & b[i+3]
+	}
+	for ; i < n; i++ {
+		d[i] = a[i] & b[i]
+	}
+	return dst
+}
+
+// UnionInto computes dst = s ∪ t, reusing dst's storage (growing it
+// only when too small). dst may alias s or t. Returns dst.
+func (s *Set) UnionInto(t, dst *Set) *Set {
+	a, b := s.words, t.words
+	if len(b) > len(a) {
+		a, b = b, a
+	}
+	n := len(b)
+	un := s.n
+	if t.n > un {
+		un = t.n
+	}
+	dst.reuse(len(a), un)
+	d := dst.words
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		d[i] = a[i] | b[i]
+		d[i+1] = a[i+1] | b[i+1]
+		d[i+2] = a[i+2] | b[i+2]
+		d[i+3] = a[i+3] | b[i+3]
+	}
+	for ; i < n; i++ {
+		d[i] = a[i] | b[i]
+	}
+	copy(d[n:], a[n:])
+	return dst
+}
+
+// PopCountWords returns the total population count of a raw word slice.
+func PopCountWords(ws []uint64) int {
+	c := 0
+	i := 0
+	for ; i+4 <= len(ws); i += 4 {
+		c += bits.OnesCount64(ws[i])
+		c += bits.OnesCount64(ws[i+1])
+		c += bits.OnesCount64(ws[i+2])
+		c += bits.OnesCount64(ws[i+3])
+	}
+	for ; i < len(ws); i++ {
+		c += bits.OnesCount64(ws[i])
+	}
+	return c
+}
+
+// OrWordsInto ORs src into dst word-wise: dst[i] |= src[i]. dst must be
+// at least as long as src; extra dst words are left untouched. This is
+// the mask-merge kernel of the windowed observation stores.
+func OrWordsInto(dst, src []uint64) {
+	_ = dst[:len(src)] // bounds hint: dst must cover src
+	i := 0
+	for ; i+4 <= len(src); i += 4 {
+		dst[i] |= src[i]
+		dst[i+1] |= src[i+1]
+		dst[i+2] |= src[i+2]
+		dst[i+3] |= src[i+3]
+	}
+	for ; i < len(src); i++ {
+		dst[i] |= src[i]
+	}
+}
+
+// AndWordsInto ANDs src into dst word-wise, treating src words beyond
+// its length as zero: dst[i] &= src[i] for i < len(src), dst[i] = 0
+// beyond.
+func AndWordsInto(dst, src []uint64) {
+	n := len(src)
+	if len(dst) < n {
+		n = len(dst)
+	}
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		dst[i] &= src[i]
+		dst[i+1] &= src[i+1]
+		dst[i+2] &= src[i+2]
+		dst[i+3] &= src[i+3]
+	}
+	for ; i < n; i++ {
+		dst[i] &= src[i]
+	}
+	for ; i < len(dst); i++ {
+		dst[i] = 0
+	}
+}

@@ -1,0 +1,185 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// randSet draws a set over a universe of up to maxN elements, with a
+// random density, deliberately varying word counts so the kernels see
+// mismatched lengths.
+func randSet(rng *rand.Rand, maxN int) *Set {
+	n := 1 + rng.Intn(maxN)
+	s := New(n)
+	density := rng.Float64()
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			s.Add(i)
+		}
+	}
+	return s
+}
+
+func TestFusedCountsMatchComposedForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 2000; trial++ {
+		s := randSet(rng, 300)
+		u := randSet(rng, 300)
+		if got, want := s.UnionCount(u), s.Union(u).Count(); got != want {
+			t.Fatalf("trial %d: UnionCount = %d, Union().Count() = %d\ns=%v\nt=%v", trial, got, want, s, u)
+		}
+		if got, want := s.IntersectCount(u), s.Intersect(u).Count(); got != want {
+			t.Fatalf("trial %d: IntersectCount = %d, Intersect().Count() = %d", trial, got, want)
+		}
+		if got, want := s.DifferenceCount(u), s.Difference(u).Count(); got != want {
+			t.Fatalf("trial %d: DifferenceCount = %d, Difference().Count() = %d", trial, got, want)
+		}
+		if got, want := s.SymmetricDifferenceCount(u), s.SymmetricDifference(u).Count(); got != want {
+			t.Fatalf("trial %d: SymmetricDifferenceCount = %d, SymmetricDifference().Count() = %d", trial, got, want)
+		}
+	}
+}
+
+func TestIntoKernelsMatchComposedForms(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	dst := New(0) // reused across trials to exercise storage reuse
+	for trial := 0; trial < 2000; trial++ {
+		s := randSet(rng, 300)
+		u := randSet(rng, 300)
+		if got, want := s.AndNotInto(u, dst), s.Difference(u); !got.Equal(want) {
+			t.Fatalf("trial %d: AndNotInto = %v, Difference = %v", trial, got, want)
+		}
+		if got, want := s.UnionInto(u, dst), s.Union(u); !got.Equal(want) {
+			t.Fatalf("trial %d: UnionInto = %v, Union = %v", trial, got, want)
+		}
+		if got, want := s.IntersectInto(u, dst), s.Intersect(u); !got.Equal(want) {
+			t.Fatalf("trial %d: IntersectInto = %v, Intersect = %v", trial, got, want)
+		}
+	}
+}
+
+func TestIntoKernelsAliasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 500; trial++ {
+		s := randSet(rng, 200)
+		u := randSet(rng, 200)
+		want := s.Difference(u)
+		sc := s.Clone()
+		if got := sc.AndNotInto(u, sc); !got.Equal(want) {
+			t.Fatalf("trial %d: AndNotInto dst aliasing s: got %v, want %v", trial, got, want)
+		}
+		wantU := s.Union(u)
+		sc = s.Clone()
+		if got := sc.UnionInto(u, sc); !got.Equal(wantU) {
+			t.Fatalf("trial %d: UnionInto dst aliasing s: got %v, want %v", trial, got, wantU)
+		}
+		wantI := s.Intersect(u)
+		sc = s.Clone()
+		if got := sc.IntersectInto(u, sc); !got.Equal(wantI) {
+			t.Fatalf("trial %d: IntersectInto dst aliasing s: got %v, want %v", trial, got, wantI)
+		}
+	}
+}
+
+func TestWordKernels(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 1000; trial++ {
+		nd := 1 + rng.Intn(9)
+		ns := 1 + rng.Intn(nd) // src never longer than dst for OR
+		dst := make([]uint64, nd)
+		src := make([]uint64, ns)
+		for i := range dst {
+			dst[i] = rng.Uint64()
+		}
+		for i := range src {
+			src[i] = rng.Uint64()
+		}
+		wantOr := make([]uint64, nd)
+		copy(wantOr, dst)
+		for i := range src {
+			wantOr[i] |= src[i]
+		}
+		gotOr := make([]uint64, nd)
+		copy(gotOr, dst)
+		OrWordsInto(gotOr, src)
+		for i := range wantOr {
+			if gotOr[i] != wantOr[i] {
+				t.Fatalf("trial %d: OrWordsInto word %d = %x, want %x", trial, i, gotOr[i], wantOr[i])
+			}
+		}
+		wantAnd := make([]uint64, nd)
+		for i := range wantAnd {
+			if i < ns {
+				wantAnd[i] = dst[i] & src[i]
+			}
+		}
+		gotAnd := make([]uint64, nd)
+		copy(gotAnd, dst)
+		AndWordsInto(gotAnd, src)
+		for i := range wantAnd {
+			if gotAnd[i] != wantAnd[i] {
+				t.Fatalf("trial %d: AndWordsInto word %d = %x, want %x", trial, i, gotAnd[i], wantAnd[i])
+			}
+		}
+		wantPop := 0
+		for _, w := range dst {
+			wantPop += popcountRef(w)
+		}
+		if got := PopCountWords(dst); got != wantPop {
+			t.Fatalf("trial %d: PopCountWords = %d, want %d", trial, got, wantPop)
+		}
+	}
+}
+
+func popcountRef(w uint64) int {
+	c := 0
+	for ; w != 0; w &= w - 1 {
+		c++
+	}
+	return c
+}
+
+func TestAppendKeyMatchesKey(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var buf []byte
+	for trial := 0; trial < 1000; trial++ {
+		s := randSet(rng, 300)
+		buf = s.AppendKey(buf[:0])
+		if string(buf) != s.Key() {
+			t.Fatalf("trial %d: AppendKey diverges from Key for %v", trial, s)
+		}
+	}
+}
+
+// TestAddInRangeDoesNotAllocate pins the Add fast path: inserting
+// within the constructed universe must never reallocate the word slice.
+func TestAddInRangeDoesNotAllocate(t *testing.T) {
+	s := New(257)
+	allocs := testing.AllocsPerRun(100, func() {
+		for i := 0; i < 257; i++ {
+			s.Add(i)
+		}
+		s.Clear()
+	})
+	if allocs != 0 {
+		t.Fatalf("in-range Add allocated %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestFusedCountsDoNotAllocate(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	s := randSet(rng, 500)
+	u := randSet(rng, 500)
+	dst := New(500)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = s.UnionCount(u)
+		_ = s.IntersectCount(u)
+		_ = s.DifferenceCount(u)
+		_ = s.SymmetricDifferenceCount(u)
+		s.AndNotInto(u, dst)
+		s.UnionInto(u, dst)
+	})
+	if allocs != 0 {
+		t.Fatalf("fused kernels allocated %.1f times per run, want 0", allocs)
+	}
+}

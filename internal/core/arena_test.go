@@ -1,0 +1,69 @@
+package core
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+// comboIter must stream candidates in exactly the order of
+// enumerateSubsetsOfPaths — the augmentation loop's selection depends
+// on it.
+func TestComboIterMatchesEnumerateSubsetsOfPaths(t *testing.T) {
+	for _, paths := range [][]int{
+		{},
+		{7},
+		{3, 9},
+		{1, 4, 6},
+		{2, 3, 5, 8, 13},
+		{0, 1, 2, 3, 4, 5},
+	} {
+		var want [][]int
+		enumerateSubsetsOfPaths(paths, func(chosen []int) bool {
+			want = append(want, append([]int(nil), chosen...))
+			return true
+		})
+		var it comboIter
+		it.reset(paths, nil)
+		var got [][]int
+		for it.next() {
+			got = append(got, it.appendChosen(nil))
+		}
+		if len(got) != len(want) {
+			t.Fatalf("paths %v: %d subsets, want %d", paths, len(got), len(want))
+		}
+		for i := range want {
+			if fmt.Sprint(got[i]) != fmt.Sprint(want[i]) {
+				t.Fatalf("paths %v: subset %d = %v, want %v", paths, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// The gang must run every index exactly once per dispatch, with worker
+// ids inside [0, n), across repeated rounds on the same workers.
+func TestGangRunsEveryIndexOnce(t *testing.T) {
+	g := newGang(4)
+	defer g.stop()
+	for round := 0; round < 50; round++ {
+		hits := make([]atomic.Int32, 37)
+		g.run(0, len(hits), func(w, i int) {
+			if w < 0 || w >= 4 {
+				panic("worker id out of range")
+			}
+			hits[i].Add(1)
+		})
+		for i := range hits {
+			if n := hits[i].Load(); n != 1 {
+				t.Fatalf("round %d: index %d ran %d times", round, i, n)
+			}
+		}
+	}
+	// Empty and single-index dispatches must also terminate.
+	g.run(5, 5, func(w, i int) { t.Fatal("empty range dispatched") })
+	ran := false
+	g.run(3, 4, func(w, i int) { ran = i == 3 })
+	if !ran {
+		t.Fatal("single-index dispatch did not run")
+	}
+}

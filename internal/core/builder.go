@@ -12,6 +12,16 @@ import (
 )
 
 // builder carries the state of one Correlation-complete run.
+//
+// The structural phase is parallel-inside-one-shard: subset enumeration
+// and cover computation fan per correlation set, seed-set isolation and
+// seed-row decomposition fan per subset, and the augmentation loop
+// evaluates candidate path sets speculatively in chunks — all against
+// round-start state, with a serial merge/commit step preserving the
+// exact registration and selection order of the serial run. The result
+// is bit-identical at every Config.Concurrency; the metamorphic suite
+// in core_test.go pins the full plan (subset universe, path sets, rows,
+// QR) across worker counts.
 type builder struct {
 	top *topology.Topology
 	rec observe.Store
@@ -42,7 +52,17 @@ type builder struct {
 	rows     [][]int // per path set: sorted subset indices appearing in its equation
 
 	nullspace *linalg.Matrix
-	rowBuf    []float64 // reusable dense-row scratch for the augmentation loop
+
+	// Parallel build machinery: the resolved worker count, the pooled
+	// scratch arena (per-worker slabs plus owner buffers) and the
+	// lazily started worker gang. close() releases both; only buildPlan
+	// calls it — builders driven phase-by-phase in tests simply don't
+	// recycle.
+	workers int
+	arena   *buildArena
+	gang    *gang
+	stage   context.Context
+	closed  bool
 }
 
 type subsetEntry struct {
@@ -54,12 +74,15 @@ type subsetEntry struct {
 
 func newBuilder(top *topology.Topology, rec observe.Store, cfg Config) *builder {
 	b := &builder{
-		top:      top,
-		rec:      rec,
-		cfg:      cfg,
-		index:    map[string]int{},
-		usedKeys: map[string]bool{},
+		top:     top,
+		rec:     rec,
+		cfg:     cfg,
+		index:   map[string]int{},
+		workers: parallel.Resolve(cfg.Concurrency),
 	}
+	b.arena = arenaPool.Get().(*buildArena)
+	b.arena.prepare(top.NumLinks(), top.NumPaths(), len(top.CorrSets), b.workers)
+	b.usedKeys = b.arena.usedKeys
 	b.alwaysGoodPaths = rec.AlwaysGoodPaths(cfg.AlwaysGoodTol)
 	if cfg.RestrictCorrSets == nil {
 		b.corrSets = make([]int, len(top.CorrSets))
@@ -90,18 +113,57 @@ func newBuilder(top *topology.Topology, rec observe.Store, cfg Config) *builder 
 	return b
 }
 
-// register adds a correlation subset to Ê if new, returning its index.
-// After freezing, unseen subsets are rejected.
-func (b *builder) register(links *bitset.Set, corrSet int) (int, bool) {
-	key := links.Key()
-	if i, ok := b.index[key]; ok {
+// close stops the worker gang and returns the scratch arena to the
+// pool. Idempotent; nothing the built plan retains lives in either.
+func (b *builder) close() {
+	if b.closed {
+		return
+	}
+	b.closed = true
+	if b.gang != nil {
+		b.gang.stop()
+		b.gang = nil
+	}
+	b.usedKeys = nil
+	b.arena.release()
+	b.arena = nil
+}
+
+// dispatch fans fn(w, i) over [lo, hi) with w identifying the executing
+// worker's scratch slab. Serial builders run a plain loop as worker 0;
+// parallel builders use the gang (started on first use), whose channel
+// handshake makes everything the owner wrote before dispatch visible to
+// fn and everything fn wrote visible after.
+func (b *builder) dispatch(lo, hi int, fn func(w, i int)) {
+	if hi <= lo {
+		return
+	}
+	if b.workers <= 1 {
+		for i := lo; i < hi; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	if b.gang == nil {
+		b.gang = newGang(b.workers)
+		b.gang.labels = b.stage
+	}
+	b.gang.run(lo, hi, fn)
+}
+
+// lookupOrRegister resolves a correlation subset to its index in Ê,
+// registering it if new (and not frozen). The lookup goes through the
+// worker's key buffer so the common post-freeze case allocates nothing.
+func (b *builder) lookupOrRegister(sc *rowScratch, links *bitset.Set, corrSet int) (int, bool) {
+	sc.keyBuf = links.AppendKey(sc.keyBuf[:0])
+	if i, ok := b.index[string(sc.keyBuf)]; ok {
 		return i, true
 	}
 	if b.frozen {
 		return -1, false
 	}
 	i := len(b.subsets)
-	b.index[key] = i
+	b.index[string(sc.keyBuf)] = i
 	b.subsets = append(b.subsets, subsetEntry{
 		links:   links.Clone(),
 		corrSet: corrSet,
@@ -110,90 +172,149 @@ func (b *builder) register(links *bitset.Set, corrSet int) (int, bool) {
 	return i, true
 }
 
-// rowFor decomposes the equation of path set P into the indices of the
-// correlation subsets appearing in it: for each correlation set C, the
-// potentially congested part of Links(P) ∩ C. ok is false when the
-// system is frozen and the equation references an unregistered subset.
-func (b *builder) rowFor(pathSet *bitset.Set) (cols []int, ok bool) {
-	links := b.top.LinksOf(pathSet)
-	// Register in first-encounter order (ascending link index), not map
-	// iteration order: the index a fresh subset receives feeds the
-	// augmentation loop's tie-breaking, so it must be deterministic.
-	bySet := map[int]*bitset.Set{}
-	var setOrder []int
+// decompose splits the equation of a path set with link coverage
+// `links` into the indices of the correlation subsets appearing in it:
+// for each correlation set C, the potentially congested part of
+// Links(P) ∩ C. The per-set groups are collected in first-encounter
+// order (ascending link index), not map iteration order: the index a
+// fresh subset receives feeds the augmentation loop's tie-breaking, so
+// it must be deterministic. ok is false when the system is frozen and
+// the equation references an unregistered subset. The returned slice
+// aliases sc.cols.
+func (b *builder) decompose(sc *rowScratch, links *bitset.Set) (cols []int, ok bool) {
+	sc.stamp++
+	sc.setOrder = sc.setOrder[:0]
+	sc.cols = sc.cols[:0]
 	links.ForEach(func(li int) bool {
 		if !b.potLinks.Contains(li) {
 			return true // always-good link: factor 1, drops out
 		}
 		c := b.top.CorrSetOf(li)
-		if bySet[c] == nil {
-			bySet[c] = bitset.New(b.top.NumLinks())
-			setOrder = append(setOrder, c)
+		if sc.mark[c] != sc.stamp {
+			sc.mark[c] = sc.stamp
+			if sc.perSet[c] == nil {
+				sc.perSet[c] = bitset.New(b.top.NumLinks())
+			} else {
+				sc.perSet[c].Clear()
+			}
+			sc.setOrder = append(sc.setOrder, c)
 		}
-		bySet[c].Add(li)
+		sc.perSet[c].Add(li)
 		return true
 	})
-	for _, c := range setOrder {
-		i, regOK := b.register(bySet[c], c)
+	for _, c := range sc.setOrder {
+		i, regOK := b.lookupOrRegister(sc, sc.perSet[c], c)
 		if !regOK {
 			return nil, false
 		}
-		cols = append(cols, i)
+		sc.cols = append(sc.cols, i)
 	}
-	sort.Ints(cols)
-	return cols, true
+	sort.Ints(sc.cols)
+	return sc.cols, true
 }
 
-// parallelFor runs fn(i) for i in [start, end) on the configured number
-// of workers (cfg.Concurrency). fn must only write state owned by
-// index i so that the parallel path is bit-identical to the serial one.
-func (b *builder) parallelFor(start, end int, fn func(i int)) {
-	parallel.For(b.cfg.Concurrency, start, end, fn)
+// rowForSet decomposes the equation of path set P (as a bitset).
+func (b *builder) rowForSet(sc *rowScratch, pathSet *bitset.Set) ([]int, bool) {
+	sc.links.Clear()
+	pathSet.ForEach(func(pi int) bool {
+		sc.links.UnionWith(b.top.PathLinks(pi))
+		return true
+	})
+	return b.decompose(sc, sc.links)
+}
+
+// rowForPaths decomposes the equation of a path set given as explicit
+// path IDs, skipping the path-bitset detour of rowForSet.
+func (b *builder) rowForPaths(sc *rowScratch, chosen []int) ([]int, bool) {
+	sc.links.Clear()
+	for _, p := range chosen {
+		sc.links.UnionWith(b.top.PathLinks(p))
+	}
+	return b.decompose(sc, sc.links)
+}
+
+// rowFor is the single-caller convenience over worker 0's scratch,
+// kept for the serial registration sweeps.
+func (b *builder) rowFor(pathSet *bitset.Set) (cols []int, ok bool) {
+	return b.rowForSet(&b.arena.workers[0], pathSet)
 }
 
 // enumerate builds the unknown universe Ê: all potentially congested
 // correlation subsets of size ≤ MaxSubsetSize over covered links
 // (Algorithm 1's input list), enriched with every subset appearing in a
 // seed or single-path equation so those rows stay expressible.
+//
+// The per-correlation-set enumeration — combo generation plus each
+// subset's Paths(E) cover, the dominant topology-query cost — fans
+// across the gang into per-set output lists; the serial merge then
+// registers them in correlation-set order, which is exactly the
+// first-encounter order of the serial loop (correlation sets partition
+// the links, so no subset can appear under two sets).
 func (b *builder) enumerate(ctx context.Context) error {
-	covered := bitset.New(b.top.NumLinks())
+	setStage(b, "enumerate")
+	covered := b.arena.covered
+	covered.Clear()
 	for e := 0; e < b.top.NumLinks(); e++ {
 		if !b.top.LinkPaths(e).IsEmpty() {
 			covered.Add(e)
 		}
 	}
-	for _, ci := range b.corrSets {
-		set := b.top.CorrSets[ci]
-		if err := ctx.Err(); err != nil {
-			return err
+	entries := b.arena.entries
+	b.dispatch(0, len(b.corrSets), func(w, k int) {
+		out := entries[k][:0]
+		defer func() { entries[k] = out }()
+		if ctx.Err() != nil {
+			return
 		}
-		var eligible []int
-		for _, li := range set {
+		sc := &b.arena.workers[w]
+		ci := b.corrSets[k]
+		sc.eligible = sc.eligible[:0]
+		for _, li := range b.top.CorrSetLinks(ci) {
 			if b.potLinks.Contains(li) && covered.Contains(li) {
-				eligible = append(eligible, li)
+				sc.eligible = append(sc.eligible, li)
 			}
 		}
-		if len(eligible) == 0 {
-			continue
+		if len(sc.eligible) == 0 {
+			return
 		}
 		limit := b.cfg.MaxSubsetSize
-		if limit <= 0 || limit > len(eligible) {
-			limit = len(eligible)
+		if limit <= 0 || limit > len(sc.eligible) {
+			limit = len(sc.eligible)
 		}
 		for size := 1; size <= limit; size++ {
-			enumCombos(len(eligible), size, func(idx []int) {
+			sc.comboIdx = sc.comboIdx[:0]
+			for j := 0; j < size; j++ {
+				sc.comboIdx = append(sc.comboIdx, j)
+			}
+			for {
 				links := bitset.New(b.top.NumLinks())
-				for _, k := range idx {
-					links.Add(eligible[k])
+				for _, x := range sc.comboIdx {
+					links.Add(sc.eligible[x])
 				}
-				b.register(links, ci)
-			})
+				out = append(out, subsetEntry{links: links, corrSet: ci, cover: b.top.PathsOf(links)})
+				if !nextCombo(sc.comboIdx, len(sc.eligible)) {
+					break
+				}
+			}
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	for k := range b.corrSets {
+		for _, e := range entries[k] {
+			key := e.links.Key()
+			if _, dup := b.index[key]; dup {
+				continue // unreachable: correlation sets partition the links
+			}
+			b.index[key] = len(b.subsets)
+			b.subsets = append(b.subsets, e)
 		}
 	}
 	// Register the subsets of the per-path equations so the
 	// augmentation loop can use single-path rows (cheap and low-noise).
 	if !b.cfg.DisableSinglePathRegistration {
-		one := bitset.New(b.top.NumPaths())
+		one := b.arena.one
 		for p := 0; p < b.top.NumPaths(); p++ {
 			if b.restrictPaths != nil && !b.restrictPaths.Contains(p) {
 				continue // another shard's path
@@ -214,16 +335,16 @@ func (b *builder) enumerate(ctx context.Context) error {
 	// equation).
 	// The per-subset seed-set computation only reads the immutable
 	// topology and potLinks and writes its own slot, so each round fans
-	// out across the configured workers (cfg.Concurrency); the serial
-	// rowFor sweep that follows keeps registration order — and thus the
-	// whole run — deterministic.
+	// out across the gang; the serial rowFor sweep that follows keeps
+	// registration order — and thus the whole run — deterministic.
+	setStage(b, "seeds")
 	for round, done := 0, 0; done < len(b.subsets) && round < 8; round++ {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		start := done
 		done = len(b.subsets)
-		b.parallelFor(start, done, b.computeSeedSet)
+		b.dispatch(start, done, b.computeSeedSet)
 		for i := start; i < done; i++ {
 			if !b.subsets[i].seedSet.IsEmpty() {
 				b.rowFor(b.subsets[i].seedSet) // may register new subsets
@@ -231,9 +352,9 @@ func (b *builder) enumerate(ctx context.Context) error {
 		}
 	}
 	// Any subsets registered in the final round still need a seed set.
-	b.parallelFor(0, len(b.subsets), func(i int) {
+	b.dispatch(0, len(b.subsets), func(w, i int) {
 		if b.subsets[i].seedSet == nil {
-			b.computeSeedSet(i)
+			b.computeSeedSet(w, i)
 		}
 	})
 	b.frozen = true
@@ -242,19 +363,27 @@ func (b *builder) enumerate(ctx context.Context) error {
 
 // computeSeedSet fills subset i's isolation path set
 // Paths(E) \ Paths(Ē), where Ē is the potentially congested complement
-// within E's correlation set.
-func (b *builder) computeSeedSet(i int) {
+// within E's correlation set. Scratch-backed: only the retained seedSet
+// itself is allocated.
+func (b *builder) computeSeedSet(w, i int) {
+	sc := &b.arena.workers[w]
 	s := &b.subsets[i]
-	comp := bitset.New(b.top.NumLinks())
+	sc.comp.Clear()
 	for _, li := range b.top.CorrSetLinks(s.corrSet) {
 		if b.potLinks.Contains(li) && !s.links.Contains(li) {
-			comp.Add(li)
+			sc.comp.Add(li)
 		}
 	}
-	s.seedSet = s.cover.Difference(b.top.PathsOf(comp))
+	sc.paths.Clear()
+	sc.comp.ForEach(func(li int) bool {
+		sc.paths.UnionWith(b.top.LinkPaths(li))
+		return true
+	})
+	s.seedSet = s.cover.Difference(sc.paths)
 }
 
-// addPathSet appends a selected path set and its row.
+// addPathSet appends a selected path set and its row. cols must be
+// owned by the caller (not scratch).
 func (b *builder) addPathSet(p *bitset.Set, cols []int) {
 	b.pathSets = append(b.pathSets, p.Clone())
 	b.usedKeys[p.Key()] = true
@@ -264,13 +393,14 @@ func (b *builder) addPathSet(p *bitset.Set, cols []int) {
 // denseRow expands a column-index row into a dense vector over Ê. The
 // returned slice aliases a scratch buffer owned by the builder — it is
 // valid only until the next denseRow call and must not be retained
-// (the augmentation loop only hands it to InRowSpace and
-// NullSpaceUpdateInPlace, neither of which keeps it).
+// (the augmentation loop only hands it to NullSpaceUpdateInPlace, which
+// doesn't keep it).
 func (b *builder) denseRow(cols []int) []float64 {
-	if cap(b.rowBuf) < len(b.subsets) {
-		b.rowBuf = make([]float64, len(b.subsets))
+	ar := b.arena
+	if cap(ar.rowBuf) < len(b.subsets) {
+		ar.rowBuf = make([]float64, len(b.subsets))
 	}
-	r := b.rowBuf[:len(b.subsets)]
+	r := ar.rowBuf[:len(b.subsets)]
 	for i := range r {
 		r[i] = 0
 	}
@@ -281,17 +411,46 @@ func (b *builder) denseRow(cols []int) []float64 {
 }
 
 // seed performs Algorithm 1 lines 1–7: one path set per subset, then
-// the initial null space.
+// the initial null space. The per-subset row decompositions are
+// precomputed across the gang — after the freeze they are pure reads —
+// and committed serially in subset order, identical to the serial loop.
 func (b *builder) seed(ctx context.Context) error {
+	setStage(b, "seeds")
+	ar := b.arena
+	if cap(ar.seedRefs) < len(b.subsets) {
+		ar.seedRefs = make([]colsRef, len(b.subsets))
+	}
+	refs := ar.seedRefs[:len(b.subsets)]
+	for w := range ar.workers {
+		ar.workers[w].colsSlab = ar.workers[w].colsSlab[:0]
+	}
+	b.dispatch(0, len(b.subsets), func(w, i int) {
+		refs[i] = colsRef{}
+		s := &b.subsets[i]
+		if s.seedSet.IsEmpty() {
+			return
+		}
+		sc := &ar.workers[w]
+		cols, ok := b.rowForSet(sc, s.seedSet)
+		if !ok {
+			return
+		}
+		lo := len(sc.colsSlab)
+		sc.colsSlab = append(sc.colsSlab, cols...)
+		refs[i] = colsRef{worker: w, lo: lo, hi: len(sc.colsSlab), ok: true}
+	})
+	sc0 := &ar.workers[0]
 	for i := range b.subsets {
 		s := &b.subsets[i]
-		if s.seedSet.IsEmpty() || b.usedKeys[s.seedSet.Key()] {
+		if s.seedSet.IsEmpty() {
 			continue
 		}
-		cols, ok := b.rowFor(s.seedSet)
-		if !ok {
+		sc0.keyBuf = s.seedSet.AppendKey(sc0.keyBuf[:0])
+		if b.usedKeys[string(sc0.keyBuf)] || !refs[i].ok {
 			continue
 		}
+		ws := &ar.workers[refs[i].worker]
+		cols := append([]int(nil), ws.colsSlab[refs[i].lo:refs[i].hi]...)
 		b.addPathSet(s.seedSet, cols)
 	}
 	if err := ctx.Err(); err != nil {
@@ -310,10 +469,19 @@ func (b *builder) seed(ctx context.Context) error {
 // augment performs Algorithm 1 lines 8–22: repeatedly find a path set
 // whose row leaves the current row space, preferring subsets whose
 // null-space row has the largest Hamming weight, and update the null
-// space with Algorithm 2 after each addition. The candidate loop —
-// the hot path of large solves — checks ctx once per candidate, so
-// cancellation returns within one InRowSpace evaluation.
+// space with Algorithm 2 after each addition.
+//
+// Candidate evaluation — the hot path of large solves — is
+// speculative: chunks of upcoming candidates are decomposed and
+// rank-checked in parallel against round-start state (the frozen
+// universe, the used-set, the current null space), then a serial scan
+// commits the first passing candidate in enumeration order. Until a
+// commit nothing the evaluation reads changes, and a commit ends the
+// round, so the candidate chosen — and with it pathSets, rows and the
+// eventual QR — is exactly the serial run's.
 func (b *builder) augment(ctx context.Context) error {
+	setStage(b, "augment")
+	ar := b.arena
 	maxEnum := b.cfg.MaxEnumPathSets
 	if maxEnum <= 0 {
 		maxEnum = 128
@@ -323,39 +491,22 @@ func (b *builder) augment(ctx context.Context) error {
 			return err
 		}
 		found := false
-		order := sortSubsetsByNullWeight(b.nullspace, len(b.subsets))
+		if cap(ar.order) < len(b.subsets) {
+			ar.order = make([]int, len(b.subsets))
+			ar.weights = make([]int, len(b.subsets))
+		}
+		order := sortSubsetsByNullWeight(b.nullspace, len(b.subsets), ar.order[:len(b.subsets)], ar.weights[:len(b.subsets)])
 		for _, si := range order {
 			s := &b.subsets[si]
 			if s.seedSet.IsEmpty() {
 				continue
 			}
-			paths := s.seedSet.Indices()
-			budget := maxEnum
-			enumerateSubsetsOfPaths(paths, func(chosen []int) bool {
-				budget--
-				if budget < 0 || ctx.Err() != nil {
-					return false
-				}
-				p := bitset.FromIndices(b.top.NumPaths(), chosen...)
-				if b.usedKeys[p.Key()] {
-					return true
-				}
-				cols, ok := b.rowFor(p)
-				if !ok {
-					return true
-				}
-				r := b.denseRow(cols)
-				if linalg.InRowSpace(b.nullspace, r) {
-					return true
-				}
-				// ‖r×N‖ > 0: this equation increases the rank; the
-				// update compacts the basis within its own storage.
-				b.addPathSet(p, cols)
-				linalg.NullSpaceUpdateInPlace(b.nullspace, r)
+			committed, err := b.augmentSubset(ctx, s, maxEnum)
+			if err != nil {
+				return err
+			}
+			if committed {
 				found = true
-				return false
-			})
-			if found {
 				break
 			}
 		}
@@ -366,9 +517,125 @@ func (b *builder) augment(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// augmentSubset scans one subset's candidate path sets (subsets of its
+// isolation paths, in increasing size, capped at maxEnum) for the first
+// whose equation leaves the current row space, and commits it. Serial
+// builders stream candidates one at a time; parallel builders evaluate
+// them speculatively in growing chunks.
+func (b *builder) augmentSubset(ctx context.Context, s *subsetEntry, maxEnum int) (bool, error) {
+	ar := b.arena
+	ar.pathsBuf = s.seedSet.AppendIndices(ar.pathsBuf[:0])
+	var it comboIter
+	it.reset(ar.pathsBuf, ar.iterIdx)
+	defer func() { ar.iterIdx = it.idx[:0] }()
+
+	if b.workers <= 1 {
+		sc := &ar.workers[0]
+		sc.colsSlab = sc.colsSlab[:0]
+		for budget := maxEnum; budget > 0 && it.next(); budget-- {
+			if err := ctx.Err(); err != nil {
+				return false, err
+			}
+			sc.chosen = it.appendChosen(sc.chosen[:0])
+			var c candidate
+			sc.colsSlab = sc.colsSlab[:0]
+			b.evalCandidate(sc, 0, &c, sc.chosen)
+			if c.used || !c.ref.ok || c.inSpan {
+				continue
+			}
+			b.commit(sc.chosen, &c)
+			return true, nil
+		}
+		return false, nil
+	}
+
+	// Speculative chunks: small first (an early hit wastes little),
+	// doubling while the subset keeps missing.
+	chunk := b.workers
+	for produced := 0; produced < maxEnum; {
+		if err := ctx.Err(); err != nil {
+			return false, err
+		}
+		ar.cands = ar.cands[:0]
+		ar.chosenSlab = ar.chosenSlab[:0]
+		for len(ar.cands) < chunk && produced < maxEnum && it.next() {
+			lo := len(ar.chosenSlab)
+			ar.chosenSlab = it.appendChosen(ar.chosenSlab)
+			ar.cands = append(ar.cands, candidate{choLo: lo, choHi: len(ar.chosenSlab)})
+			produced++
+		}
+		if len(ar.cands) == 0 {
+			return false, nil
+		}
+		for w := range ar.workers {
+			ar.workers[w].colsSlab = ar.workers[w].colsSlab[:0]
+		}
+		cands := ar.cands
+		b.dispatch(0, len(cands), func(w, i int) {
+			c := &cands[i]
+			b.evalCandidate(&ar.workers[w], w, c, ar.chosenSlab[c.choLo:c.choHi])
+		})
+		for i := range cands {
+			c := &cands[i]
+			if c.used || !c.ref.ok || c.inSpan {
+				continue
+			}
+			b.commit(ar.chosenSlab[c.choLo:c.choHi], c)
+			return true, nil
+		}
+		if chunk < 8*b.workers {
+			chunk *= 2
+		}
+	}
+	return false, nil
+}
+
+// evalCandidate computes one candidate's verdicts against round-start
+// state: is its path set already selected, does its equation decompose
+// within the frozen universe, and does its row stay inside the current
+// row space. Pure reads on builder state; writes only worker scratch
+// and the candidate's own slot.
+func (b *builder) evalCandidate(sc *rowScratch, w int, c *candidate, chosen []int) {
+	sc.pathBuf.Clear()
+	for _, p := range chosen {
+		sc.pathBuf.Add(p)
+	}
+	sc.keyBuf = sc.pathBuf.AppendKey(sc.keyBuf[:0])
+	if b.usedKeys[string(sc.keyBuf)] {
+		c.used = true
+		return
+	}
+	cols, ok := b.rowForPaths(sc, chosen)
+	if !ok {
+		return
+	}
+	lo := len(sc.colsSlab)
+	sc.colsSlab = append(sc.colsSlab, cols...)
+	c.ref = colsRef{worker: w, lo: lo, hi: len(sc.colsSlab), ok: true}
+	if len(sc.rn) < b.nullspace.Cols {
+		sc.rn = make([]float64, b.nullspace.Cols)
+	}
+	c.inSpan = linalg.InRowSpaceSparse(b.nullspace, cols, sc.rn)
+}
+
+// commit selects a candidate: append its path set and row, mark it
+// used, and fold its equation into the null space (Algorithm 2). The
+// commit order is the serial enumeration order by construction.
+func (b *builder) commit(chosen []int, c *candidate) {
+	ws := &b.arena.workers[c.ref.worker]
+	cols := append([]int(nil), ws.colsSlab[c.ref.lo:c.ref.hi]...)
+	p := bitset.FromIndices(b.top.NumPaths(), chosen...)
+	b.pathSets = append(b.pathSets, p)
+	b.usedKeys[p.Key()] = true
+	b.rows = append(b.rows, cols)
+	linalg.NullSpaceUpdateInPlace(b.nullspace, b.denseRow(cols))
+}
+
 // enumerateSubsetsOfPaths yields the non-empty subsets of the given
 // path IDs in increasing size (single paths first, then pairs, …).
-// fn returns false to stop.
+// fn returns false to stop. comboIter streams the same order without
+// allocating; this closure form remains as its executable
+// specification (the equivalence is unit-tested).
 func enumerateSubsetsOfPaths(paths []int, fn func(chosen []int) bool) {
 	n := len(paths)
 	stop := false
@@ -399,16 +666,8 @@ func enumCombos(n, k int, fn func(idx []int)) {
 	}
 	for {
 		fn(idx)
-		i := k - 1
-		for i >= 0 && idx[i] == n-k+i {
-			i--
-		}
-		if i < 0 {
+		if !nextCombo(idx, n) {
 			return
-		}
-		idx[i]++
-		for j := i + 1; j < k; j++ {
-			idx[j] = idx[j-1] + 1
 		}
 	}
 }

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/stream"
+)
+
+// plansBitIdentical compares every structural field of two plans: the
+// subset universe (contents and order), the key index, the selected
+// path sets and their rows, and the solve plan (surviving rows,
+// column map). The QR factorization is a pure function of
+// (rows, activeRows, colMap), so identity here plus the bitwise result
+// comparison downstream pins the factorization too.
+func plansBitIdentical(t *testing.T, label string, a, b *Plan) {
+	t.Helper()
+	if len(a.subsets) != len(b.subsets) {
+		t.Fatalf("%s: %d vs %d subsets", label, len(a.subsets), len(b.subsets))
+	}
+	for i := range a.subsets {
+		sa, sb := a.subsets[i], b.subsets[i]
+		if !sa.links.Equal(sb.links) || sa.corrSet != sb.corrSet {
+			t.Fatalf("%s: subset %d diverged", label, i)
+		}
+		if !sa.cover.Equal(sb.cover) || !sa.seedSet.Equal(sb.seedSet) {
+			t.Fatalf("%s: subset %d cover/seed diverged", label, i)
+		}
+	}
+	if len(a.index) != len(b.index) {
+		t.Fatalf("%s: index size %d vs %d", label, len(a.index), len(b.index))
+	}
+	for k, v := range a.index {
+		if bv, ok := b.index[k]; !ok || bv != v {
+			t.Fatalf("%s: index key mapped to %d vs %d", label, v, bv)
+		}
+	}
+	if len(a.pathSets) != len(b.pathSets) {
+		t.Fatalf("%s: %d vs %d path sets", label, len(a.pathSets), len(b.pathSets))
+	}
+	for i := range a.pathSets {
+		if !a.pathSets[i].Equal(b.pathSets[i]) {
+			t.Fatalf("%s: path set %d diverged", label, i)
+		}
+		ra, rb := a.rows[i], b.rows[i]
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: row %d length diverged", label, i)
+		}
+		for j := range ra {
+			if ra[j] != rb[j] {
+				t.Fatalf("%s: row %d col %d: %d vs %d", label, i, j, ra[j], rb[j])
+			}
+		}
+	}
+	if len(a.activeRows) != len(b.activeRows) || len(a.colMap) != len(b.colMap) {
+		t.Fatalf("%s: solve plan shape diverged", label)
+	}
+	for i := range a.activeRows {
+		if a.activeRows[i] != b.activeRows[i] {
+			t.Fatalf("%s: activeRows[%d] diverged", label, i)
+		}
+	}
+	for i := range a.colMap {
+		if a.colMap[i] != b.colMap[i] {
+			t.Fatalf("%s: colMap[%d] diverged", label, i)
+		}
+	}
+	if (a.qr == nil) != (b.qr == nil) {
+		t.Fatalf("%s: qr presence diverged", label)
+	}
+}
+
+// TestBuildPlanConcurrencyMetamorphic is the full-plan extension of
+// TestComputeConcurrencyDeterministic: at every worker count the cold
+// build must produce the plan of the serial run bit for bit — the
+// subset universe in registration order, the selected path sets and
+// rows in selection order, and the reduced system handed to QR — on
+// both an unrestricted and a shard-restricted build. Run under -race
+// this also proves the gang's speculative evaluation never races the
+// serial commits.
+func TestBuildPlanConcurrencyMetamorphic(t *testing.T) {
+	top, rec := simulateFig1Case1(t, 0.3, 0.4, 0.2, 800, 13)
+	dtop := driftTopology(t)
+	rng := rand.New(rand.NewSource(5))
+	w := stream.NewWindow(dtop.NumPaths(), 400)
+	driftEpoch(w, rng, dtop.NumPaths(), 400, false)
+
+	cases := []struct {
+		name string
+		run  func(conc int) (*Plan, *Result, error)
+	}{
+		{"fig1", func(conc int) (*Plan, *Result, error) {
+			cfg := Config{MaxSubsetSize: 2, Concurrency: conc}
+			pl, err := buildPlan(context.Background(), top, rec, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := pl.solveEpoch(context.Background(), rec)
+			return pl, res, err
+		}},
+		{"drift-topology", func(conc int) (*Plan, *Result, error) {
+			cfg := Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02, Concurrency: conc}
+			pl, err := buildPlan(context.Background(), dtop, w, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := pl.solveEpoch(context.Background(), w)
+			return pl, res, err
+		}},
+		{"restricted-shard", func(conc int) (*Plan, *Result, error) {
+			cfg := Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02, Concurrency: conc,
+				RestrictCorrSets: []int{0, 1}}
+			pl, err := buildPlan(context.Background(), dtop, w, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			res, err := pl.solveEpoch(context.Background(), w)
+			return pl, res, err
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			serialPlan, serialRes, err := tc.run(1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, conc := range []int{2, 4, 8} {
+				pl, res, err := tc.run(conc)
+				if err != nil {
+					t.Fatal(err)
+				}
+				label := fmt.Sprintf("workers=%d", conc)
+				plansBitIdentical(t, label, serialPlan, pl)
+				resultsEqual(t, label, serialRes, res)
+			}
+		})
+	}
+}
+
+// TestConcurrencyDeterministicUnderRepairDrift interleaves the repair
+// tiers with parallel cold rebuilds: each concurrency level carries its
+// own plan through the randomized drift schedule (warm epochs, tier-1
+// re-keys, tier-2 frontier moves, forced rebuilds) and must take the
+// same tier decisions and produce the serial plan's results bit for bit
+// at every epoch.
+func TestConcurrencyDeterministicUnderRepairDrift(t *testing.T) {
+	top := driftTopology(t)
+	concs := []int{1, 2, 4, 8}
+	for seed := int64(1); seed <= 2; seed++ {
+		plans := make([]*Plan, len(concs))
+		// One shared observation stream; every concurrency level sees
+		// the identical window state each epoch.
+		rng := rand.New(rand.NewSource(seed))
+		w := stream.NewWindow(top.NumPaths(), 400)
+		for epoch := 0; epoch < 12; epoch++ {
+			driftEpoch(w, rng, top.NumPaths(), 100, epoch%5 == 3)
+			var serialRes *Result
+			var serialTier [3]int
+			for ci, conc := range concs {
+				cfg := Config{MaxSubsetSize: 2, AlwaysGoodTol: 0.02, Concurrency: conc,
+					NumericalPlanRepair: true, NumericalRepairMaxFrac: 0.6}
+				res, next, err := ComputePlanned(context.Background(), top, w, cfg, plans[ci])
+				if err != nil {
+					t.Fatal(err)
+				}
+				rebuilt := 0
+				if next != plans[ci] {
+					rebuilt = 1
+				}
+				tier := [3]int{rebuilt, next.RepairCount(), next.NumericRepairCount()}
+				plans[ci] = next
+				if ci == 0 {
+					serialRes, serialTier = res, tier
+					continue
+				}
+				if tier != serialTier {
+					t.Fatalf("seed %d epoch %d workers=%d: tier path %v vs serial %v",
+						seed, epoch, conc, tier, serialTier)
+				}
+				resultsEqual(t, fmt.Sprintf("seed %d epoch %d workers=%d", seed, epoch, conc), serialRes, res)
+			}
+		}
+	}
+}

@@ -158,12 +158,18 @@ type Result struct {
 // SubsetGoodProb returns g(E) for the subset with exactly the given
 // links. ok is false when the subset is unknown or unidentifiable.
 func (r *Result) SubsetGoodProb(links *bitset.Set) (float64, bool) {
+	sc := r.getQueryScratch()
+	defer putQueryScratch(sc)
+	return r.subsetGoodProb(sc, links)
+}
+
+func (r *Result) subsetGoodProb(sc *queryScratch, links *bitset.Set) (float64, bool) {
 	// Links on always-good paths contribute a factor of 1: strip them.
-	eff := links.Intersect(r.PotentiallyCongested)
+	eff := links.IntersectInto(r.PotentiallyCongested, sc.eff)
 	if eff.IsEmpty() {
 		return 1, true
 	}
-	i, ok := r.index[eff.Key()]
+	i, ok := sc.lookup(r, eff)
 	if !ok || !r.Subsets[i].Identifiable {
 		return math.NaN(), false
 	}
@@ -172,9 +178,15 @@ func (r *Result) SubsetGoodProb(links *bitset.Set) (float64, bool) {
 
 // LinkGoodProb returns g({e}).
 func (r *Result) LinkGoodProb(e int) (float64, bool) {
-	s := bitset.New(r.top.NumLinks())
-	s.Add(e)
-	return r.SubsetGoodProb(s)
+	sc := r.getQueryScratch()
+	defer putQueryScratch(sc)
+	return r.linkGoodProb(sc, e)
+}
+
+func (r *Result) linkGoodProb(sc *queryScratch, e int) (float64, bool) {
+	sc.oneLink.Clear()
+	sc.oneLink.Add(e)
+	return r.subsetGoodProb(sc, sc.oneLink)
 }
 
 // CongestedProb returns P(all links in E congested) for an arbitrary
@@ -191,17 +203,19 @@ func (r *Result) CongestedProb(links *bitset.Set) (float64, bool) {
 	if len(ids) > 20 {
 		return math.NaN(), false
 	}
+	sc := r.getQueryScratch()
+	defer putQueryScratch(sc)
 	total := 0.0
 	for mask := 0; mask < 1<<len(ids); mask++ {
-		s := bitset.New(r.top.NumLinks())
+		sc.links.Clear()
 		bits := 0
 		for b, li := range ids {
 			if mask&(1<<b) != 0 {
-				s.Add(li)
+				sc.links.Add(li)
 				bits++
 			}
 		}
-		g, ok := r.goodProbFactored(s)
+		g, ok := r.goodProbFactored(sc, sc.links)
 		if !ok {
 			return math.NaN(), false
 		}
@@ -218,28 +232,18 @@ func (r *Result) CongestedProb(links *bitset.Set) (float64, bool) {
 
 // goodProbFactored evaluates P(all links in S good) by factoring S per
 // correlation set and multiplying the per-set subset probabilities.
-func (r *Result) goodProbFactored(s *bitset.Set) (float64, bool) {
-	eff := s.Intersect(r.PotentiallyCongested)
+// The factoring runs in first-encounter order so the float
+// multiplication order — and hence the exact result bits — never
+// depends on iteration order.
+func (r *Result) goodProbFactored(sc *queryScratch, s *bitset.Set) (float64, bool) {
+	eff := s.IntersectInto(r.PotentiallyCongested, sc.eff)
 	if eff.IsEmpty() {
 		return 1, true
 	}
-	// Factor in first-encounter order so the float multiplication order
-	// — and hence the exact result bits — never depends on map
-	// iteration order.
-	bySet := map[int]*bitset.Set{}
-	var setOrder []int
-	eff.ForEach(func(li int) bool {
-		c := r.top.CorrSetOf(li)
-		if bySet[c] == nil {
-			bySet[c] = bitset.New(r.top.NumLinks())
-			setOrder = append(setOrder, c)
-		}
-		bySet[c].Add(li)
-		return true
-	})
+	sc.decomposePerSet(r, eff)
 	g := 1.0
-	for _, c := range setOrder {
-		i, ok := r.index[bySet[c].Key()]
+	for _, c := range sc.setOrder {
+		i, ok := sc.lookup(r, sc.perSet[c])
 		if !ok || !r.Subsets[i].Identifiable {
 			return math.NaN(), false
 		}
@@ -257,7 +261,9 @@ func (r *Result) LinkCongestProbOrFallback(e int) (p float64, exact bool) {
 	if !r.PotentiallyCongested.Contains(e) {
 		return 0, true
 	}
-	if g, ok := r.LinkGoodProb(e); ok {
+	sc := r.getQueryScratch()
+	defer putQueryScratch(sc)
+	if g, ok := r.linkGoodProb(sc, e); ok {
 		return clamp01(1 - g), true
 	}
 	// The singleton is unidentifiable; fall back along a chain of
@@ -278,17 +284,24 @@ func (r *Result) LinkCongestProbOrFallback(e int) (p float64, exact bool) {
 				if !s.Identifiable || s.Links.Contains(e) {
 					continue
 				}
-				if p := 1 - s.GoodProb; p > explained && cover.SubsetOf(r.top.PathsOf(s.Links)) {
-					explained = p
+				if p := 1 - s.GoodProb; p > explained {
+					sc.paths.Clear()
+					s.Links.ForEach(func(li int) bool {
+						sc.paths.UnionWith(r.top.LinkPaths(li))
+						return true
+					})
+					if cover.SubsetOf(sc.paths) {
+						explained = p
+					}
 				}
 			}
 		}
 		return clamp01(ub - explained), false
 	}
-	if p, ok := r.subsetInformedFallback(e); ok {
+	if p, ok := r.subsetInformedFallback(sc, e); ok {
 		return p, false
 	}
-	if p, ok := r.residualFallback(e); ok {
+	if p, ok := r.residualFallback(sc, e); ok {
 		return p, false
 	}
 	return FallbackLinkProb(r.top, r.rec, r.PotentiallyCongested, e), false
@@ -302,35 +315,25 @@ func (r *Result) LinkCongestProbOrFallback(e int) (p float64, exact bool) {
 // mass 1 − P̂(p good)/Π_identified g(E); that residual is split
 // uniformly across the links of p's unidentified subsets (Homogeneity
 // prior), and the tightest covering path wins.
-func (r *Result) residualFallback(e int) (float64, bool) {
+func (r *Result) residualFallback(sc *queryScratch, e int) (float64, bool) {
 	cover := r.top.LinkPaths(e)
 	if cover.IsEmpty() {
 		return 0, false
 	}
 	best, found := 1.0, false
-	one := bitset.New(r.top.NumPaths())
+	one := sc.onePath
 	cover.ForEach(func(pi int) bool {
 		one.Clear()
 		one.Add(pi)
-		links := r.top.PathLinks(pi).Intersect(r.PotentiallyCongested)
+		links := r.top.PathLinks(pi).IntersectInto(r.PotentiallyCongested, sc.links)
 		// Decompose the path's equation per correlation set, in
 		// first-encounter order for a deterministic product.
-		bySet := map[int]*bitset.Set{}
-		var setOrder []int
-		links.ForEach(func(li int) bool {
-			c := r.top.CorrSetOf(li)
-			if bySet[c] == nil {
-				bySet[c] = bitset.New(r.top.NumLinks())
-				setOrder = append(setOrder, c)
-			}
-			bySet[c].Add(li)
-			return true
-		})
+		sc.decomposePerSet(r, links)
 		prodKnown := 1.0
 		unknownLinks := 0
-		for _, c := range setOrder {
-			sub := bySet[c]
-			if j, ok := r.index[sub.Key()]; ok && r.Subsets[j].Identifiable {
+		for _, c := range sc.setOrder {
+			sub := sc.perSet[c]
+			if j, ok := sc.lookup(r, sub); ok && r.Subsets[j].Identifiable {
 				prodKnown *= r.Subsets[j].GoodProb
 			} else {
 				unknownLinks += sub.Count()
@@ -359,7 +362,7 @@ func (r *Result) residualFallback(e int) (float64, bool) {
 // siblings (and correctly ≈0 when e is always good); otherwise the
 // subset's congestion mass 1 − g(S) is split uniformly over its
 // members.
-func (r *Result) subsetInformedFallback(e int) (float64, bool) {
+func (r *Result) subsetInformedFallback(sc *queryScratch, e int) (float64, bool) {
 	best := -1
 	for i, s := range r.Subsets {
 		if !s.Identifiable || !s.Links.Contains(e) || s.Links.Count() < 2 {
@@ -373,9 +376,9 @@ func (r *Result) subsetInformedFallback(e int) (float64, bool) {
 		return 0, false
 	}
 	s := r.Subsets[best]
-	rest := s.Links.Clone()
+	rest := s.Links.IntersectInto(s.Links, sc.links)
 	rest.Remove(e)
-	if j, ok := r.index[rest.Key()]; ok && r.Subsets[j].Identifiable && r.Subsets[j].GoodProb > 1e-9 {
+	if j, ok := sc.lookup(r, rest); ok && r.Subsets[j].Identifiable && r.Subsets[j].GoodProb > 1e-9 {
 		return clamp01(1 - s.GoodProb/r.Subsets[j].GoodProb), true
 	}
 	return clamp01((1 - s.GoodProb) / float64(s.Links.Count())), true
@@ -399,7 +402,7 @@ func FallbackLinkProb(top *topology.Topology, rec observe.Store, potentiallyCong
 	}
 	minCand := top.NumLinks()
 	cover.ForEach(func(pi int) bool {
-		c := top.PathLinks(pi).Intersect(potentiallyCongested).Count()
+		c := top.PathLinks(pi).IntersectCount(potentiallyCongested)
 		if c < minCand {
 			minCand = c
 		}
@@ -425,8 +428,12 @@ func clamp01(x float64) float64 {
 // Hamming weight of the corresponding rows of N (the paper's
 // SortByHammingWeight): subsets whose null-space row has many non-zero
 // entries are most likely to yield a rank-increasing path set.
-func sortSubsetsByNullWeight(n *linalg.Matrix, count int) []int {
-	weights := make([]int, count)
+// Both output slices are caller-provided (len == count) so the
+// augmentation loop can reuse its arena buffers round after round.
+func sortSubsetsByNullWeight(n *linalg.Matrix, count int, order, weights []int) []int {
+	for i := 0; i < count; i++ {
+		weights[i] = 0
+	}
 	for i := 0; i < count && i < n.Rows; i++ {
 		w := 0
 		row := n.Row(i)
@@ -437,7 +444,6 @@ func sortSubsetsByNullWeight(n *linalg.Matrix, count int) []int {
 		}
 		weights[i] = w
 	}
-	order := make([]int, count)
 	for i := range order {
 		order[i] = i
 	}

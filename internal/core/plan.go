@@ -198,6 +198,8 @@ func ComputePlanned(ctx context.Context, top *topology.Topology, rec observe.Sto
 // buildPlan runs the full structural phase from scratch.
 func buildPlan(ctx context.Context, top *topology.Topology, rec observe.Store, cfg Config) (*Plan, error) {
 	b := newBuilder(top, rec, cfg)
+	defer b.close()
+	defer clearStage()
 	if err := b.enumerate(ctx); err != nil {
 		return nil, err
 	}
@@ -207,6 +209,7 @@ func buildPlan(ctx context.Context, top *topology.Topology, rec observe.Store, c
 	if err := b.augment(ctx); err != nil {
 		return nil, err
 	}
+	setStage(b, "qr")
 	return b.plan(ctx)
 }
 
@@ -656,6 +659,8 @@ func (pl *Plan) solveScratch() (x, qtb []float64) {
 // solve over the retained factorization. It is the shared tail of the
 // warm, repaired and cold paths.
 func (pl *Plan) solveEpoch(ctx context.Context, rec observe.Store) (*Result, error) {
+	setStage(nil, "solve")
+	defer clearStage()
 	res := pl.resultShell(rec)
 	nCols := len(pl.subsets)
 	if len(pl.rows) == 0 {
@@ -690,6 +695,8 @@ func (pl *Plan) solveEpoch(ctx context.Context, rec observe.Store) (*Result, err
 // the same store (linalg guarantees the batched solve's per-vector
 // arithmetic is the sequential solve's).
 func (pl *Plan) SolveEpochBatch(ctx context.Context, recs []observe.Store) ([]*Result, error) {
+	setStage(nil, "solve")
+	defer clearStage()
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

@@ -66,8 +66,8 @@ func (pl *Plan) RepairNumeric(good *bitset.Set) bool {
 	if frac <= 0 {
 		frac = DefaultNumericalRepairMaxFrac
 	}
-	delta := pl.potLinks.SymmetricDifference(newPot).Count()
-	universe := pl.potLinks.Union(newPot).Count()
+	delta := pl.potLinks.SymmetricDifferenceCount(newPot)
+	universe := pl.potLinks.UnionCount(newPot)
 	if universe == 0 || float64(delta) > frac*float64(universe) {
 		return false
 	}

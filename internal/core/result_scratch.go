@@ -1,0 +1,85 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/bitset"
+)
+
+// queryScratch is the pooled buffer set behind Result's per-link
+// estimate queries. The figure drivers call LinkCongestProbOrFallback
+// for every link of every trial, and the fallback chain decomposes
+// equations per correlation set each time — without reuse that is
+// hundreds of thousands of transient bitsets and maps per experiment.
+// A pool (rather than scratch owned by the Result) keeps the query
+// methods safe for concurrent readers, matching observe's mask
+// scratch.
+type queryScratch struct {
+	numLinks, numPaths, numCorrSets int
+
+	eff      *bitset.Set // intersection buffer (link universe)
+	links    *bitset.Set // second link-universe buffer
+	oneLink  *bitset.Set
+	onePath  *bitset.Set
+	paths    *bitset.Set // path-universe accumulator
+	perSet   []*bitset.Set
+	mark     []int
+	stamp    int
+	setOrder []int
+	keyBuf   []byte
+}
+
+var queryPool = sync.Pool{New: func() any { return &queryScratch{} }}
+
+// getQueryScratch checks a scratch sized for this result's topology out
+// of the pool. Return it with putQueryScratch.
+func (r *Result) getQueryScratch() *queryScratch {
+	sc := queryPool.Get().(*queryScratch)
+	nl, np, nc := r.top.NumLinks(), r.top.NumPaths(), len(r.top.CorrSets)
+	if sc.numLinks != nl || sc.numPaths != np || sc.numCorrSets != nc {
+		*sc = queryScratch{
+			numLinks: nl, numPaths: np, numCorrSets: nc,
+			eff:     bitset.New(nl),
+			links:   bitset.New(nl),
+			oneLink: bitset.New(nl),
+			onePath: bitset.New(np),
+			paths:   bitset.New(np),
+			perSet:  make([]*bitset.Set, nc),
+			mark:    make([]int, nc),
+		}
+	}
+	return sc
+}
+
+func putQueryScratch(sc *queryScratch) { queryPool.Put(sc) }
+
+// decomposePerSet splits the potentially congested links of `links`
+// per correlation set into sc.perSet, recording first-encounter order
+// (ascending link index) in sc.setOrder — the same deterministic
+// decomposition the builder uses for rows.
+func (sc *queryScratch) decomposePerSet(r *Result, links *bitset.Set) {
+	sc.stamp++
+	sc.setOrder = sc.setOrder[:0]
+	links.ForEach(func(li int) bool {
+		c := r.top.CorrSetOf(li)
+		if sc.mark[c] != sc.stamp {
+			sc.mark[c] = sc.stamp
+			if sc.perSet[c] == nil {
+				sc.perSet[c] = bitset.New(sc.numLinks)
+			} else {
+				sc.perSet[c].Clear()
+			}
+			sc.setOrder = append(sc.setOrder, c)
+		}
+		sc.perSet[c].Add(li)
+		return true
+	})
+}
+
+// lookup resolves a subset bitset to its index via the scratch key
+// buffer, allocating nothing.
+func (sc *queryScratch) lookup(r *Result, links *bitset.Set) (int, bool) {
+	sc.keyBuf = links.AppendKey(sc.keyBuf[:0])
+	i, ok := r.index[string(sc.keyBuf)]
+	return i, ok
+}

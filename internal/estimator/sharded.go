@@ -188,6 +188,35 @@ func (sv *ShardedSolver) SolveShard(ctx context.Context, shard int, obs observe.
 	return res, solveInfoFor(prev, plan, prevRepairs, prevNumeric), nil
 }
 
+// SolveShardBatch computes one block of shard per store, carrying the
+// shard's plan across them exactly like sequential SolveShard calls
+// would, but draining every maximal run of plan-compatible stores
+// through one batched multi-RHS solve (core.ComputePlannedBatch). This
+// is the catch-up path for a backlog of queued shard-ring snapshots:
+// each block is bit-identical to a sequential SolveShard over the same
+// store. infos reports per store how the carried plan served it (stage
+// times are zero on batched solves, as in WarmSolver.EstimateBatch).
+func (sv *ShardedSolver) SolveShardBatch(ctx context.Context, shard int, stores []observe.Store) ([]*core.Result, []SolveInfo, error) {
+	if shard < 0 || shard >= len(sv.plans) {
+		return nil, nil, fmt.Errorf("estimator: shard %d outside [0,%d)", shard, len(sv.plans))
+	}
+	results, epochInfos, plan, err := core.ComputePlannedBatch(ctx, sv.top, stores, sv.shardConfig(shard), sv.plans[shard])
+	if err != nil {
+		return nil, nil, err
+	}
+	sv.plans[shard] = plan
+	infos := make([]SolveInfo, len(results))
+	for i := range results {
+		infos[i] = SolveInfo{
+			Warm:            epochInfos[i].Warm,
+			Repaired:        epochInfos[i].Repaired,
+			RepairedNumeric: epochInfos[i].RepairedNumeric,
+			RepairFailed:    epochInfos[i].RepairFailed,
+		}
+	}
+	return results, infos, nil
+}
+
 // Merge assembles the per-shard results (in shard order; nil entries
 // are skipped) into one Estimate over obs. The merged core.Result keeps
 // every joint query working — the correlation-set partition guarantees

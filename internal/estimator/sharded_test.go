@@ -2,6 +2,7 @@ package estimator_test
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -207,5 +208,63 @@ func TestShardedSolverWarmMatchesRegistry(t *testing.T) {
 	}
 	if warmEpochs == 0 {
 		t.Fatal("no epoch warm-started: the carried-forward plans never applied")
+	}
+}
+
+// SolveShardBatch must reproduce sequential SolveShard calls block for
+// block — the batched multi-RHS drain is a pure catch-up optimization.
+func TestShardedSolverBatchMatchesSequential(t *testing.T) {
+	fx := kindFixture(t, experiment.Sparse, 1, netsim.RandomCongestion)
+	part := topology.NewPartition(fx.top)
+	if part.NumShards() < 2 {
+		t.Fatalf("fixture has %d shards, want ≥ 2", part.NumShards())
+	}
+	opts := []estimator.Option{estimator.WithMaxSubsetSize(2), estimator.WithAlwaysGoodTol(0.02)}
+	seqSv, err := estimator.NewShardedSolver(fx.top, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchSv, err := estimator.NewShardedSolver(fx.top, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Freeze a checkpoint of every shard's ring each 60 intervals,
+	// mimicking the server's stride backlog.
+	const capacity = 200
+	win := stream.NewSharded(fx.top.NumPaths(), capacity, part.PathShards(), part.NumShards())
+	checkpoints := make([][]observe.Store, part.NumShards())
+	var fullCks []*stream.Sharded
+	for ti := 0; ti < fx.rec.T(); ti++ {
+		win.Add(fx.rec.CongestedAt(ti))
+		if (ti+1)%60 != 0 {
+			continue
+		}
+		ck := win.Clone()
+		fullCks = append(fullCks, ck)
+		for s := range checkpoints {
+			checkpoints[s] = append(checkpoints[s], ck.Shard(s))
+		}
+	}
+	if len(fullCks) < 3 {
+		t.Fatalf("only %d checkpoints", len(fullCks))
+	}
+	for s := 0; s < part.NumShards(); s++ {
+		batchRes, batchInfos, err := batchSv.SolveShardBatch(context.Background(), s, checkpoints[s])
+		if err != nil {
+			t.Fatal(err)
+		}
+		for k, obs := range checkpoints[s] {
+			wantRes, wantInfo, err := seqSv.SolveShard(context.Background(), s, obs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batchInfos[k].Warm != wantInfo.Warm || batchInfos[k].Repaired != wantInfo.Repaired {
+				t.Fatalf("shard %d ck %d: info (%+v) != sequential (%+v)", s, k, batchInfos[k], wantInfo)
+			}
+			got := batchSv.Merge([]*core.Result{batchRes[k]}, fullCks[k])
+			want := seqSv.Merge([]*core.Result{wantRes}, fullCks[k])
+			assertEstimatesMatch(t, fmt.Sprintf("shard %d ck %d", s, k), got, want)
+		}
 	}
 }

@@ -20,6 +20,7 @@ package inference
 import (
 	"context"
 	"math"
+	"sync"
 
 	"repro/internal/bitset"
 	"repro/internal/core"
@@ -54,37 +55,82 @@ type candidateSetup struct {
 	top *topology.Topology
 }
 
-// candidates returns the candidate links and, for reuse, the set of
-// congested paths each candidate would explain.
-func (c *candidateSetup) candidates(congestedPaths *bitset.Set) *bitset.Set {
-	goodPaths := bitset.New(c.top.NumPaths())
-	for p := 0; p < c.top.NumPaths(); p++ {
-		if !congestedPaths.Contains(p) {
-			goodPaths.Add(p)
+// inferScratch pools the per-interval buffers of the candidate
+// computation and the greedy cover. The figure drivers call Infer once
+// per interval per trial, so these transients dominated the
+// experiment's allocation profile; a pool keeps Infer safe for the
+// concurrent trials of the experiment engine.
+type inferScratch struct {
+	numLinks, numPaths int
+
+	goodPaths  *bitset.Set
+	exonerated *bitset.Set
+	cands      *bitset.Set
+	uncovered  *bitset.Set
+	candList   []int
+}
+
+var inferPool = sync.Pool{New: func() any { return &inferScratch{} }}
+
+func getInferScratch(top *topology.Topology) *inferScratch {
+	sc := inferPool.Get().(*inferScratch)
+	nl, np := top.NumLinks(), top.NumPaths()
+	if sc.numLinks != nl || sc.numPaths != np {
+		*sc = inferScratch{
+			numLinks: nl, numPaths: np,
+			goodPaths:  bitset.New(np),
+			exonerated: bitset.New(nl),
+			cands:      bitset.New(nl),
+			uncovered:  bitset.New(np),
 		}
 	}
-	exonerated := c.top.LinksOf(goodPaths)
-	cands := c.top.LinksOf(congestedPaths).Difference(exonerated)
-	return cands
+	return sc
+}
+
+func putInferScratch(sc *inferScratch) { inferPool.Put(sc) }
+
+// candidates returns the candidate links: the links on congested paths
+// minus those exonerated by a good path (Separability). The result
+// lives in sc and is valid until the scratch is released.
+func (c *candidateSetup) candidates(sc *inferScratch, congestedPaths *bitset.Set) *bitset.Set {
+	sc.goodPaths.Clear()
+	for p := 0; p < c.top.NumPaths(); p++ {
+		if !congestedPaths.Contains(p) {
+			sc.goodPaths.Add(p)
+		}
+	}
+	sc.exonerated.Clear()
+	sc.goodPaths.ForEach(func(pi int) bool {
+		sc.exonerated.UnionWith(c.top.PathLinks(pi))
+		return true
+	})
+	sc.cands.Clear()
+	congestedPaths.ForEach(func(pi int) bool {
+		sc.cands.UnionWith(c.top.PathLinks(pi))
+		return true
+	})
+	sc.cands.AndNotInto(sc.exonerated, sc.cands)
+	return sc.cands
 }
 
 // greedyCover selects links from cands until every congested path is
 // covered (or no candidate covers a remaining path), choosing at each
 // step the candidate minimizing score(link, newlyCovered). Lower scores
 // win; ties break toward smaller link IDs for determinism.
-func greedyCover(top *topology.Topology, congestedPaths, cands *bitset.Set,
+func greedyCover(sc *inferScratch, top *topology.Topology, congestedPaths, cands *bitset.Set,
 	score func(link, newlyCovered int, chosen *bitset.Set) float64) *bitset.Set {
 
-	chosen := bitset.New(top.NumLinks())
-	uncovered := congestedPaths.Clone()
-	candList := cands.Indices()
+	chosen := bitset.New(top.NumLinks()) // returned to the caller: not scratch
+	uncovered := congestedPaths.IntersectInto(congestedPaths, sc.uncovered)
+	sc.candList = cands.AppendIndices(sc.candList[:0])
+	candList := sc.candList
 	for !uncovered.IsEmpty() {
 		best, bestScore, bestCov := -1, math.Inf(1), 0
 		for _, e := range candList {
 			if chosen.Contains(e) {
 				continue
 			}
-			cov := top.LinkPaths(e).Intersect(uncovered).Count()
+			cov := top.LinkPaths(e).IntersectCount(uncovered)
 			if cov == 0 {
 				continue
 			}
@@ -98,7 +144,7 @@ func greedyCover(top *topology.Topology, congestedPaths, cands *bitset.Set,
 		}
 		_ = bestCov
 		chosen.Add(best)
-		uncovered = uncovered.Difference(top.LinkPaths(best))
+		uncovered.AndNotInto(top.LinkPaths(best), uncovered)
 	}
 	return chosen
 }
@@ -128,10 +174,12 @@ func (s *Sparsity) Prepare(_ context.Context, top *topology.Topology, _ observe.
 
 // Infer implements Algorithm.
 func (s *Sparsity) Infer(congestedPaths *bitset.Set) *bitset.Set {
-	cands := s.setup.candidates(congestedPaths)
+	sc := getInferScratch(s.setup.top)
+	defer putInferScratch(sc)
+	cands := s.setup.candidates(sc, congestedPaths)
 	// Maximize coverage == minimize its negation; Homogeneity means no
 	// other weighting.
-	return greedyCover(s.setup.top, congestedPaths, cands,
+	return greedyCover(sc, s.setup.top, congestedPaths, cands,
 		func(_, newlyCovered int, _ *bitset.Set) float64 {
 			return -float64(newlyCovered)
 		})
@@ -191,8 +239,10 @@ func linkWeight(p float64) float64 {
 
 // Infer implements Algorithm.
 func (b *BayesianIndependence) Infer(congestedPaths *bitset.Set) *bitset.Set {
-	cands := b.setup.candidates(congestedPaths)
-	return greedyCover(b.setup.top, congestedPaths, cands,
+	sc := getInferScratch(b.setup.top)
+	defer putInferScratch(sc)
+	cands := b.setup.candidates(sc, congestedPaths)
+	return greedyCover(sc, b.setup.top, congestedPaths, cands,
 		func(e, newlyCovered int, _ *bitset.Set) float64 {
 			return linkWeight(b.probs.Prob[e]) / float64(newlyCovered)
 		})
@@ -268,8 +318,10 @@ func (b *BayesianCorrelation) conditional(e int, chosen *bitset.Set) float64 {
 
 // Infer implements Algorithm.
 func (b *BayesianCorrelation) Infer(congestedPaths *bitset.Set) *bitset.Set {
-	cands := b.setup.candidates(congestedPaths)
-	return greedyCover(b.setup.top, congestedPaths, cands,
+	sc := getInferScratch(b.setup.top)
+	defer putInferScratch(sc)
+	cands := b.setup.candidates(sc, congestedPaths)
+	return greedyCover(sc, b.setup.top, congestedPaths, cands,
 		func(e, newlyCovered int, chosen *bitset.Set) float64 {
 			return linkWeight(b.conditional(e, chosen)) / float64(newlyCovered)
 		})

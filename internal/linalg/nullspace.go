@@ -211,3 +211,32 @@ func InRowSpace(N *Matrix, r []float64) bool {
 	}
 	return true
 }
+
+// InRowSpaceSparse is InRowSpace for a 0/1 row with ones exactly at the
+// ascending indices in cols, accumulating r×N into scratch (len ≥
+// N.Cols) instead of allocating. The accumulation visits rows in the
+// same ascending order as VecMul over the equivalent dense row and adds
+// the same addends (1·row), so the float results — and therefore the
+// verdict — are bit-identical to InRowSpace on that dense row. This is
+// the rank-check kernel of the solver's augmentation loop.
+func InRowSpaceSparse(N *Matrix, cols []int, scratch []float64) bool {
+	if N.Cols == 0 {
+		return true
+	}
+	rn := scratch[:N.Cols]
+	for j := range rn {
+		rn[j] = 0
+	}
+	for _, i := range cols {
+		row := N.Row(i)
+		for j, rij := range row {
+			rn[j] += rij
+		}
+	}
+	for _, v := range rn {
+		if math.Abs(v) > rrefTol {
+			return false
+		}
+	}
+	return true
+}

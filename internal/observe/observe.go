@@ -19,7 +19,6 @@ package observe
 
 import (
 	"math"
-	"math/bits"
 	"sync"
 
 	"repro/internal/bitset"
@@ -184,16 +183,11 @@ func (r *Recorder) GoodCount(paths *bitset.Set) int {
 	}
 	paths.ForEach(func(pi int) bool {
 		if pi < r.numPaths {
-			for i, w := range r.cong[pi] {
-				sc[i] |= w
-			}
+			bitset.OrWordsInto(sc, r.cong[pi])
 		}
 		return true
 	})
-	bad := 0
-	for _, w := range sc {
-		bad += bits.OnesCount64(w)
-	}
+	bad := bitset.PopCountWords(sc)
 	PutScratch(sp)
 	return T - bad
 }
@@ -268,21 +262,12 @@ func (r *Recorder) AllCongestedCount(paths *bitset.Set) int {
 			empty = true
 			return false
 		}
-		m := r.cong[pi]
-		for i := range sc {
-			if i < len(m) {
-				sc[i] &= m[i]
-			} else {
-				sc[i] = 0
-			}
-		}
+		bitset.AndWordsInto(sc, r.cong[pi])
 		return true
 	})
 	n := 0
 	if !empty {
-		for _, w := range sc {
-			n += bits.OnesCount64(w)
-		}
+		n = bitset.PopCountWords(sc)
 	}
 	PutScratch(sp)
 	return n

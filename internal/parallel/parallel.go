@@ -25,6 +25,15 @@ func workerCount(workers, n int) int {
 	return workers
 }
 
+// Resolve returns the effective worker count for a knob value without
+// clamping to an item count: 0 and negative mean GOMAXPROCS.
+func Resolve(workers int) int {
+	if workers <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return workers
+}
+
 // For runs fn(i) for every i in [start, end) on at most workers
 // goroutines. 1 worker degenerates to a plain serial loop; 0 or
 // negative uses all CPUs.
@@ -39,6 +48,38 @@ func For(workers, start, end int, fn func(i int)) {
 		fn(i)
 		return true
 	})
+}
+
+// ForWorker is For with a worker identity: fn(w, i) runs with w in
+// [0, workers) unique to the executing goroutine, so fn can use
+// per-worker scratch slabs without synchronization. Which worker
+// handles which index is scheduling-dependent — fn's observable output
+// must depend only on i, never on w. 1 worker degenerates to a serial
+// loop with w = 0.
+func ForWorker(workers, start, end int, fn func(w, i int)) {
+	wc := workerCount(workers, end-start)
+	if wc <= 1 {
+		for i := start; i < end; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < wc; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := range next {
+				fn(w, i)
+			}
+		}(w)
+	}
+	for i := start; i < end; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
 }
 
 // ForErr runs fn(i) for i in [0, n) on at most workers goroutines

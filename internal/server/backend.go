@@ -61,6 +61,18 @@ type ShardBackend interface {
 	Merge(results []*core.Result, obs observe.Store) *estimator.Estimate
 }
 
+// ShardBatchSolver is the optional batched drain seam of a
+// ShardBackend: solve one block of shard per ring, carrying the
+// shard's warm plan across the whole run. The server's interval-stride
+// checkpoint drain (Config.EpochEvery in sharded mode) uses it when
+// available — K queued checkpoints cost one set of right-hand sides
+// plus a single batched back-substitution per shard — and falls back
+// to sequential SolveShard calls otherwise (the cluster coordinator,
+// whose workers solve their own live rings).
+type ShardBatchSolver interface {
+	SolveShardBatch(ctx context.Context, shard int, rings []*stream.Window) ([]ShardSolve, error)
+}
+
 // BatchForwarder is implemented by backends that replicate ingest to
 // remote shard owners. When the configured backend implements it, every
 // ingest batch is forwarded — keyed by the coordinator's pre-batch
@@ -134,6 +146,22 @@ func (b *localBackend) SolveShard(ctx context.Context, shard int, ring *stream.W
 		return ShardSolve{}, err
 	}
 	return ShardSolve{Res: res, SeqHigh: ring.Seq(), T: ring.T(), Info: info}, nil
+}
+
+func (b *localBackend) SolveShardBatch(ctx context.Context, shard int, rings []*stream.Window) ([]ShardSolve, error) {
+	stores := make([]observe.Store, len(rings))
+	for i, ring := range rings {
+		stores[i] = ring
+	}
+	results, infos, err := b.sv.SolveShardBatch(ctx, shard, stores)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]ShardSolve, len(results))
+	for i, res := range results {
+		out[i] = ShardSolve{Res: res, SeqHigh: rings[i].Seq(), T: rings[i].T(), Info: infos[i]}
+	}
+	return out, nil
 }
 
 func (b *localBackend) Merge(results []*core.Result, obs observe.Store) *estimator.Estimate {

@@ -197,15 +197,133 @@ func TestEpochBacklogBound(t *testing.T) {
 	}
 }
 
-// EpochEvery is meaningless for the per-shard loops; New must reject
-// the combination.
-func TestEpochEveryRejectedWithSharded(t *testing.T) {
-	top := testTopology(t)
-	if _, err := New(top, Config{
+// With EpochEvery set in sharded mode, a burst that crosses several
+// stride boundaries must drain as one merged epoch per checkpoint —
+// every shard's queued rings solved through the backend's batched
+// multi-RHS path — plus a live epoch, with the per-shard epoch_backlog
+// gauges tracking the queue.
+func TestShardedEpochCheckpointDrain(t *testing.T) {
+	const windowSize, epochEvery, total = 200, 60, 250
+	top := shardedTestTopology(t)
+	s := newServer(t, top, Config{
+		WindowSize: windowSize,
+		EpochEvery: epochEvery,
 		Algo:       estimator.CorrelationCompleteSharded,
-		EpochEvery: 50,
-	}); err == nil {
-		t.Fatal("New accepted EpochEvery with the sharded solver")
+		SolverOpts: solverOpts(),
+	})
+	defer s.Close()
+	stream := simulatedBatches(t, top, total)
+	s.Ingest(stream)
+
+	if pending, dropped := s.backlogStats(); pending != 4 || dropped != 0 {
+		t.Fatalf("backlog = (%d,%d), want (4,0)", pending, dropped)
+	}
+	for _, info := range s.shardStatuses(s.Seq()) {
+		if info.EpochBacklog != 4 {
+			t.Fatalf("shard %d epoch_backlog = %d, want 4", info.Shard, info.EpochBacklog)
+		}
+	}
+	snap := s.Recompute(nil)
+	if snap.Err != nil {
+		t.Fatal(snap.Err)
+	}
+	if snap.SeqHigh != total || snap.Epoch != 5 {
+		t.Fatalf("latest = seq %d epoch %d, want seq %d epoch 5", snap.SeqHigh, snap.Epoch, total)
+	}
+	if pending, _ := s.backlogStats(); pending != 0 {
+		t.Fatalf("backlog not drained: %d pending", pending)
+	}
+	for _, info := range s.shardStatuses(s.Seq()) {
+		if info.EpochBacklog != 0 {
+			t.Fatalf("shard %d epoch_backlog = %d after drain, want 0", info.Shard, info.EpochBacklog)
+		}
+		if info.Epoch == 0 || info.SeqHigh != total {
+			t.Fatalf("shard %d published epoch %d seq %d, want seq %d", info.Shard, info.Epoch, info.SeqHigh, total)
+		}
+	}
+	history := s.History()
+	if len(history) != 5 {
+		t.Fatalf("history has %d epochs, want 5", len(history))
+	}
+	wantSeqs := []uint64{60, 120, 180, 240, 250}
+	for i, h := range history {
+		if h.Epoch != uint64(i+1) || h.SeqHigh != wantSeqs[i] {
+			t.Fatalf("history[%d] = epoch %d seq %d, want epoch %d seq %d", i, h.Epoch, h.SeqHigh, i+1, wantSeqs[i])
+		}
+	}
+
+	// A drained checkpoint must be bit-identical to a plain sharded
+	// epoch over the same prefix: replay 180 intervals through a fresh
+	// sharded server with checkpoints (the newest checkpoint is then
+	// the live state, so the drain publishes the final epoch itself)
+	// and compare against one without.
+	s2 := newServer(t, top, Config{
+		WindowSize: windowSize,
+		EpochEvery: epochEvery,
+		Algo:       estimator.CorrelationCompleteSharded,
+		SolverOpts: solverOpts(),
+	})
+	defer s2.Close()
+	s2.Ingest(stream[:180])
+	got := s2.Recompute(nil)
+	if got.Err != nil {
+		t.Fatal(got.Err)
+	}
+	if got.SeqHigh != 180 || got.Epoch != 3 {
+		t.Fatalf("drained prefix = seq %d epoch %d, want seq 180 epoch 3", got.SeqHigh, got.Epoch)
+	}
+	s3 := newServer(t, top, Config{
+		WindowSize: windowSize,
+		Algo:       estimator.CorrelationCompleteSharded,
+		SolverOpts: solverOpts(),
+	})
+	defer s3.Close()
+	s3.Ingest(stream[:180])
+	want := s3.Recompute(nil)
+	if want.Err != nil {
+		t.Fatal(want.Err)
+	}
+	for e := 0; e < top.NumLinks(); e++ {
+		wp, wx := want.Est.LinkCongestProb(e)
+		gp, gx := got.Est.LinkCongestProb(e)
+		if gp != wp || gx != wx {
+			t.Fatalf("link %d: drained checkpoint (%v,%v) != plain sharded epoch (%v,%v)", e, gp, gx, wp, wx)
+		}
+	}
+}
+
+// A cancelled sharded drain must requeue its checkpoints (bounded),
+// publish nothing, and consume no epoch; the retry drains them.
+func TestShardedEpochBacklogCancelRequeues(t *testing.T) {
+	top := shardedTestTopology(t)
+	s := newServer(t, top, Config{
+		WindowSize: 200,
+		EpochEvery: 60,
+		Algo:       estimator.CorrelationCompleteSharded,
+		SolverOpts: solverOpts(),
+	})
+	defer s.Close()
+	s.Ingest(simulatedBatches(t, top, 250))
+	if pending, _ := s.backlogStats(); pending != 4 {
+		t.Fatalf("backlog = %d, want 4", pending)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	snap := s.Recompute(ctx)
+	if snap == nil || snap.Err == nil {
+		t.Fatal("cancelled drain returned no error snapshot")
+	}
+	if snap.Epoch != 0 {
+		t.Fatalf("cancelled drain consumed epoch %d", snap.Epoch)
+	}
+	if s.Latest() != nil {
+		t.Fatal("cancelled drain published a snapshot")
+	}
+	if pending, dropped := s.backlogStats(); pending != 4 || dropped != 0 {
+		t.Fatalf("backlog after cancel = (%d,%d), want (4,0)", pending, dropped)
+	}
+	if snap := s.Recompute(nil); snap.Err != nil || snap.Epoch != 5 {
+		t.Fatalf("retry = epoch %d (err %v), want 5", snap.Epoch, snap.Err)
 	}
 }
 

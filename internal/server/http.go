@@ -161,9 +161,12 @@ type ShardStatus struct {
 	RepairedNumeric bool    `json:"repaired_numeric"`
 	RepairFailed    bool    `json:"repair_failed,omitempty"`
 	ComputeMs       float64 `json:"last_compute_ms"`
-	Paths           int     `json:"paths"`
-	Links           int     `json:"links"`
-	Error           string  `json:"error,omitempty"`
+	// EpochBacklog is the shard's pending interval-stride checkpoints
+	// (0 unless Config.EpochEvery is set).
+	EpochBacklog int    `json:"epoch_backlog,omitempty"`
+	Paths        int    `json:"paths"`
+	Links        int    `json:"links"`
+	Error        string `json:"error,omitempty"`
 }
 
 // StatusResponse is GET /v1/status: ingest/solver progress and lag.
@@ -752,6 +755,7 @@ func (s *Server) shardStatuses(ingested uint64) []ShardStatus {
 			RepairedNumeric: info.RepairedNumeric,
 			RepairFailed:    info.RepairFailed,
 			ComputeMs:       float64(info.ComputeTime.Microseconds()) / 1000,
+			EpochBacklog:    info.EpochBacklog,
 			Paths:           info.Paths,
 			Links:           info.Links,
 		}

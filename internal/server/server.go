@@ -84,8 +84,16 @@ type Config struct {
 	// when the epoch solver is correlation-complete — publishing one
 	// epoch per checkpoint. A burst that crosses several stride
 	// boundaries therefore yields several observable epochs (see
-	// /v1/epochs) instead of one coarse latest-state solve. Unsharded
-	// modes only; New rejects it with the sharded solver.
+	// /v1/epochs) instead of one coarse latest-state solve.
+	//
+	// In sharded mode each checkpoint freezes the whole sharded window;
+	// the drain runs every shard's queued rings through the backend's
+	// batched path (ShardBatchSolver, one multi-RHS solve per shard)
+	// when it offers one — sequential SolveShard calls otherwise — and
+	// publishes one merged epoch per checkpoint. With a remote backend
+	// (the cluster coordinator) shard blocks come from the workers'
+	// own live solves, so drained epochs are best-effort rather than
+	// checkpoint-exact; the in-process backend is exact.
 	EpochEvery int
 
 	// MaxEpochBacklog bounds the queued checkpoints (default 8): when
@@ -301,6 +309,10 @@ type ShardInfo struct {
 
 	ComputeTime time.Duration
 
+	// EpochBacklog is the shard's pending interval-stride checkpoints
+	// (0 unless Config.EpochEvery is set).
+	EpochBacklog int
+
 	// Paths and Links are the shard's slice of the universe.
 	Paths, Links int
 }
@@ -310,6 +322,12 @@ type ShardInfo struct {
 // fields below it are guarded by the server's publishMu.
 type shardState struct {
 	mu sync.Mutex
+
+	// epochBacklog is the shard's pending interval-stride checkpoints
+	// (Config.EpochEvery in sharded mode): set by ingest at enqueue,
+	// cleared as the drain finishes the shard's solves. Atomic so
+	// /v1/status reads it without the ingest or publish locks.
+	epochBacklog atomic.Int64
 
 	res             *core.Result
 	seqHigh         uint64
@@ -442,10 +460,6 @@ func New(top *topology.Topology, cfg Config) (*Server, error) {
 		stop:       make(chan struct{}),
 	}
 	if cfg.Algo == estimator.CorrelationCompleteSharded {
-		if cfg.EpochEvery > 0 {
-			cancel()
-			return nil, errors.New("server: EpochEvery applies to unsharded modes only (shard epochs are already per-shard)")
-		}
 		if cfg.Backend != nil {
 			s.backend = cfg.Backend
 		} else {
@@ -550,6 +564,10 @@ func (s *Server) Start() {
 			for sid := range s.shardStates {
 				s.wg.Add(1)
 				go s.runShard(sid)
+			}
+			if s.cfg.EpochEvery > 0 {
+				s.wg.Add(1)
+				go s.runDrain()
 			}
 			return
 		}
@@ -690,8 +708,9 @@ func (s *Server) clusterStatus() *ClusterStatus {
 // whose shard-aware locking applies each shard's column of the batch
 // under that shard's own ring lock — a shard solver cloning its ring
 // mid-batch waits only for its own shard's slice, not for the whole
-// fan-out. With Config.EpochEvery set (unsharded), ingest also freezes
-// a window checkpoint at every stride boundary it crosses, bounded by
+// fan-out. With Config.EpochEvery set, ingest also freezes a window
+// checkpoint at every stride boundary it crosses — the plain window
+// unsharded, the whole sharded window otherwise — bounded by
 // MaxEpochBacklog (oldest dropped first); the batch is split at those
 // boundaries so each WAL record ends exactly on a checkpoint seq.
 //
@@ -702,61 +721,99 @@ func (s *Server) clusterStatus() *ClusterStatus {
 // of wedging every ingest request behind the hung fsync.
 func (s *Server) Ingest(batch []*bitset.Set) (uint64, error) {
 	n := uint64(len(batch))
+	stride := uint64(s.cfg.EpochEvery)
 	if s.backend != nil {
 		fw, _ := s.backend.(BatchForwarder)
-		if fw != nil {
-			// Cluster mode: forward to the shard owners first, then apply
-			// locally — serialized under mu so base sequences are
-			// consistent. A retry after a partial failure is safe either
-			// way: workers deduplicate by base seq, and the local window
-			// only advances once the whole fan-out has accepted.
+		if fw != nil || stride > 0 {
+			// Cluster fan-out needs consistent base sequences and
+			// checkpointing needs exact stride boundaries: both
+			// serialize sharded ingest under mu. The plain sharded path
+			// below stays off mu (AddBatch's per-shard locks suffice).
 			s.mu.Lock()
 			defer s.mu.Unlock()
+		}
+		if fw != nil {
+			// Cluster mode: forward to the shard owners first, then apply
+			// locally. A retry after a partial failure is safe either
+			// way: workers deduplicate by base seq, and the local window
+			// only advances once the whole fan-out has accepted.
 			base := s.shardedWin.Seq()
 			if err := fw.Forward(base, batch); err != nil {
 				s.logger.Warn("ingest fan-out failed", "seq", base, "error", err)
 				return base, err
 			}
 		}
-		seq, err := s.shardedWin.AddBatch(batch)
-		if err != nil {
-			s.logger.Warn("ingest failed", "seq", seq, "error", err)
-			return seq, err
+		if stride == 0 {
+			seq, err := s.shardedWin.AddBatch(batch)
+			if err != nil {
+				s.logger.Warn("ingest failed", "seq", seq, "error", err)
+				return seq, err
+			}
+			metricIngestBatches.Inc()
+			metricIngestIntervals.Add(n)
+			return seq, nil
+		}
+		for len(batch) > 0 {
+			nb := len(batch)
+			if to := int(stride - s.shardedWin.Seq()%stride); to < nb {
+				nb = to
+			}
+			seq, err := s.shardedWin.AddBatch(batch[:nb])
+			if err != nil {
+				s.logger.Warn("ingest failed", "seq", seq, "error", err)
+				return seq, err
+			}
+			batch = batch[nb:]
+			if seq%stride == 0 {
+				// The whole sharded window freezes at the boundary: the
+				// drain solves each shard's ring of this clone and
+				// merges over it.
+				s.enqueueCheckpointLocked(s.shardedWin.Clone())
+			}
 		}
 		metricIngestBatches.Inc()
 		metricIngestIntervals.Add(n)
-		return seq, nil
+		return s.shardedWin.Seq(), nil
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	stride := uint64(s.cfg.EpochEvery)
 	for len(batch) > 0 {
-		n := len(batch)
+		nb := len(batch)
 		if stride > 0 {
-			if to := int(stride - s.win.Seq()%stride); to < n {
-				n = to
+			if to := int(stride - s.win.Seq()%stride); to < nb {
+				nb = to
 			}
 		}
-		seq, err := s.win.AddBatch(batch[:n])
+		seq, err := s.win.AddBatch(batch[:nb])
 		if err != nil {
 			s.logger.Warn("ingest failed", "seq", seq, "error", err)
 			return seq, err
 		}
-		batch = batch[n:]
+		batch = batch[nb:]
 		if stride > 0 && seq%stride == 0 {
-			s.backlog = append(s.backlog, s.win.CloneStore())
-			if len(s.backlog) > s.cfg.MaxEpochBacklog {
-				dropped := len(s.backlog) - s.cfg.MaxEpochBacklog
-				s.backlog = append(s.backlog[:0], s.backlog[dropped:]...)
-				s.backlogDropped += uint64(dropped)
-				metricCheckpointsDropped.Add(uint64(dropped))
-			}
-			metricBacklog.Set(int64(len(s.backlog)))
+			s.enqueueCheckpointLocked(s.win.CloneStore())
 		}
 	}
 	metricIngestBatches.Inc()
 	metricIngestIntervals.Add(n)
 	return s.win.Seq(), nil
+}
+
+// enqueueCheckpointLocked queues one frozen checkpoint for the drain,
+// dropping the oldest past MaxEpochBacklog. The caller holds mu; in
+// sharded mode the per-shard backlog gauges track the queue length.
+func (s *Server) enqueueCheckpointLocked(ck stream.Store) {
+	s.backlog = append(s.backlog, ck)
+	if len(s.backlog) > s.cfg.MaxEpochBacklog {
+		dropped := len(s.backlog) - s.cfg.MaxEpochBacklog
+		s.backlog = append(s.backlog[:0], s.backlog[dropped:]...)
+		s.backlogDropped += uint64(dropped)
+		metricCheckpointsDropped.Add(uint64(dropped))
+	}
+	metricBacklog.Set(int64(len(s.backlog)))
+	for _, st := range s.shardStates {
+		st.epochBacklog.Store(int64(len(s.backlog)))
+	}
 }
 
 // Seq returns the total number of intervals ingested.
@@ -1055,7 +1112,16 @@ func (s *Server) History() []EpochSummary {
 func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	s.computeMu.Lock()
 	defer s.computeMu.Unlock()
+	drained, derr := s.drainShardBacklog(ctx)
+	if derr != nil {
+		return drained // error/cancelled snapshot; checkpoints handled per contract
+	}
 	full := s.shardedWin.Clone()
+	if drained != nil && drained.SeqHigh == full.Seq() {
+		// The newest checkpoint was the live state: the drain already
+		// published this epoch.
+		return drained
+	}
 	start := time.Now()
 	solves := make([]ShardSolve, len(s.shardStates))
 	durs := make([]time.Duration, len(s.shardStates))
@@ -1138,6 +1204,184 @@ func (s *Server) recomputeSharded(ctx context.Context) *Snapshot {
 	}
 	s.storeSnapshotGuarded(snap)
 	return snap
+}
+
+// drainShardBacklog solves every queued interval-stride checkpoint of
+// the sharded window — each shard's run of frozen rings through the
+// backend's batched path (ShardBatchSolver, one multi-RHS solve per
+// shard) when it offers one, sequential SolveShard calls otherwise —
+// and publishes one merged epoch per checkpoint, oldest first,
+// returning the newest published snapshot (nil when the backlog was
+// empty). Errors follow the unsharded drain's contract: a cancellation
+// requeues the checkpoints (the MaxEpochBacklog bound re-applied) and
+// returns an unpublished snapshot consuming no epoch; any other error
+// publishes the error snapshot and drops the pending checkpoints so a
+// persistent failure can never starve the live solves.
+func (s *Server) drainShardBacklog(ctx context.Context) (*Snapshot, error) {
+	s.mu.Lock()
+	pending := s.backlog
+	s.backlog = nil
+	metricBacklog.Set(0)
+	s.mu.Unlock()
+	if len(pending) == 0 {
+		return nil, nil
+	}
+	cks := make([]*stream.Sharded, len(pending))
+	for i, w := range pending {
+		cks[i] = w.(*stream.Sharded)
+	}
+	start := time.Now()
+	bb, _ := s.backend.(ShardBatchSolver)
+	sols := make([][]ShardSolve, len(s.shardStates))
+	var err error
+	for sid := range s.shardStates {
+		st := s.shardStates[sid]
+		rings := make([]*stream.Window, len(cks))
+		for k, ck := range cks {
+			rings[k] = ck.Shard(sid)
+		}
+		st.mu.Lock()
+		if perr := s.guardPanic(func() {
+			if bb != nil {
+				sols[sid], err = bb.SolveShardBatch(ctx, sid, rings)
+			} else {
+				sols[sid] = make([]ShardSolve, len(rings))
+				for k, ring := range rings {
+					if sols[sid][k], err = s.backend.SolveShard(ctx, sid, ring); err != nil {
+						break
+					}
+				}
+			}
+		}); perr != nil {
+			err = perr
+		}
+		st.mu.Unlock()
+		if err != nil {
+			break
+		}
+		st.epochBacklog.Store(0) // this shard's checkpoints are solved
+	}
+	if err != nil {
+		last := cks[len(cks)-1]
+		snap := &Snapshot{
+			Algo:        s.cfg.Algo,
+			Window:      last,
+			SeqHigh:     last.Seq(),
+			T:           last.T(),
+			ComputedAt:  time.Now(),
+			ComputeTime: time.Since(start),
+			Err:         err,
+			top:         s.top,
+			opts:        s.cfg.SolverOpts,
+			lifetime:    s.baseCtx,
+			byAlgo:      map[string]*algoCell{},
+		}
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			// Cancelled: requeue for the next tick, keeping the bound.
+			s.mu.Lock()
+			s.backlog = append(pending, s.backlog...)
+			if over := len(s.backlog) - s.cfg.MaxEpochBacklog; over > 0 {
+				s.backlog = append(s.backlog[:0], s.backlog[over:]...)
+				s.backlogDropped += uint64(over)
+				metricCheckpointsDropped.Add(uint64(over))
+			}
+			metricBacklog.Set(int64(len(s.backlog)))
+			for _, st := range s.shardStates {
+				st.epochBacklog.Store(int64(len(s.backlog)))
+			}
+			s.mu.Unlock()
+			return snap, err // not published, no epoch consumed
+		}
+		s.publishMu.Lock()
+		snap.Epoch = s.epoch.Add(1)
+		s.publishMu.Unlock()
+		s.storeSnapshotGuarded(snap)
+		s.mu.Lock()
+		s.backlogDropped += uint64(len(pending))
+		s.mu.Unlock()
+		metricCheckpointsDropped.Add(uint64(len(pending)))
+		for _, st := range s.shardStates {
+			st.epochBacklog.Store(0)
+		}
+		return snap, err
+	}
+	// One merged publish per checkpoint, oldest first; the drain's cost
+	// is amortized evenly across the published epochs (stage histograms
+	// get nothing: batched solves have no per-epoch stage attribution).
+	// A shard whose background loop raced ahead keeps its newer block —
+	// the same stale guard as a synchronous recomputeSharded.
+	share := time.Duration(int64(time.Since(start)) / int64(len(cks)))
+	live := s.shardedWin.Seq()
+	var newest *Snapshot
+	for k, ck := range cks {
+		s.publishMu.Lock()
+		blocks := make([]*core.Result, len(s.shardStates))
+		shards := make([]ShardInfo, len(s.shardStates))
+		for sid, st := range s.shardStates {
+			sol := sols[sid][k]
+			if sol.SeqHigh >= st.seqHigh {
+				st.res, st.seqHigh, st.t, st.err = sol.Res, sol.SeqHigh, sol.T, nil
+				st.warm, st.repaired = sol.Info.Warm, sol.Info.Repaired
+				st.repairedNumeric, st.repairFailed = sol.Info.RepairedNumeric, sol.Info.RepairFailed
+				st.epoch++
+				st.computeTime = share
+				s.observeSolve(sol.Info)
+				if live >= sol.SeqHigh {
+					s.shardLag[sid].Set(int64(live - sol.SeqHigh))
+				}
+			}
+			blocks[sid] = st.res
+			shards[sid] = s.shardInfoLocked(sid)
+		}
+		epoch := s.epoch.Add(1)
+		s.publishMu.Unlock()
+		var est *estimator.Estimate
+		mergeErr := s.guardPanic(func() { est = s.backend.Merge(blocks, ck) })
+		snap := &Snapshot{
+			Epoch:       epoch,
+			Algo:        s.cfg.Algo,
+			Est:         est,
+			Window:      ck,
+			SeqHigh:     ck.Seq(),
+			T:           ck.T(),
+			Shards:      shards,
+			ComputedAt:  time.Now(),
+			ComputeTime: share,
+			Err:         mergeErr,
+			top:         s.top,
+			opts:        s.cfg.SolverOpts,
+			lifetime:    s.baseCtx,
+			byAlgo:      map[string]*algoCell{},
+		}
+		s.storeSnapshotGuarded(snap)
+		newest = snap
+	}
+	return newest, nil
+}
+
+// runDrain is the sharded checkpoint-drain loop. With Config.EpochEvery
+// set, the per-shard loops still publish latest-state shard epochs;
+// this dedicated ticker turns the queued stride checkpoints into their
+// own merged epochs so a lag burst stays observable on /v1/epochs.
+func (s *Server) runDrain() {
+	defer s.wg.Done()
+	ticker := time.NewTicker(s.cfg.RecomputeEvery)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-ticker.C:
+			if !s.backlogPending() {
+				continue
+			}
+			s.tickSafely(func() {
+				s.computeMu.Lock()
+				defer s.computeMu.Unlock()
+				s.drainShardBacklog(s.baseCtx)
+			})
+		}
+	}
 }
 
 // runShard is shard sid's solver loop: one potential shard epoch per
@@ -1238,6 +1482,7 @@ func (s *Server) shardInfoLocked(sid int) ShardInfo {
 		RepairedNumeric: st.repairedNumeric,
 		RepairFailed:    st.repairFailed,
 		ComputeTime:     st.computeTime,
+		EpochBacklog:    int(st.epochBacklog.Load()),
 		Paths:           paths,
 		Links:           links,
 	}

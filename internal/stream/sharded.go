@@ -2,7 +2,6 @@ package stream
 
 import (
 	"math"
-	"math/bits"
 	"sync"
 
 	"repro/internal/bitset"
@@ -277,16 +276,11 @@ func (sh *Sharded) GoodCount(paths *bitset.Set) int {
 	}
 	paths.ForEach(func(p int) bool {
 		if p < sh.numPaths {
-			for i, word := range sh.windowOf(p).cong[p] {
-				sc[i] |= word
-			}
+			bitset.OrWordsInto(sc, sh.windowOf(p).cong[p])
 		}
 		return true
 	})
-	bad := 0
-	for _, word := range sc {
-		bad += bits.OnesCount64(word)
-	}
+	bad := bitset.PopCountWords(sc)
 	observe.PutScratch(sp)
 	return w0.count - bad
 }
@@ -334,21 +328,12 @@ func (sh *Sharded) AllCongestedCount(paths *bitset.Set) int {
 			empty = true
 			return false
 		}
-		m := sh.windowOf(p).cong[p]
-		for i := range sc {
-			if i < len(m) {
-				sc[i] &= m[i]
-			} else {
-				sc[i] = 0
-			}
-		}
+		bitset.AndWordsInto(sc, sh.windowOf(p).cong[p])
 		return true
 	})
 	n := 0
 	if !empty {
-		for _, word := range sc {
-			n += bits.OnesCount64(word)
-		}
+		n = bitset.PopCountWords(sc)
 	}
 	observe.PutScratch(sp)
 	return n

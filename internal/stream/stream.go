@@ -29,7 +29,6 @@ package stream
 
 import (
 	"math"
-	"math/bits"
 
 	"repro/internal/bitset"
 	"repro/internal/observe"
@@ -200,16 +199,11 @@ func (w *Window) GoodCount(paths *bitset.Set) int {
 	}
 	paths.ForEach(func(p int) bool {
 		if p < w.numPaths {
-			for i, word := range w.cong[p] {
-				sc[i] |= word
-			}
+			bitset.OrWordsInto(sc, w.cong[p])
 		}
 		return true
 	})
-	bad := 0
-	for _, word := range sc {
-		bad += bits.OnesCount64(word)
-	}
+	bad := bitset.PopCountWords(sc)
 	observe.PutScratch(sp)
 	return w.count - bad
 }
@@ -256,21 +250,12 @@ func (w *Window) AllCongestedCount(paths *bitset.Set) int {
 			empty = true
 			return false
 		}
-		m := w.cong[p]
-		for i := range sc {
-			if i < len(m) {
-				sc[i] &= m[i]
-			} else {
-				sc[i] = 0
-			}
-		}
+		bitset.AndWordsInto(sc, w.cong[p])
 		return true
 	})
 	n := 0
 	if !empty {
-		for _, word := range sc {
-			n += bits.OnesCount64(word)
-		}
+		n = bitset.PopCountWords(sc)
 	}
 	observe.PutScratch(sp)
 	return n
